@@ -1,0 +1,96 @@
+"""Ablation (§2.1/§3.1): zswap vs remote memory as the far tier.
+
+The paper chose compression over disaggregation for three measurable
+reasons: zswap "confines failure domain within a machine", needs no
+encryption of pages leaving the machine, and its 6.4 µs decompression is
+competitive with a fabric round trip whose tail is much worse.  This bench
+quantifies all three on one synthetic cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.kernel.compression import DEFAULT_LATENCY_MODEL, ContentProfile
+from repro.kernel.remote import RemoteAccessModel, RemoteMemoryPool
+
+N_MACHINES = 48
+JOBS_PER_MACHINE = 10
+FAR_PAGES_PER_JOB = 2000
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    rng = np.random.default_rng(11)
+    machines = [f"m{i:02d}" for i in range(N_MACHINES)]
+    pool = RemoteMemoryPool(machines, rng, fanout=3)
+    for m_index, machine in enumerate(machines):
+        for j in range(JOBS_PER_MACHINE):
+            pool.place_far_pages(
+                f"job-{m_index:02d}-{j}", machine, FAR_PAGES_PER_JOB
+            )
+    return machines, pool, rng
+
+
+def test_ablation_remote_vs_zswap(benchmark, deployment, save_result):
+    machines, pool, rng = deployment
+
+    def measure():
+        remote_radius = np.array(
+            [pool.blast_radius(m) for m in machines]
+        )
+        local_radius = np.array(
+            [len(pool.hosted_jobs(m)) for m in machines]
+        )
+        return remote_radius, local_radius
+
+    remote_radius, local_radius = benchmark(measure)
+
+    # Failure domain: remote memory strictly expands it; zswap's domain is
+    # exactly the machine's own jobs.
+    assert (local_radius == JOBS_PER_MACHINE).all()
+    assert remote_radius.mean() > 2 * local_radius.mean()
+
+    # Latency: zswap's local decompression vs fabric + decryption.
+    payloads = ContentProfile(
+        incompressible_fraction=0.0, min_ratio=1.5
+    ).sample_payload_bytes(20_000, rng)
+    zswap_lat = DEFAULT_LATENCY_MODEL.decompress_seconds(payloads)
+    remote_lat = RemoteAccessModel().sample_read_latencies(20_000, rng)
+    z50, z99 = np.percentile(zswap_lat, [50, 99])
+    r50, r99 = np.percentile(remote_lat, [50, 99])
+    assert z50 < r50
+    assert z99 < r99
+    # And remote's p99/p50 tail ratio is worse (the WSC tail-latency worry).
+    assert (r99 / r50) > (z99 / z50)
+
+    # CPU: encryption is an extra per-page cost zswap does not pay.
+    encryption = RemoteAccessModel().store_cpu_seconds(1)
+    assert encryption > 0
+
+    save_result(
+        "ablation_remote_vs_zswap",
+        render_table(
+            ["metric", "zswap (local)", "remote memory"],
+            [
+                ("mean jobs hit by one machine failure",
+                 f"{local_radius.mean():.1f}",
+                 f"{remote_radius.mean():.1f}"),
+                ("worst-case blast radius",
+                 int(local_radius.max()), int(remote_radius.max())),
+                ("promotion latency p50",
+                 f"{z50 * 1e6:.1f} us", f"{r50 * 1e6:.1f} us"),
+                ("promotion latency p99",
+                 f"{z99 * 1e6:.1f} us", f"{r99 * 1e6:.1f} us"),
+                ("tail ratio p99/p50",
+                 f"{z99 / z50:.1f}x", f"{r99 / r50:.1f}x"),
+                ("extra CPU per swapped page",
+                 "0 (no encryption)",
+                 f"{encryption * 1e6:.1f} us (encrypt)"),
+            ],
+            title="§2.1/§3.1 ablation — why zswap over remote memory "
+            f"({N_MACHINES} machines, fanout 3)",
+        ),
+    )

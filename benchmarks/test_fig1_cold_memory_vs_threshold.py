@@ -1,0 +1,50 @@
+"""Figure 1: cold memory % and promotion rate vs the cold age threshold T.
+
+Paper: fleet-average cold memory decreases from 32 % (T = 120 s) as T
+grows; the promotion rate (accesses to cold memory, as a fraction of the
+cold size per minute) is ~15 %/min at T = 120 s and also decreases with T.
+We verify both monotone shapes and the T = 120 s operating point's band,
+and regenerate the two series.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import cold_memory_vs_threshold, render_table
+
+
+def test_fig1_threshold_sweep(benchmark, paper_fleet, save_result):
+    traces = paper_fleet.trace_db.traces()
+    points = benchmark(cold_memory_vs_threshold, traces)
+
+    cold = [p.cold_fraction for p in points]
+    promo = [p.promotion_rate_pct_of_cold_per_min for p in points]
+
+    # Shape: both series decrease monotonically in T.
+    assert all(a >= b for a, b in zip(cold, cold[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(promo, promo[1:]))
+
+    # Operating point: the paper reports 32 % cold at T = 120 s; our
+    # calibrated fleet must land in the same band.
+    assert points[0].threshold_seconds == 120
+    assert 0.20 <= cold[0] <= 0.45
+
+    # Promotion rate at T = 120 s: the paper reports ~15 %/min of cold
+    # memory; the synthetic fleet should be the same order of magnitude.
+    assert 1.0 <= promo[0] <= 40.0
+
+    save_result(
+        "fig1_cold_memory_vs_threshold",
+        render_table(
+            ["T (s)", "cold memory (% of used)", "promotions (%/min of cold)"],
+            [
+                (
+                    p.threshold_seconds,
+                    f"{100 * p.cold_fraction:.1f}",
+                    f"{p.promotion_rate_pct_of_cold_per_min:.2f}",
+                )
+                for p in points
+            ],
+            title="Fig. 1 — cold memory and promotion rate vs threshold "
+            "(paper: 32% cold, 15%/min at T=120s)",
+        ),
+    )

@@ -1,0 +1,35 @@
+"""Figure 2: cold-memory variation across machines within clusters.
+
+Paper: per-machine cold percentage spans 1-52 % even within one cluster —
+the case against fixed-size far memory.  We regenerate the per-cluster
+violin summaries and verify that substantial within-cluster spread exists.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    per_machine_cold_fractions_by_cluster,
+    render_violins,
+    violin_stats,
+)
+
+
+def test_fig2_per_machine_cold_variation(benchmark, paper_fleet, save_result):
+    groups = benchmark(per_machine_cold_fractions_by_cluster, paper_fleet, 120)
+
+    assert len(groups) == len(paper_fleet.clusters)
+    all_fractions = [f for fractions in groups.values() for f in fractions]
+    assert all(0.0 <= f <= 1.0 for f in all_fractions)
+
+    # The paper's point: machines differ a lot.  Across the fleet the
+    # spread between the coldest and hottest machine must be substantial.
+    assert max(all_fractions) - min(all_fractions) > 0.05
+
+    save_result(
+        "fig2_cluster_variation",
+        render_violins(
+            {name: violin_stats(f) for name, f in groups.items() if f},
+            title="Fig. 2 — per-machine cold memory by cluster "
+            "(paper: 1-52% within a cluster)",
+        ),
+    )

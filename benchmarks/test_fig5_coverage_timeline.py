@@ -1,0 +1,72 @@
+"""Figure 5: cold-memory coverage over time across the autotuner rollout.
+
+Paper: hand-tuned zswap stabilized at ~15 % coverage; deploying the
+ML-based autotuner raised it to ~20 % — a ~30 % relative improvement.  We
+regenerate the coverage timeline of the tuned fleet against a same-seed
+control fleet that stays hand-tuned, and verify the autotuner wins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coverage import coverage_timeseries
+from repro.analysis import render_table
+from repro.common.units import HOUR
+
+
+def test_fig5_coverage_timeline(benchmark, autotune_run, save_result):
+    fleet = autotune_run["fleet"]
+    control = autotune_run["control"]
+    rollout = autotune_run["rollout_time"]
+
+    tuned_series = benchmark(
+        coverage_timeseries,
+        [s for c in fleet.clusters for s in c.coverage_samples],
+        HOUR,
+    )
+    control_series = coverage_timeseries(
+        [s for c in control.clusters for s in c.coverage_samples], HOUR
+    )
+
+    # Compare mean coverage over the post-rollout window (skipping one
+    # settle hour) — endpoint snapshots are diurnal-noise-dominated.
+    def window_mean(series):
+        window = [s for s in series if s.time >= rollout + HOUR]
+        return float(np.mean([s.coverage for s in window]))
+
+    tuned_cov = window_mean(tuned_series)
+    control_cov = window_mean(control_series)
+
+    # The autotuned fleet must sustain higher coverage than the
+    # identically-seeded hand-tuned control (paper: +30% relative).
+    assert tuned_cov > control_cov
+    relative_gain = (tuned_cov - control_cov) / control_cov
+    assert relative_gain > 0.05
+
+    best = autotune_run["best_config"]
+    rows = []
+    control_by_time = {s.time: s.coverage for s in control_series}
+    for sample in tuned_series:
+        marker = "<- autotuner live" if sample.time >= rollout else ""
+        rows.append(
+            (
+                f"{sample.time / HOUR:.0f}",
+                f"{100 * sample.coverage:.1f}",
+                f"{100 * control_by_time.get(sample.time, 0.0):.1f}",
+                marker,
+            )
+        )
+    save_result(
+        "fig5_coverage_timeline",
+        render_table(
+            ["hour", "tuned fleet cov %", "control cov %", ""],
+            rows,
+            title=(
+                "Fig. 5 — coverage over time (paper: 15% hand-tuned -> 20% "
+                f"autotuned). Winner: K={best.percentile_k:.1f}, "
+                f"S={best.warmup_seconds}s; relative gain "
+                f"{100 * relative_gain:.0f}%"
+            ),
+        ),
+    )

@@ -1,0 +1,70 @@
+"""Section 6.1's TCO table: measured coverage -> DRAM TCO saving.
+
+Paper: 20 % coverage x 32 % cold bound x 67 % cost reduction per
+compressed byte = 4-5 % of DRAM TCO, "millions of dollars at WSC scale",
+with negligible CPU debit.  We regenerate the table from the measurement
+fleet's own coverage, cold fraction, compression ratio, and CPU overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import compression_ratios_per_job, render_table
+from repro.common.units import HOUR
+from repro.core import TcoModel
+
+
+def test_tco_savings_table(benchmark, paper_fleet, save_result):
+    report = paper_fleet.coverage_report()
+    ratios = compression_ratios_per_job(paper_fleet)
+    mean_ratio = float(np.mean(ratios))
+
+    elapsed = 8 * HOUR
+    zswap_seconds = sum(
+        stats.compress_seconds + stats.decompress_seconds
+        for machine in paper_fleet.machines
+        for stats in machine.zswap.job_stats.values()
+    )
+    cores_overhead = zswap_seconds / (len(paper_fleet.machines) * elapsed)
+
+    model = TcoModel(fleet_dram_gib=10_000_000)  # an exabyte-class fleet
+    tco = benchmark(
+        model.evaluate,
+        coverage=report["coverage"],
+        cold_fraction=report["cold_fraction_at_min_threshold"],
+        compression_ratio=mean_ratio,
+        cpu_cores_per_machine_overhead=cores_overhead,
+        machines=30_000,
+    )
+
+    # Paper band: ~4-5% of DRAM TCO with 20% coverage.  Our measured
+    # coverage differs, so check the arithmetic and the order: savings are
+    # a few percent and the CPU debit is negligible.
+    assert 0.005 <= tco.dram_saving_fraction <= 0.12
+    assert tco.dram_dollars_saved_per_year > 1_000_000
+    assert tco.cpu_overhead_dollars_per_year < (
+        0.05 * tco.dram_dollars_saved_per_year
+    )
+    assert tco.net_dollars_saved_per_year > 0
+
+    save_result(
+        "tco_savings",
+        render_table(
+            ["input / output", "value", "paper"],
+            [
+                ("coverage", f"{report['coverage']:.1%}", "20%"),
+                ("cold fraction @120s",
+                 f"{report['cold_fraction_at_min_threshold']:.1%}", "32%"),
+                ("mean compression ratio", f"{mean_ratio:.2f}x", "3x"),
+                ("DRAM TCO saving", f"{tco.dram_saving_fraction:.2%}",
+                 "4-5%"),
+                ("$ saved / year (10M GiB fleet)",
+                 f"${tco.dram_dollars_saved_per_year:,.0f}", "millions"),
+                ("CPU debit / year",
+                 f"${tco.cpu_overhead_dollars_per_year:,.0f}",
+                 "negligible"),
+            ],
+            title="§6.1 — memory TCO savings",
+        ),
+    )

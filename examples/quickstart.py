@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: software-defined far memory on a small simulated fleet.
+
+Builds a two-cluster fleet, runs it for a few simulated hours with the
+paper's proactive zswap control plane, and prints the headline metrics:
+cold memory, coverage, promotion-rate SLI, and the projected TCO saving.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    compression_ratios_per_job,
+    per_job_promotion_rates,
+    percentile_summary,
+    render_table,
+)
+from repro.cluster import quickfleet
+from repro.common.units import HOUR
+from repro.core import TcoModel
+
+
+def main() -> None:
+    print("Building a 2-cluster, 8-machine fleet (seed=7)...")
+    fleet = quickfleet(
+        clusters=2,
+        machines_per_cluster=4,
+        jobs_per_machine=6,
+        seed=7,
+    )
+
+    print("Simulating 6 hours of production...")
+    fleet.run(6 * HOUR)
+
+    report = fleet.coverage_report()
+    print()
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("cold memory (T=120s)",
+                 f"{report['cold_fraction_at_min_threshold']:.1%} of used"),
+                ("cold memory coverage", f"{report['coverage']:.1%}"),
+                ("far memory stored", f"{report['far_memory_gib']:.3f} GiB"),
+                ("DRAM freed by compression", f"{report['saved_gib']:.3f} GiB"),
+                ("promotion rate p98 (per-minute samples)",
+                 f"{report['promotion_rate_p98_pct_per_min']:.3f} %/min"),
+            ],
+            title="Fleet report after 6 simulated hours",
+        )
+    )
+
+    job_rates = per_job_promotion_rates(fleet.sli_history)
+    if job_rates:
+        summary = percentile_summary(job_rates, (50, 90, 98))
+        print()
+        print(
+            render_table(
+                ["percentile", "%/min of WSS"],
+                sorted(summary.items()),
+                title="Per-job promotion rate (the paper's Fig. 7 statistic)",
+            )
+        )
+
+    ratios = compression_ratios_per_job(fleet)
+    mean_ratio = sum(ratios) / len(ratios) if ratios else 3.0
+
+    tco = TcoModel(fleet_dram_gib=1_000_000).evaluate(
+        coverage=report["coverage"],
+        cold_fraction=report["cold_fraction_at_min_threshold"],
+        compression_ratio=mean_ratio,
+    )
+    print()
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("mean compression ratio", f"{mean_ratio:.2f}x"),
+                ("DRAM TCO saving", f"{tco.dram_saving_fraction:.2%}"),
+                ("at a 1 EiB-class fleet",
+                 f"${tco.dram_dollars_saved_per_year:,.0f}/year"),
+            ],
+            title="Projected TCO (paper §6.1 arithmetic)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

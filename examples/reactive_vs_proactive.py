@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Ablation: reactive (stock-Linux) zswap vs the paper's proactive design.
+
+Section 3.2 explains why the paper rejected zswap's default trigger —
+direct reclaim under memory pressure: savings only materialize when
+machines saturate, and the synchronous compression stalls land on
+allocation paths at the worst moment.  This example reproduces that
+comparison on identical workloads:
+
+* REACTIVE machines only compress when an allocation finds the machine
+  short on memory (stalling the allocator);
+* PROACTIVE machines run kstaled + the node agent and compress cold pages
+  continuously in the background.
+
+Run:
+    python examples/reactive_vs_proactive.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agent import NodeAgent
+from repro.analysis import render_table
+from repro.common.rng import SeedSequenceFactory
+from repro.common.units import HOUR, MIB, PAGE_SIZE
+from repro.core import ThresholdPolicyConfig
+from repro.kernel import ContentProfile, FarMemoryMode, Machine, MachineConfig
+from repro.workloads import HeterogeneousPoissonPattern, make_rates_for_cold_fraction
+
+SIM_HOURS = 4
+DRAM = 256 * MIB
+
+
+def run_mode(mode: FarMemoryMode):
+    """One machine, a steady resident job, and periodic burst allocations."""
+    seeds = SeedSequenceFactory(11)
+    machine = Machine("m", MachineConfig(dram_bytes=DRAM, mode=mode),
+                      seeds=seeds)
+    agent = NodeAgent(machine,
+                      ThresholdPolicyConfig(percentile_k=95, warmup_seconds=300))
+    rng = np.random.default_rng(11)
+
+    # A resident job filling ~75% of DRAM, half of it cold.
+    resident_pages = int(0.75 * DRAM / PAGE_SIZE)
+    machine.add_job("resident", resident_pages,
+                    ContentProfile(incompressible_fraction=0.1))
+    page_map = machine.allocate("resident", resident_pages)
+    pattern = HeterogeneousPoissonPattern(
+        make_rates_for_cold_fraction(resident_pages, 0.5, rng)
+    )
+
+    # A churning job that repeatedly allocates and frees 30% of DRAM —
+    # the allocation bursts that trigger direct reclaim in reactive mode.
+    burst_pages = int(0.3 * DRAM / PAGE_SIZE)
+    machine.add_job("bursty", burst_pages, ContentProfile())
+    burst_live = None
+
+    oom_events = 0
+    for t in range(0, SIM_HOURS * HOUR, 60):
+        reads, writes = pattern.step(t, 60, rng)
+        machine.touch("resident", page_map[reads])
+        machine.touch("resident", page_map[writes], write=True)
+        if (t // 60) % 20 == 10:  # every 20 min: allocate a burst
+            try:
+                burst_live = machine.allocate("bursty", burst_pages)
+            except Exception:
+                oom_events += 1
+        elif burst_live is not None and (t // 60) % 20 == 15:
+            machine.release("bursty", burst_live)
+            burst_live = None
+        machine.tick(t)
+        agent.maybe_control(t)
+    return machine, oom_events
+
+
+def main() -> None:
+    print(f"Running identical workloads for {SIM_HOURS} simulated hours...\n")
+    rows = []
+    for mode in (FarMemoryMode.REACTIVE, FarMemoryMode.PROACTIVE):
+        machine, oom = run_mode(mode)
+        stats = machine.zswap.job_stats
+        compressed = sum(s.pages_compressed for s in stats.values())
+        stall_ms = machine.direct_reclaim.stall_seconds_total * 1e3
+        rows.append(
+            (
+                mode.value,
+                compressed,
+                f"{machine.saved_bytes() / MIB:.1f} MiB",
+                f"{stall_ms:.2f} ms",
+                machine.direct_reclaim.invocations,
+                oom,
+            )
+        )
+    print(
+        render_table(
+            ["mode", "pages compressed", "DRAM freed",
+             "allocation stall", "direct reclaims", "OOM fails"],
+            rows,
+            title="Reactive vs proactive far memory (paper §3.2)",
+        )
+    )
+    print(
+        "\nProactive compresses continuously with zero allocation-path "
+        "stalls;\nreactive only acts under pressure and bills the latency "
+        "to the allocating task."
+    )
+
+
+if __name__ == "__main__":
+    main()

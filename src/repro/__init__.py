@@ -1,0 +1,46 @@
+"""repro: Software-Defined Far Memory in Warehouse-Scale Computers.
+
+A production-quality reproduction of Lagar-Cavilla et al., ASPLOS 2019:
+a proactive, SLO-driven control plane that turns compressed in-DRAM swap
+(zswap) into a software-defined far memory tier, plus the simulated
+warehouse-scale substrate needed to evaluate it and the GP-Bandit
+autotuner that optimizes it fleet-wide.
+
+Subpackages:
+
+* :mod:`repro.core` — cold-page identification, SLO, threshold policy.
+* :mod:`repro.kernel` — memcg/kstaled/kreclaimd/zswap/zsmalloc models.
+* :mod:`repro.agent` — the node agent control loop and telemetry.
+* :mod:`repro.cluster` — Borg-like scheduler, clusters, the WSC fleet.
+* :mod:`repro.workloads` — synthetic access patterns and applications.
+* :mod:`repro.model` — the fast far memory model (offline trace replay).
+* :mod:`repro.autotuner` — GP-Bandit parameter optimization.
+* :mod:`repro.analysis` — distribution statistics and figure pipelines.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    AgeBins,
+    AgeHistogram,
+    ColdAgeThresholdPolicy,
+    PromotionRateSlo,
+    TcoModel,
+    ThresholdPolicyConfig,
+    default_age_bins,
+)
+from repro.kernel import FarMemoryMode, Machine, MachineConfig
+
+__all__ = [
+    "AgeBins",
+    "AgeHistogram",
+    "ColdAgeThresholdPolicy",
+    "FarMemoryMode",
+    "Machine",
+    "MachineConfig",
+    "PromotionRateSlo",
+    "TcoModel",
+    "ThresholdPolicyConfig",
+    "default_age_bins",
+    "__version__",
+]

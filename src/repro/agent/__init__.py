@@ -1,0 +1,16 @@
+"""The node agent (Borglet) — per-machine far-memory control and telemetry."""
+
+from repro.agent.monitoring import Alert, AlertRule, SliWindow, SloMonitor
+from repro.agent.node_agent import NodeAgent, SliSample
+from repro.agent.telemetry import TelemetryExporter, TraceSink
+
+__all__ = [
+    "Alert",
+    "AlertRule",
+    "NodeAgent",
+    "SliSample",
+    "SliWindow",
+    "SloMonitor",
+    "TelemetryExporter",
+    "TraceSink",
+]

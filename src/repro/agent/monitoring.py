@@ -1,0 +1,167 @@
+"""SLI monitoring with alerting (paper §5.3's "rigorous monitoring").
+
+The staged-deployment pipeline needs more than a single p98 number: it
+watches windows of SLI samples, compares them against alert rules, and
+reports which rule fired.  This module gives deployment (and operators'
+dashboards) that layer:
+
+* :class:`SliWindow` — a rolling window of per-minute SLI samples with
+  percentile queries;
+* :class:`AlertRule` — "metric over threshold for the whole window"
+  predicates on the window;
+* :class:`SloMonitor` — evaluates a rule set and keeps an alert history.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional
+
+import numpy as np
+
+from repro.agent.node_agent import SliSample
+from repro.common.validation import check_positive, require
+
+__all__ = ["SliWindow", "AlertRule", "Alert", "SloMonitor"]
+
+
+class SliWindow:
+    """Rolling window of SLI samples.
+
+    Args:
+        window_seconds: samples older than ``now - window_seconds`` are
+            evicted as new ones arrive.
+    """
+
+    def __init__(self, window_seconds: int = 3600):
+        check_positive(window_seconds, "window_seconds")
+        self.window_seconds = int(window_seconds)
+        self._samples: Deque[SliSample] = deque()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def extend(self, samples: Iterable[SliSample]) -> None:
+        """Add samples (assumed time-ordered) and evict expired ones."""
+        for sample in samples:
+            self._samples.append(sample)
+        if self._samples:
+            horizon = self._samples[-1].time - self.window_seconds
+            while self._samples and self._samples[0].time < horizon:
+                self._samples.popleft()
+
+    def rates(self) -> np.ndarray:
+        """Normalized promotion rates of non-empty-WSS samples."""
+        return np.array(
+            [
+                s.normalized_rate_pct_per_min
+                for s in self._samples
+                if s.working_set_pages > 0
+                and np.isfinite(s.normalized_rate_pct_per_min)
+            ]
+        )
+
+    def percentile(self, q: float) -> float:
+        """Window percentile of the normalized promotion rate."""
+        rates = self.rates()
+        if rates.size == 0:
+            return 0.0
+        return float(np.percentile(rates, q))
+
+    def violation_fraction(self, limit: float) -> float:
+        """Fraction of window samples exceeding ``limit``."""
+        rates = self.rates()
+        if rates.size == 0:
+            return 0.0
+        return float(np.mean(rates > limit))
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One alerting predicate over the window.
+
+    Attributes:
+        name: rule identifier, e.g. ``"p98-over-slo"``.
+        evaluate: maps the window to the measured value.
+        limit: alert fires when the value exceeds this.
+        min_samples: suppress the rule until the window is this full
+            (avoids alerting on start-up noise).
+    """
+
+    name: str
+    evaluate: Callable[[SliWindow], float]
+    limit: float
+    min_samples: int = 10
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A fired rule."""
+
+    time: int
+    rule: str
+    value: float
+    limit: float
+
+
+class SloMonitor:
+    """Evaluates alert rules over a rolling SLI window.
+
+    Args:
+        rules: the alert rules; defaults to the paper's pair — p98 over
+            the promotion SLO, and gross violation-fraction drift.
+        window_seconds: rolling window length.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[List[AlertRule]] = None,
+        window_seconds: int = 3600,
+        slo_limit: float = 0.2,
+    ):
+        self.window = SliWindow(window_seconds)
+        self.slo_limit = float(slo_limit)
+        self.rules = rules if rules is not None else self.default_rules(
+            slo_limit
+        )
+        require(len(self.rules) > 0, "monitor needs at least one rule")
+        self.alerts: List[Alert] = []
+
+    @staticmethod
+    def default_rules(slo_limit: float) -> List[AlertRule]:
+        """The default rule pair used by staged deployment."""
+        return [
+            AlertRule(
+                name="p98-over-slo",
+                evaluate=lambda w: w.percentile(98.0),
+                limit=slo_limit,
+            ),
+            AlertRule(
+                name="violation-fraction",
+                evaluate=lambda w, _l=slo_limit: w.violation_fraction(_l),
+                limit=0.05,
+            ),
+        ]
+
+    def observe(self, now: int, samples: Iterable[SliSample]) -> List[Alert]:
+        """Ingest samples, evaluate every rule, record and return alerts."""
+        self.window.extend(samples)
+        fired: List[Alert] = []
+        if len(self.window) == 0:
+            return fired
+        for rule in self.rules:
+            if len(self.window) < rule.min_samples:
+                continue
+            value = rule.evaluate(self.window)
+            if value > rule.limit:
+                alert = Alert(time=now, rule=rule.name, value=value,
+                              limit=rule.limit)
+                self.alerts.append(alert)
+                fired.append(alert)
+        return fired
+
+    @property
+    def healthy(self) -> bool:
+        """True while no alert has ever fired."""
+        return not self.alerts

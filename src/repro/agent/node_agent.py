@@ -1,0 +1,204 @@
+"""The node agent — Borglet's far-memory control loop (paper §5.2).
+
+Every minute, for every job on its machine, the agent:
+
+1. reads the kernel's cumulative promotion histogram and diffs it against
+   the copy from the previous minute (the per-interval histogram);
+2. computes the job's working set size from the cold-age snapshot;
+3. feeds both to the job's :class:`ColdAgeThresholdPolicy` (§4.3) to get
+   the smallest SLO-respecting threshold for the past minute;
+4. publishes the policy's chosen threshold (K-th percentile of history,
+   escalated on spikes) into the memcg, enables zswap only after the job's
+   ``S``-second warm-up, and pins the memcg soft limit at the working set;
+5. records the *actual* promotion rate SLI for monitoring (Fig. 7).
+
+The agent also triggers kreclaimd after publishing thresholds and asks the
+arena to compact when fragmentation crosses a watermark — both duties the
+paper assigns to the node agent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.simtime import PeriodicSchedule
+from repro.common.units import MINUTE
+from repro.common.validation import check_fraction
+from repro.core.histograms import AgeHistogram
+from repro.core.slo import (
+    PromotionRateSlo,
+    normalized_promotion_rate,
+    working_set_pages,
+)
+from repro.core.threshold_policy import (
+    ColdAgeThresholdPolicy,
+    ThresholdPolicyConfig,
+)
+from repro.kernel.machine import FarMemoryMode, Machine
+
+__all__ = ["SliSample", "NodeAgent"]
+
+
+@dataclass(frozen=True)
+class SliSample:
+    """One per-job, per-minute service-level-indicator observation.
+
+    Attributes:
+        time: start of the observed minute.
+        job_id: the job observed.
+        promotions: actual pages promoted during the minute.
+        working_set_pages: the job's working set that minute.
+        normalized_rate_pct_per_min: promotions as % of working set.
+        threshold: the cold-age threshold in force (may be inf = disabled).
+    """
+
+    time: int
+    job_id: str
+    promotions: int
+    working_set_pages: int
+    normalized_rate_pct_per_min: float
+    threshold: float
+
+
+@dataclass
+class _JobState:
+    """Per-job bookkeeping the agent keeps between control rounds."""
+
+    policy: ColdAgeThresholdPolicy
+    last_promotion_histogram: AgeHistogram
+    last_promoted_total: int = 0
+
+
+class NodeAgent:
+    """Per-machine far-memory controller.
+
+    Args:
+        machine: the machine to control.
+        policy_config: the tunable ``(K, S)`` parameters (autotuner output).
+        slo: the promotion-rate SLO.
+        control_period: seconds between control rounds (one minute).
+        compaction_watermark: arena external-fragmentation fraction above
+            which the agent triggers explicit compaction.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy_config: Optional[ThresholdPolicyConfig] = None,
+        slo: Optional[PromotionRateSlo] = None,
+        control_period: int = MINUTE,
+        compaction_watermark: float = 0.2,
+    ):
+        check_fraction(compaction_watermark, "compaction_watermark")
+        self.machine = machine
+        self.policy_config = (
+            policy_config if policy_config is not None else ThresholdPolicyConfig()
+        )
+        self.slo = slo if slo is not None else PromotionRateSlo()
+        self.control_period = int(control_period)
+        self.compaction_watermark = compaction_watermark
+        self._schedule = PeriodicSchedule(self.control_period)
+        self._jobs: Dict[str, _JobState] = {}
+        self.sli_samples: List[SliSample] = []
+        self.rounds = 0
+
+    def set_policy_config(self, config: ThresholdPolicyConfig) -> None:
+        """Deploy new tunables; per-job history carries over.
+
+        The per-minute best thresholds come from kernel histograms and are
+        parameter-independent, so existing jobs keep their pools and their
+        warm-up clocks — only the K/S interpretation of that history
+        changes.
+        """
+        self.policy_config = config
+        for job_id, state in list(self._jobs.items()):
+            memcg = self.machine.memcgs.get(job_id)
+            if memcg is None:
+                continue
+            policy = ColdAgeThresholdPolicy(config, memcg.bins, self.slo)
+            policy.inherit_state(state.policy)
+            self._jobs[job_id] = _JobState(
+                policy=policy,
+                last_promotion_histogram=state.last_promotion_histogram,
+                last_promoted_total=state.last_promoted_total,
+            )
+
+    def maybe_control(self, now: int) -> bool:
+        """Run a control round if the period boundary passed."""
+        if not self._schedule.due(now):
+            return False
+        self.control(now)
+        return True
+
+    def control(self, now: int) -> None:
+        """One control round over every job on the machine."""
+        if self.machine.config.mode is not FarMemoryMode.PROACTIVE:
+            return
+        for job_id, memcg in self.machine.memcgs.items():
+            state = self._jobs.get(job_id)
+            if state is None:
+                state = _JobState(
+                    policy=ColdAgeThresholdPolicy(
+                        self.policy_config, memcg.bins, self.slo
+                    ),
+                    last_promotion_histogram=memcg.promotion_histogram.copy(),
+                    last_promoted_total=memcg.promoted_pages_total,
+                )
+                self._jobs[job_id] = state
+
+            interval_hist = memcg.promotion_histogram.diff(
+                state.last_promotion_histogram
+            )
+            state.last_promotion_histogram = memcg.promotion_histogram.copy()
+            wss = working_set_pages(
+                memcg.cold_age_histogram, self.slo.min_cold_age_seconds
+            )
+
+            state.policy.observe(interval_hist, wss, self.control_period)
+            threshold = state.policy.threshold()
+            memcg.zswap_enabled = state.policy.warmed_up
+            memcg.cold_age_threshold = threshold
+            memcg.soft_limit_pages = wss
+
+            promotions = memcg.promoted_pages_total - state.last_promoted_total
+            state.last_promoted_total = memcg.promoted_pages_total
+            per_min = promotions * (MINUTE / self.control_period)
+            self.sli_samples.append(
+                SliSample(
+                    time=now,
+                    job_id=job_id,
+                    promotions=promotions,
+                    working_set_pages=wss,
+                    normalized_rate_pct_per_min=normalized_promotion_rate(
+                        per_min, wss
+                    ),
+                    threshold=threshold,
+                )
+            )
+
+        # Drop state for jobs that left the machine.
+        gone = set(self._jobs) - set(self.machine.memcgs)
+        for job_id in gone:
+            del self._jobs[job_id]
+
+        self._maybe_compact()
+        self.machine.run_reclaim()
+        self.rounds += 1
+
+    def _maybe_compact(self) -> None:
+        """Trigger explicit arena compaction past the fragmentation mark."""
+        stats = self.machine.arena.stats()
+        if stats.footprint_bytes == 0:
+            return
+        fragmentation = (
+            stats.external_fragmentation_bytes / stats.footprint_bytes
+        )
+        if fragmentation > self.compaction_watermark:
+            self.machine.arena.compact()
+
+    def drain_sli_samples(self) -> List[SliSample]:
+        """Return and clear accumulated SLI samples (monitoring upload)."""
+        samples = self.sli_samples
+        self.sli_samples = []
+        return samples

@@ -1,0 +1,94 @@
+"""Telemetry export: node agent -> external trace database (paper §5.2-5.3).
+
+Every 5 minutes the agent exports, per job, the trace entry the autotuner's
+fast far memory model consumes: working set size, the promotion histogram
+accumulated over the period, and the current cold-age snapshot.  The sink
+is anything with an ``add(entry)`` method — in this repo,
+:class:`repro.cluster.trace_db.TraceDatabase`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.common.simtime import PeriodicSchedule
+from repro.core.histograms import AgeHistogram
+from repro.core.slo import PromotionRateSlo, working_set_pages
+from repro.kernel.machine import Machine
+from repro.model.trace import TRACE_PERIOD_SECONDS, TraceEntry
+
+__all__ = ["TraceSink", "TelemetryExporter"]
+
+
+class TraceSink(Protocol):
+    """Anything that accepts exported trace entries."""
+
+    def add(self, entry: TraceEntry) -> None:
+        """Store one trace entry."""
+        ...
+
+
+class TelemetryExporter:
+    """Per-machine 5-minute trace exporter.
+
+    Args:
+        machine: the machine whose jobs are exported.
+        sink: destination database.
+        cpu_lookup: maps job id to average CPU cores (for Fig. 8
+            normalization); defaults to 1 core per job.
+        period: export period in seconds (300 in the paper).
+        slo: defines the working-set window.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        sink: TraceSink,
+        cpu_lookup: Optional[Callable[[str], float]] = None,
+        period: int = TRACE_PERIOD_SECONDS,
+        slo: Optional[PromotionRateSlo] = None,
+    ):
+        self.machine = machine
+        self.sink = sink
+        self.cpu_lookup = cpu_lookup if cpu_lookup is not None else (lambda _: 1.0)
+        self.period = int(period)
+        self.slo = slo if slo is not None else PromotionRateSlo()
+        self._schedule = PeriodicSchedule(self.period)
+        self._last_promotion: Dict[str, AgeHistogram] = {}
+        self.entries_exported = 0
+
+    def maybe_export(self, now: int) -> bool:
+        """Export if the period boundary passed; returns True when it did."""
+        if not self._schedule.due(now):
+            return False
+        self.export(now)
+        return True
+
+    def export(self, now: int) -> None:
+        """Emit one trace entry per job on the machine."""
+        for job_id, memcg in self.machine.memcgs.items():
+            last = self._last_promotion.get(job_id)
+            if last is None or last.bins.thresholds != memcg.bins.thresholds:
+                period_hist = memcg.promotion_histogram.copy()
+            else:
+                period_hist = memcg.promotion_histogram.diff(last)
+            self._last_promotion[job_id] = memcg.promotion_histogram.copy()
+
+            entry = TraceEntry(
+                job_id=job_id,
+                machine_id=self.machine.machine_id,
+                time=now - self.period,
+                working_set_pages=working_set_pages(
+                    memcg.cold_age_histogram, self.slo.min_cold_age_seconds
+                ),
+                promotion_histogram=period_hist,
+                cold_age_histogram=memcg.cold_age_histogram.copy(),
+                resident_pages=memcg.resident_pages,
+                cpu_cores=self.cpu_lookup(job_id),
+            )
+            self.sink.add(entry)
+            self.entries_exported += 1
+
+        gone = set(self._last_promotion) - set(self.machine.memcgs)
+        for job_id in gone:
+            del self._last_promotion[job_id]

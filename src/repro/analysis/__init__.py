@@ -1,0 +1,48 @@
+"""Analysis: distribution statistics, per-figure pipelines, text reports."""
+
+from repro.analysis.distributions import (
+    ViolinStats,
+    cdf_points,
+    percentile_summary,
+    violin_stats,
+)
+from repro.analysis.fleet_analysis import (
+    ThresholdSweepPoint,
+    cold_memory_vs_threshold,
+    compression_ratios_per_job,
+    cpu_overhead_per_job,
+    cpu_overhead_per_machine,
+    decompression_latency_samples,
+    per_job_cold_fractions,
+    per_machine_cold_fractions_by_cluster,
+    per_machine_coverage_by_cluster,
+)
+from repro.analysis.sli import per_job_promotion_rates, slo_violation_fraction
+from repro.analysis.reporting import (
+    render_cdf,
+    render_series,
+    render_table,
+    render_violins,
+)
+
+__all__ = [
+    "ThresholdSweepPoint",
+    "ViolinStats",
+    "cdf_points",
+    "cold_memory_vs_threshold",
+    "compression_ratios_per_job",
+    "cpu_overhead_per_job",
+    "cpu_overhead_per_machine",
+    "decompression_latency_samples",
+    "per_job_cold_fractions",
+    "per_job_promotion_rates",
+    "slo_violation_fraction",
+    "per_machine_cold_fractions_by_cluster",
+    "per_machine_coverage_by_cluster",
+    "percentile_summary",
+    "render_cdf",
+    "render_series",
+    "render_table",
+    "render_violins",
+    "violin_stats",
+]

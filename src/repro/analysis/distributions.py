@@ -1,0 +1,92 @@
+"""Distribution statistics used by the paper's figures.
+
+The evaluation figures are all distribution renderings: violin+box plots
+over machines (Figs. 2, 6), CDFs over jobs (Figs. 3, 7, 8, 9).  This module
+computes those summaries from raw samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.validation import require
+
+__all__ = ["ViolinStats", "violin_stats", "cdf_points", "percentile_summary"]
+
+
+@dataclass(frozen=True)
+class ViolinStats:
+    """Box/violin summary of one sample set (one violin in Fig. 2/6).
+
+    Attributes:
+        n: sample count.
+        median: 50th percentile.
+        q1 / q3: first and third quartiles.
+        whisker_low / whisker_high: data extrema within 1.5 IQR of the box.
+        minimum / maximum: full range.
+    """
+
+    n: int
+    median: float
+    q1: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    minimum: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+
+def violin_stats(values: Sequence[float]) -> ViolinStats:
+    """Compute the Fig. 2-style box/whisker summary.
+
+    Whiskers follow the matplotlib/Tukey convention: the most extreme data
+    points within 1.5 IQR beyond the quartiles.
+    """
+    data = np.asarray(list(values), dtype=np.float64)
+    require(data.size > 0, "violin_stats needs at least one sample")
+    q1, median, q3 = np.percentile(data, [25.0, 50.0, 75.0])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    within = data[(data >= low_fence) & (data <= high_fence)]
+    return ViolinStats(
+        n=int(data.size),
+        median=float(median),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_low=float(within.min()),
+        whisker_high=float(within.max()),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+    )
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: sorted values and cumulative fractions in (0, 1]."""
+    data = np.sort(np.asarray(list(values), dtype=np.float64))
+    require(data.size > 0, "cdf_points needs at least one sample")
+    fractions = np.arange(1, data.size + 1) / data.size
+    return data, fractions
+
+
+def percentile_summary(
+    values: Sequence[float],
+    percentiles: Sequence[float] = (10, 25, 50, 75, 90, 98),
+) -> Dict[str, float]:
+    """Named percentiles, e.g. ``{"p50": ..., "p98": ...}``."""
+    data = np.asarray(list(values), dtype=np.float64)
+    require(data.size > 0, "percentile_summary needs at least one sample")
+    return {
+        f"p{int(p) if float(p).is_integer() else p}": float(
+            np.percentile(data, p)
+        )
+        for p in percentiles
+    }

@@ -1,0 +1,98 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmark harness regenerates every paper figure as text: tables of
+series points, ASCII CDFs, and violin summaries.  Keeping the rendering
+here lets benches and examples print identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.distributions import ViolinStats
+
+__all__ = ["render_table", "render_cdf", "render_violins", "render_series"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf(
+    values: Sequence[float],
+    title: str,
+    unit: str = "",
+    quantiles: Sequence[float] = (10, 25, 50, 75, 90, 98),
+) -> str:
+    """Render a CDF as a quantile table (the paper's CDF figures in text)."""
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return f"{title}: (no samples)"
+    rows = [
+        (f"p{q:g}", f"{np.percentile(data, q):.4g}{unit}") for q in quantiles
+    ]
+    return render_table(["quantile", "value"], rows, title=f"{title} (n={data.size})")
+
+
+def render_violins(
+    groups: Dict[str, ViolinStats], title: str, scale: float = 100.0,
+    unit: str = "%"
+) -> str:
+    """Render per-group violin summaries (Figs. 2 and 6 in text form)."""
+    rows = []
+    for name, stats in groups.items():
+        rows.append(
+            (
+                name,
+                stats.n,
+                f"{stats.median * scale:.1f}{unit}",
+                f"{stats.q1 * scale:.1f}{unit}",
+                f"{stats.q3 * scale:.1f}{unit}",
+                f"{stats.whisker_low * scale:.1f}{unit}",
+                f"{stats.whisker_high * scale:.1f}{unit}",
+            )
+        )
+    return render_table(
+        ["group", "n", "median", "q1", "q3", "whisk_lo", "whisk_hi"],
+        rows,
+        title=title,
+    )
+
+
+def render_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    x_label: str,
+    y_label: str,
+    title: str,
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    rows = list(zip(x, y))
+    return render_table([x_label, y_label], rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

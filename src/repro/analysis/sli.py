@@ -1,0 +1,66 @@
+"""Promotion-rate SLI aggregation (Fig. 7).
+
+Fig. 7 plots "the distribution of the promotion rate of each job normalized
+to its working set size": one value per job — its average promotion rate
+over its observed lifetime, as a percentage of its average working set per
+minute — with the SLO requiring the 98th percentile of that distribution to
+stay under 0.2 %/min.
+
+The node agent's per-minute :class:`~repro.agent.node_agent.SliSample`
+records are the raw input; this module reduces them per job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.agent.node_agent import SliSample
+
+__all__ = ["per_job_promotion_rates", "slo_violation_fraction"]
+
+
+def per_job_promotion_rates(samples: Iterable[SliSample]) -> List[float]:
+    """Per-job lifetime-average normalized promotion rate (%/min).
+
+    For each job: total promotions across all observed minutes divided by
+    the number of minutes, normalized by the job's mean working set.  Jobs
+    never observed with a working set are skipped (nothing to normalize
+    by).
+    """
+    promotions: Dict[str, int] = {}
+    wss_sum: Dict[str, int] = {}
+    minutes: Dict[str, int] = {}
+    for sample in samples:
+        promotions[sample.job_id] = (
+            promotions.get(sample.job_id, 0) + sample.promotions
+        )
+        wss_sum[sample.job_id] = (
+            wss_sum.get(sample.job_id, 0) + sample.working_set_pages
+        )
+        minutes[sample.job_id] = minutes.get(sample.job_id, 0) + 1
+
+    rates = []
+    for job_id, n_minutes in minutes.items():
+        mean_wss = wss_sum[job_id] / n_minutes
+        if mean_wss <= 0:
+            continue
+        per_min = promotions[job_id] / n_minutes
+        rates.append(100.0 * per_min / mean_wss)
+    return rates
+
+
+def slo_violation_fraction(
+    samples: Iterable[SliSample], limit_pct_per_min: float = 0.2
+) -> float:
+    """Fraction of per-minute samples whose normalized rate exceeded the
+    SLO (the steady-state ``100 - K`` percent the §4.3 controller aims
+    for)."""
+    total = 0
+    violations = 0
+    for sample in samples:
+        if sample.working_set_pages <= 0:
+            continue
+        total += 1
+        if sample.normalized_rate_pct_per_min > limit_pct_per_min:
+            violations += 1
+    return violations / total if total else 0.0

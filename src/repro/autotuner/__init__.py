@@ -1,0 +1,42 @@
+"""ML-based autotuning: GP regression, GP-Bandit, pipeline, deployment."""
+
+from repro.autotuner.deployment import (
+    DEFAULT_STAGES,
+    DeploymentStage,
+    StagedDeployment,
+    StageOutcome,
+)
+from repro.autotuner.gp import GaussianProcess
+from repro.autotuner.gp_bandit import GpBandit, Observation
+from repro.autotuner.kernels import Kernel, Matern52Kernel, RbfKernel
+from repro.autotuner.pipeline import AutotuningPipeline, Trial, TuningResult
+from repro.autotuner.search_space import (
+    ContinuousParameter,
+    IntegerParameter,
+    Parameter,
+    SearchSpace,
+    config_from_values,
+    far_memory_search_space,
+)
+
+__all__ = [
+    "AutotuningPipeline",
+    "ContinuousParameter",
+    "DEFAULT_STAGES",
+    "DeploymentStage",
+    "GaussianProcess",
+    "GpBandit",
+    "IntegerParameter",
+    "Kernel",
+    "Matern52Kernel",
+    "Observation",
+    "Parameter",
+    "RbfKernel",
+    "SearchSpace",
+    "StageOutcome",
+    "StagedDeployment",
+    "Trial",
+    "TuningResult",
+    "config_from_values",
+    "far_memory_search_space",
+]

@@ -1,0 +1,149 @@
+"""Staged deployment with monitoring and rollback (paper §5.3).
+
+"The deployment happens in multiple stages from qualification to production
+with rigorous monitoring at each stage in order to detect bad
+configurations and roll back if necessary before causing a large-scale
+impact."
+
+:class:`StagedDeployment` rolls a configuration to progressively larger
+slices of the fleet; after each stage it runs the fleet forward, measures
+the SLO on the slice, and either advances, or rolls every touched cluster
+back to the previous configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.agent.monitoring import SloMonitor
+from repro.common.validation import check_fraction, check_positive, require
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.cluster.wsc import WSC
+
+__all__ = ["DeploymentStage", "StageOutcome", "StagedDeployment"]
+
+
+@dataclass(frozen=True)
+class DeploymentStage:
+    """One rollout stage.
+
+    Attributes:
+        name: e.g. ``"qualification"``, ``"canary"``, ``"production"``.
+        fleet_fraction: cumulative fraction of clusters running the new
+            configuration after this stage.
+        soak_seconds: how long to run before judging the stage.
+    """
+
+    name: str
+    fleet_fraction: float
+    soak_seconds: int
+
+    def __post_init__(self) -> None:
+        check_fraction(self.fleet_fraction, "fleet_fraction")
+        check_positive(self.soak_seconds, "soak_seconds")
+
+
+#: The paper-style default ladder.
+DEFAULT_STAGES = (
+    DeploymentStage("qualification", 0.1, 3600),
+    DeploymentStage("canary", 0.3, 3600),
+    DeploymentStage("production", 1.0, 3600),
+)
+
+
+@dataclass
+class StageOutcome:
+    """Result of one stage.
+
+    Attributes:
+        stage: the stage that ran.
+        p98_promotion_rate: measured SLI on the upgraded slice.
+        passed: whether the stage met the SLO.
+        alerts: names of monitoring rules that fired during the soak.
+    """
+
+    stage: DeploymentStage
+    p98_promotion_rate: float
+    passed: bool
+    alerts: tuple = ()
+
+
+class StagedDeployment:
+    """Rolls a new configuration through the fleet, stage by stage.
+
+    Args:
+        fleet: the WSC to deploy to.
+        stages: the rollout ladder (cumulative fractions, increasing).
+        slo_limit: maximum acceptable p98 normalized promotion rate.
+    """
+
+    def __init__(
+        self,
+        fleet: WSC,
+        stages: Sequence[DeploymentStage] = DEFAULT_STAGES,
+        slo_limit: float = 0.2,
+    ):
+        require(len(stages) > 0, "need at least one stage")
+        fractions = [s.fleet_fraction for s in stages]
+        require(
+            all(b >= a for a, b in zip(fractions, fractions[1:])),
+            "stage fractions must be non-decreasing",
+        )
+        check_positive(slo_limit, "slo_limit")
+        self.fleet = fleet
+        self.stages = list(stages)
+        self.slo_limit = float(slo_limit)
+        self.outcomes: List[StageOutcome] = []
+
+    def deploy(
+        self,
+        new_config: ThresholdPolicyConfig,
+        previous_config: ThresholdPolicyConfig,
+    ) -> bool:
+        """Run the ladder; returns True if production was reached.
+
+        On a failed stage, every cluster that received ``new_config`` is
+        rolled back to ``previous_config`` and the ladder stops.
+        """
+        clusters = self.fleet.clusters
+        upgraded = 0
+        for stage in self.stages:
+            target = max(1, round(stage.fleet_fraction * len(clusters)))
+            for cluster in clusters[upgraded:target]:
+                cluster.deploy_policy(new_config)
+            upgraded = max(upgraded, target)
+
+            before = len(self.fleet.sli_history)
+            self.fleet.run(stage.soak_seconds)
+            slice_ids = {c.name for c in clusters[:upgraded]}
+            new_samples = [
+                s
+                for s in self.fleet.sli_history[before:]
+                if s.job_id and self._cluster_of(s.job_id) in slice_ids
+            ]
+            monitor = SloMonitor(
+                window_seconds=stage.soak_seconds, slo_limit=self.slo_limit
+            )
+            alerts = monitor.observe(self.fleet.now, new_samples)
+            p98 = monitor.window.percentile(98.0)
+            passed = monitor.healthy
+            self.outcomes.append(
+                StageOutcome(
+                    stage, p98, passed,
+                    alerts=tuple(a.rule for a in alerts),
+                )
+            )
+            if not passed:
+                for cluster in clusters[:upgraded]:
+                    cluster.deploy_policy(previous_config)
+                return False
+        return True
+
+    def _cluster_of(self, job_id: str) -> Optional[str]:
+        for cluster in self.fleet.clusters:
+            if job_id in cluster.running:
+                return cluster.name
+        return None
+
+

@@ -1,0 +1,199 @@
+"""Gaussian-process regression, from scratch.
+
+Exact GP regression with a Gaussian likelihood: Cholesky factorization of
+``K + sigma_n^2 I``, predictive mean/variance, log marginal likelihood, and
+simple multi-start hyperparameter optimization (lengthscales, signal
+variance, noise) by maximizing the marginal likelihood with scipy.
+
+Targets are standardized internally so hyperpriors and initializations are
+scale-free; predictions are mapped back to the original units.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+from scipy.linalg import cho_factor, cho_solve, cholesky
+
+from repro.common.errors import AutotunerError
+from repro.common.validation import check_positive, require
+from repro.autotuner.kernels import Kernel, Matern52Kernel
+
+__all__ = ["GaussianProcess"]
+
+#: Jitter added to the diagonal for numerical stability.
+JITTER = 1e-8
+
+
+class GaussianProcess:
+    """Exact GP regression model.
+
+    Args:
+        kernel: covariance function (default Matérn-5/2, unit scales).
+        noise_variance: Gaussian observation-noise variance (in
+            standardized-target units).
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        noise_variance: float = 1e-4,
+    ):
+        check_positive(noise_variance, "noise_variance")
+        self.kernel = kernel if kernel is not None else Matern52Kernel(0.2)
+        self.noise_variance = float(noise_variance)
+        self._x: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._alpha: Optional[np.ndarray] = None
+        self._chol = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._alpha is not None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        optimize_hyperparameters: bool = True,
+        restarts: int = 3,
+        seed: int = 0,
+    ) -> "GaussianProcess":
+        """Condition the GP on observations.
+
+        Args:
+            x: inputs, shape (n, d) — for the bandit these live in [0,1]^d.
+            y: targets, shape (n,).
+            optimize_hyperparameters: maximize the marginal likelihood over
+                lengthscales/variance/noise (multi-start L-BFGS-B).
+            restarts: random restarts for the optimizer.
+            seed: restart-sampling seed.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        require(x.shape[0] == y.size, "x and y disagree on sample count")
+        require(x.shape[0] >= 1, "need at least one observation")
+
+        self._x = x
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y_norm = (y - self._y_mean) / self._y_std
+
+        if optimize_hyperparameters and x.shape[0] >= 3:
+            self._optimize_hyperparameters(x, y_norm, restarts, seed)
+
+        self._factorize(x, y_norm)
+        return self
+
+    def _factorize(self, x: np.ndarray, y_norm: np.ndarray) -> None:
+        k = self.kernel(x, x)
+        k[np.diag_indices_from(k)] += self.noise_variance + JITTER
+        try:
+            self._chol = cho_factor(k, lower=True)
+        except np.linalg.LinAlgError as exc:
+            raise AutotunerError(f"kernel matrix not PD: {exc}") from exc
+        self._alpha = cho_solve(self._chol, y_norm)
+        self._y_norm = y_norm
+
+    def _optimize_hyperparameters(
+        self, x: np.ndarray, y_norm: np.ndarray, restarts: int, seed: int
+    ) -> None:
+        dim = x.shape[1]
+        rng = np.random.default_rng(seed)
+
+        def negative_lml(log_params: np.ndarray) -> float:
+            scales = np.exp(log_params[:dim])
+            variance = float(np.exp(log_params[dim]))
+            noise = float(np.exp(log_params[dim + 1]))
+            kernel = self.kernel.with_params(scales, variance)
+            k = kernel(x, x)
+            k[np.diag_indices_from(k)] += noise + JITTER
+            try:
+                lower = cholesky(k, lower=True)
+            except np.linalg.LinAlgError:
+                return 1e10
+            alpha = cho_solve((lower, True), y_norm)
+            lml = (
+                -0.5 * float(y_norm @ alpha)
+                - float(np.log(np.diag(lower)).sum())
+                - 0.5 * y_norm.size * np.log(2 * np.pi)
+            )
+            return -lml
+
+        best = None
+        starts = [
+            np.concatenate(
+                [
+                    np.log(self.kernel._broadcast_scales(dim)),
+                    [np.log(self.kernel.variance)],
+                    [np.log(self.noise_variance)],
+                ]
+            )
+        ]
+        for _ in range(restarts):
+            starts.append(
+                np.concatenate(
+                    [
+                        rng.uniform(np.log(0.05), np.log(2.0), size=dim),
+                        [rng.uniform(np.log(0.1), np.log(4.0))],
+                        [rng.uniform(np.log(1e-6), np.log(1e-1))],
+                    ]
+                )
+            )
+        bounds = (
+            [(np.log(1e-2), np.log(1e1))] * dim
+            + [(np.log(1e-3), np.log(1e2))]
+            + [(np.log(1e-8), np.log(1.0))]
+        )
+        for start in starts:
+            result = optimize.minimize(
+                negative_lml, start, method="L-BFGS-B", bounds=bounds
+            )
+            if best is None or result.fun < best.fun:
+                best = result
+        if best is not None and np.isfinite(best.fun):
+            self.kernel = self.kernel.with_params(
+                np.exp(best.x[:dim]), float(np.exp(best.x[dim]))
+            )
+            self.noise_variance = float(np.exp(best.x[dim + 1]))
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, x_new: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Predictive mean and standard deviation at new points.
+
+        Returns:
+            ``(mean, std)`` in original target units, each shape (n,).
+        """
+        require(self.is_fitted, "predict() before fit()")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=np.float64))
+        k_star = self.kernel(x_new, self._x)
+        mean_norm = k_star @ self._alpha
+        v = cho_solve(self._chol, k_star.T)
+        var_norm = self.kernel.diagonal(x_new.shape[0]) - np.einsum(
+            "ij,ji->i", k_star, v
+        )
+        var_norm = np.maximum(var_norm, 0.0)
+        mean = mean_norm * self._y_std + self._y_mean
+        std = np.sqrt(var_norm) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        """LML of the (standardized) training data under current params."""
+        require(self.is_fitted, "log_marginal_likelihood() before fit()")
+        lower = self._chol[0]
+        return (
+            -0.5 * float(self._y_norm @ self._alpha)
+            - float(np.log(np.diag(lower)).sum())
+            - 0.5 * self._y_norm.size * np.log(2 * np.pi)
+        )

@@ -1,0 +1,159 @@
+"""The autotuning pipeline (paper §5.3).
+
+The paper's loop, verbatim:
+
+1. run GP-Bandit over existing observations to obtain configurations to
+   explore;
+2. run the fast far memory model over a week of fleet traces, estimating
+   cold memory captured and the p98 promotion rate per configuration;
+3. add observations to the pool; repeat until the iteration budget is
+   spent.
+
+The best feasible configuration is then handed to staged deployment
+(:mod:`repro.autotuner.deployment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.errors import AutotunerError
+from repro.common.validation import check_positive
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.model.replay import FarMemoryModel, FleetReplayReport
+from repro.autotuner.gp_bandit import GpBandit
+from repro.autotuner.search_space import (
+    SearchSpace,
+    config_from_values,
+    far_memory_search_space,
+)
+
+__all__ = ["Trial", "TuningResult", "AutotuningPipeline"]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated configuration.
+
+    Attributes:
+        config: the policy parameters tried.
+        report: the fast-model replay report.
+        iteration: which pipeline iteration produced it.
+    """
+
+    config: ThresholdPolicyConfig
+    report: FleetReplayReport
+    iteration: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.report.meets_slo
+
+    @property
+    def objective(self) -> float:
+        return self.report.total_cold_pages
+
+
+@dataclass
+class TuningResult:
+    """Outcome of a pipeline run.
+
+    Attributes:
+        trials: every evaluated trial, in order.
+        best: the best feasible trial (None if nothing was feasible).
+    """
+
+    trials: List[Trial] = field(default_factory=list)
+    best: Optional[Trial] = None
+
+    @property
+    def best_config(self) -> ThresholdPolicyConfig:
+        """The winning configuration.
+
+        Raises:
+            AutotunerError: if no feasible configuration was found.
+        """
+        if self.best is None:
+            raise AutotunerError("no feasible configuration found")
+        return self.best.config
+
+    def objective_curve(self) -> List[float]:
+        """Best feasible objective after each trial (for convergence plots)."""
+        curve = []
+        best_so_far = float("-inf")
+        for trial in self.trials:
+            if trial.feasible:
+                best_so_far = max(best_so_far, trial.objective)
+            curve.append(best_so_far)
+        return curve
+
+
+class AutotuningPipeline:
+    """GP-Bandit over the fast far memory model.
+
+    Args:
+        model: the fleet replay model (built from a week of traces).
+        space: the parameter space; defaults to the paper's (K, S).
+        batch_size: configurations evaluated per bandit iteration.
+        seed: bandit candidate-sampling seed.
+    """
+
+    def __init__(
+        self,
+        model: FarMemoryModel,
+        space: Optional[SearchSpace] = None,
+        batch_size: int = 4,
+        seed: int = 0,
+    ):
+        check_positive(batch_size, "batch_size")
+        self.model = model
+        self.space = space if space is not None else far_memory_search_space()
+        self.batch_size = int(batch_size)
+        self.bandit = GpBandit(
+            self.space,
+            constraint_limit=model.slo.target_pct_per_min,
+            seed=seed,
+        )
+
+    def run(self, iterations: int = 8) -> TuningResult:
+        """Execute the explore-evaluate-observe loop."""
+        check_positive(iterations, "iterations")
+        result = TuningResult()
+        for iteration in range(iterations):
+            points = self.bandit.suggest(self.batch_size)
+            for point in points:
+                values = self.space.from_unit(point)
+                config = config_from_values(values)
+                report = self.model.evaluate(config)
+                self.bandit.observe(
+                    point,
+                    objective=report.total_cold_pages,
+                    constraint=report.promotion_rate_p98,
+                )
+                result.trials.append(Trial(config, report, iteration))
+
+        best_observation = self.bandit.best()
+        if best_observation is not None:
+            feasible = [t for t in result.trials if t.feasible]
+            result.best = max(feasible, key=lambda t: t.objective)
+        return result
+
+    def run_random_baseline(
+        self, n_trials: int, seed: int = 1
+    ) -> TuningResult:
+        """Random search at the same trial budget (the ablation baseline)."""
+        check_positive(n_trials, "n_trials")
+        rng = np.random.default_rng(seed)
+        result = TuningResult()
+        for index in range(n_trials):
+            point = rng.random(self.space.dim)
+            config = config_from_values(self.space.from_unit(point))
+            report = self.model.evaluate(config)
+            result.trials.append(Trial(config, report, index))
+        feasible = [t for t in result.trials if t.feasible]
+        if feasible:
+            result.best = max(feasible, key=lambda t: t.objective)
+        return result

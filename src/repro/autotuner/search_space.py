@@ -1,0 +1,143 @@
+"""Parameter search spaces for the autotuner (paper §5.3).
+
+The tunables the paper exposes are ``K`` (the history percentile) and ``S``
+(the zswap warm-up delay); the space is designed to grow as more parameters
+are added ("the search space grows exponentially as we add more
+parameters").  Parameters map to/from the unit cube, which is where the GP
+lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.common.validation import require
+from repro.core.threshold_policy import ThresholdPolicyConfig
+
+__all__ = [
+    "Parameter",
+    "ContinuousParameter",
+    "IntegerParameter",
+    "SearchSpace",
+    "far_memory_search_space",
+]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One box-bounded parameter.
+
+    Attributes:
+        name: parameter name (must be unique in a space).
+        low / high: inclusive bounds.
+        log_scale: search in log space (for scale-like parameters).
+    """
+
+    name: str
+    low: float
+    high: float
+    log_scale: bool = False
+
+    def __post_init__(self) -> None:
+        require(self.high > self.low, f"{self.name}: high must exceed low")
+        if self.log_scale:
+            require(self.low > 0, f"{self.name}: log scale needs low > 0")
+
+    def to_unit(self, value: float) -> float:
+        """Map a value into [0, 1]."""
+        if self.log_scale:
+            return float(
+                (np.log(value) - np.log(self.low))
+                / (np.log(self.high) - np.log(self.low))
+            )
+        return (value - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        """Map a unit-cube coordinate back to parameter units."""
+        u = float(np.clip(u, 0.0, 1.0))
+        if self.log_scale:
+            return float(
+                np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+            )
+        return self.low + u * (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class ContinuousParameter(Parameter):
+    """A real-valued parameter."""
+
+
+@dataclass(frozen=True)
+class IntegerParameter(Parameter):
+    """An integer parameter (rounded on the way out of the unit cube)."""
+
+    def from_unit(self, u: float) -> float:
+        return float(int(round(super().from_unit(u))))
+
+
+class SearchSpace:
+    """An ordered set of parameters with unit-cube conversion."""
+
+    def __init__(self, parameters: Sequence[Parameter]):
+        require(len(parameters) > 0, "search space cannot be empty")
+        names = [p.name for p in parameters]
+        require(len(set(names)) == len(names), "duplicate parameter names")
+        self.parameters = list(parameters)
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the space."""
+        return len(self.parameters)
+
+    @property
+    def names(self) -> List[str]:
+        """Parameter names in order."""
+        return [p.name for p in self.parameters]
+
+    def to_unit(self, values: Dict[str, float]) -> np.ndarray:
+        """Encode a configuration dict as a unit-cube point."""
+        return np.array(
+            [p.to_unit(values[p.name]) for p in self.parameters], dtype=np.float64
+        )
+
+    def from_unit(self, u: np.ndarray) -> Dict[str, float]:
+        """Decode a unit-cube point into a configuration dict."""
+        u = np.asarray(u, dtype=np.float64).ravel()
+        require(u.size == self.dim, f"point has {u.size} dims, space has {self.dim}")
+        return {p.name: p.from_unit(coord) for p, coord in zip(self.parameters, u)}
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Quasi-uniform unit-cube samples (Latin hypercube), shape (n, d)."""
+        grid = (np.arange(n)[:, None] + rng.random((n, self.dim))) / n
+        for d in range(self.dim):
+            rng.shuffle(grid[:, d])
+        return grid
+
+
+def far_memory_search_space(
+    k_bounds: tuple = (50.0, 99.9),
+    s_bounds: tuple = (60, 7200),
+) -> SearchSpace:
+    """The paper's (K, S) space.
+
+    K in percent; S in seconds (log scale — warm-up effects are
+    multiplicative in job lifetime).
+    """
+    return SearchSpace(
+        [
+            ContinuousParameter("percentile_k", k_bounds[0], k_bounds[1]),
+            IntegerParameter("warmup_seconds", s_bounds[0], s_bounds[1],
+                             log_scale=True),
+        ]
+    )
+
+
+def config_from_values(values: Dict[str, float]) -> ThresholdPolicyConfig:
+    """Build a policy config from decoded search-space values."""
+    return ThresholdPolicyConfig(
+        percentile_k=float(values["percentile_k"]),
+        warmup_seconds=int(values["warmup_seconds"]),
+    )

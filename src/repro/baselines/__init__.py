@@ -1,0 +1,5 @@
+"""Comparison baselines from the paper's related work (§7)."""
+
+from repro.baselines.thermostat import ThermostatConfig, ThermostatDetector
+
+__all__ = ["ThermostatConfig", "ThermostatDetector"]

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``quickstart`` — build a small fleet, run it, print the headline report;
+* ``autotune`` — run the full §5.3 pipeline (traces -> GP-Bandit -> deploy)
+  and print the before/after comparison;
+* ``figures`` — regenerate the paper's figure tables into a directory;
+* ``traces`` — run a fleet and dump its telemetry as JSON-lines for
+  offline experimentation with the fast far memory model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import (
+    cold_memory_vs_threshold,
+    compression_ratios_per_job,
+    decompression_latency_samples,
+    per_job_cold_fractions,
+    per_job_promotion_rates,
+    render_cdf,
+    render_series,
+    render_table,
+    render_violins,
+    per_machine_cold_fractions_by_cluster,
+    per_machine_coverage_by_cluster,
+    violin_stats,
+)
+from repro.autotuner import AutotuningPipeline
+from repro.cluster import quickfleet
+from repro.common.units import HOUR, MIB, PAGE_SIZE
+from repro.core import TcoModel, ThresholdPolicyConfig
+from repro.model import FarMemoryModel
+
+__all__ = ["main"]
+
+
+def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clusters", type=int, default=2)
+    parser.add_argument("--machines", type=int, default=3,
+                        help="machines per cluster")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="jobs per machine")
+    parser.add_argument("--hours", type=float, default=6.0,
+                        help="simulated hours")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dram-gib", type=float, default=8.0)
+    parser.add_argument("--cold-target", type=float, default=0.20,
+                        help="fleet-mean cold-fraction target")
+
+
+def _build_fleet(args: argparse.Namespace, policy=None):
+    return quickfleet(
+        clusters=args.clusters,
+        machines_per_cluster=args.machines,
+        jobs_per_machine=args.jobs,
+        seed=args.seed,
+        machine_dram_gib=args.dram_gib,
+        mean_cold_fraction=args.cold_target,
+        job_pages_range=((16 * MIB) // PAGE_SIZE, (64 * MIB) // PAGE_SIZE),
+        policy_config=policy,
+    )
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    """Run a fleet and print the coverage/TCO report."""
+    fleet = _build_fleet(args)
+    print(f"Simulating {args.hours:g} hours on "
+          f"{len(fleet.machines)} machines...")
+    fleet.run(int(args.hours * HOUR))
+    report = fleet.coverage_report()
+    ratios = compression_ratios_per_job(fleet)
+    mean_ratio = sum(ratios) / len(ratios) if ratios else 3.0
+    tco = TcoModel().evaluate(
+        coverage=report["coverage"],
+        cold_fraction=report["cold_fraction_at_min_threshold"],
+        compression_ratio=mean_ratio,
+    )
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("coverage", f"{report['coverage']:.1%}"),
+            ("cold fraction @120s",
+             f"{report['cold_fraction_at_min_threshold']:.1%}"),
+            ("mean compression ratio", f"{mean_ratio:.2f}x"),
+            ("promotion p98 (samples)",
+             f"{report['promotion_rate_p98_pct_per_min']:.3f} %/min"),
+            ("DRAM TCO saving", f"{tco.dram_saving_fraction:.2%}"),
+        ],
+        title="Fleet report",
+    ))
+    return 0
+
+
+def cmd_autotune(args: argparse.Namespace) -> int:
+    """Trace, tune, deploy, and compare before/after coverage."""
+    hand_tuned = ThresholdPolicyConfig(percentile_k=98.0, warmup_seconds=1800)
+    fleet = _build_fleet(args, policy=hand_tuned)
+    print(f"Phase 1: {args.hours:g} h under hand-tuned parameters...")
+    fleet.run(int(args.hours * HOUR))
+    before = fleet.coverage_report()
+
+    print(f"Phase 2: GP-Bandit over {len(fleet.trace_db)} trace entries...")
+    model = FarMemoryModel(fleet.trace_db.traces())
+    result = AutotuningPipeline(model, batch_size=4,
+                                seed=args.seed).run(args.iterations)
+    best = result.best_config
+    print(f"  winner: K={best.percentile_k:.1f}, S={best.warmup_seconds}s "
+          f"({len(result.trials)} trials)")
+
+    print("Phase 3: deploy and soak...")
+    fleet.deploy_policy(best)
+    fleet.run(int(args.hours * HOUR / 2))
+    after = fleet.coverage_report()
+    print(render_table(
+        ["", "coverage", "p98 %/min"],
+        [
+            ("hand-tuned", f"{before['coverage']:.1%}",
+             f"{before['promotion_rate_p98_pct_per_min']:.3f}"),
+            ("autotuned", f"{after['coverage']:.1%}",
+             f"{after['promotion_rate_p98_pct_per_min']:.3f}"),
+        ],
+        title="Autotuning result",
+    ))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate the paper's figure tables from a fresh fleet."""
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    fleet = _build_fleet(args)
+    print(f"Simulating {args.hours:g} hours for figure data...")
+    fleet.run(int(args.hours * HOUR))
+    traces = fleet.trace_db.traces()
+
+    figures = {
+        "fig1": render_series(
+            [p.threshold_seconds for p in cold_memory_vs_threshold(traces)],
+            [round(100 * p.cold_fraction, 2)
+             for p in cold_memory_vs_threshold(traces)],
+            "T (s)", "cold %", "Fig. 1 — cold memory vs threshold",
+        ),
+        "fig2": render_violins(
+            {
+                name: violin_stats(fractions)
+                for name, fractions in per_machine_cold_fractions_by_cluster(
+                    fleet, 120
+                ).items()
+                if fractions
+            },
+            "Fig. 2 — per-machine cold memory by cluster",
+        ),
+        "fig3": render_cdf(
+            [100 * f for f in per_job_cold_fractions(traces)],
+            "Fig. 3 — per-job cold percentage", unit="%",
+        ),
+        "fig6": render_violins(
+            {
+                name: violin_stats(coverages)
+                for name, coverages in per_machine_coverage_by_cluster(
+                    fleet
+                ).items()
+                if coverages
+            },
+            "Fig. 6 — per-machine coverage by cluster",
+        ),
+        "fig7": render_cdf(
+            per_job_promotion_rates(fleet.sli_history),
+            "Fig. 7 — per-job promotion rate", unit=" %/min",
+        ),
+        "fig9b": render_cdf(
+            [s * 1e6 for s in decompression_latency_samples(fleet)],
+            "Fig. 9b — decompression latency", unit=" us",
+        ),
+    }
+    for name, text in figures.items():
+        (out / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(text)
+        print()
+    print(f"Wrote {len(figures)} figures to {out}/")
+    return 0
+
+
+def cmd_traces(args: argparse.Namespace) -> int:
+    """Run a fleet and dump its telemetry to JSON-lines."""
+    fleet = _build_fleet(args)
+    print(f"Simulating {args.hours:g} hours...")
+    fleet.run(int(args.hours * HOUR))
+    written = fleet.trace_db.save_jsonl(args.output)
+    print(f"Wrote {written} trace entries to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Software-Defined Far Memory reproduction (ASPLOS'19)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("quickstart", help="run a fleet, print the report")
+    _add_fleet_arguments(p)
+    p.set_defaults(func=cmd_quickstart)
+
+    p = sub.add_parser("autotune", help="run the GP-Bandit pipeline")
+    _add_fleet_arguments(p)
+    p.add_argument("--iterations", type=int, default=5)
+    p.set_defaults(func=cmd_autotune)
+
+    p = sub.add_parser("figures", help="regenerate paper figure tables")
+    _add_fleet_arguments(p)
+    p.add_argument("--output", default="results")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("traces", help="dump fleet telemetry as JSON-lines")
+    _add_fleet_arguments(p)
+    p.add_argument("--output", default="traces.jsonl")
+    p.set_defaults(func=cmd_traces)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Cluster substrate: scheduler, clusters, the WSC fleet, trace database."""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import RunningJob
+from repro.cluster.scheduler import BorgScheduler, EvictionSloTracker, Placement
+from repro.cluster.trace_db import TraceDatabase
+from repro.cluster.wsc import WSC, quickfleet
+
+__all__ = [
+    "BorgScheduler",
+    "Cluster",
+    "EvictionSloTracker",
+    "Placement",
+    "RunningJob",
+    "TraceDatabase",
+    "WSC",
+    "quickfleet",
+]

@@ -1,0 +1,361 @@
+"""A cluster: machines + node agents + running jobs, driven tick by tick.
+
+This is the composition root of the simulator (the paper's Fig. 4, scaled
+to one cluster): every machine runs the kernel daemons, a node agent with
+the §4.3 policy, and a telemetry exporter feeding the shared trace
+database.  The cluster advances all of them on a common clock and handles
+job lifecycle, memory-pressure eviction, and coverage sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.agent.node_agent import NodeAgent, SliSample
+from repro.agent.telemetry import TelemetryExporter
+from repro.common.errors import OutOfMemoryError, SchedulingError
+from repro.common.events import EventLog
+from repro.common.rng import SeedSequenceFactory
+from repro.common.simtime import DEFAULT_TICK_SECONDS, Clock
+from repro.common.units import MIN_COLD_AGE_THRESHOLD
+from repro.common.validation import check_positive
+from repro.core.coverage import CoverageSample
+from repro.core.histograms import AgeBins, default_age_bins
+from repro.core.slo import PromotionRateSlo
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.cluster.job import RunningJob
+from repro.cluster.scheduler import BorgScheduler
+from repro.cluster.trace_db import TraceDatabase
+from repro.kernel.machine import Machine, MachineConfig
+from repro.workloads.job_generator import JobSpec
+
+__all__ = ["Cluster"]
+
+#: How often coverage samples are taken (seconds).
+COVERAGE_SAMPLE_PERIOD = 300
+
+
+class Cluster:
+    """One named cluster of machines under a single scheduler.
+
+    Args:
+        name: cluster name (e.g. ``"cluster-00"``).
+        n_machines: machines to create.
+        machine_config: per-machine static parameters.
+        seeds: RNG factory for all cluster randomness.
+        trace_db: shared trace database (fleet telemetry sink).
+        policy_config: initial node-agent tunables ``(K, S)``.
+        slo: the promotion-rate SLO.
+        bins: candidate-threshold grid; defaults to the paper grid.
+        overcommit: scheduler memory overcommit fraction.
+        placement: scheduler strategy ("best_fit" or "spread").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_machines: int,
+        machine_config: MachineConfig,
+        seeds: SeedSequenceFactory,
+        trace_db: Optional[TraceDatabase] = None,
+        policy_config: Optional[ThresholdPolicyConfig] = None,
+        slo: Optional[PromotionRateSlo] = None,
+        bins: Optional[AgeBins] = None,
+        overcommit: float = 0.0,
+        placement: str = "best_fit",
+    ):
+        check_positive(n_machines, "n_machines")
+        self.name = name
+        self.seeds = seeds
+        self.bins = bins if bins is not None else default_age_bins()
+        self.slo = slo if slo is not None else PromotionRateSlo()
+        self.policy_config = (
+            policy_config if policy_config is not None else ThresholdPolicyConfig()
+        )
+        self.trace_db = trace_db if trace_db is not None else TraceDatabase()
+        self.events = EventLog(max_events=200_000)
+        self.clock = Clock(tick_seconds=DEFAULT_TICK_SECONDS)
+
+        self.machines: List[Machine] = [
+            Machine(
+                machine_id=f"{name}/m{i:04d}",
+                config=machine_config,
+                bins=self.bins,
+                seeds=seeds.fork("machine", index=i),
+                events=self.events,
+            )
+            for i in range(n_machines)
+        ]
+        self.scheduler = BorgScheduler(
+            self.machines,
+            overcommit=overcommit,
+            strategy=placement,
+            events=self.events,
+        )
+        self.agents: Dict[str, NodeAgent] = {
+            m.machine_id: NodeAgent(m, self.policy_config, self.slo)
+            for m in self.machines
+        }
+        self.exporters: Dict[str, TelemetryExporter] = {
+            m.machine_id: TelemetryExporter(
+                m,
+                self.trace_db,
+                cpu_lookup=self._cpu_of,
+                slo=self.slo,
+            )
+            for m in self.machines
+        }
+        self.running: Dict[str, RunningJob] = {}
+        self.coverage_samples: List[CoverageSample] = []
+        self._next_coverage_sample = 0
+        self._job_source = None
+        self._target_population = 0
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> RunningJob:
+        """Place and start a job; raises SchedulingError when full.
+
+        If the chosen machine cannot physically back the allocation (it can
+        be overcommitted), lower-priority jobs are evicted to make room —
+        the paper's kill-and-reschedule escape hatch.  The submission fails
+        only when eviction cannot help.
+        """
+        placement = self.scheduler.place(spec, self.clock.now)
+        machine = self.scheduler.machines[placement.machine_id]
+        while True:
+            try:
+                job = RunningJob(
+                    spec,
+                    machine,
+                    self.seeds.fork("job", index=self._job_index(spec)),
+                    start_time=self.clock.now,
+                )
+                break
+            except OutOfMemoryError:
+                if spec.job_id in machine.memcgs:
+                    machine.remove_job(spec.job_id)
+                victim = self.scheduler.evict_for_pressure(
+                    placement.machine_id, self.clock.now
+                )
+                victim_job = self.running.pop(victim, None) if victim else None
+                if victim_job is not None:
+                    victim_job.stop()
+                if victim is None or victim == spec.job_id:
+                    raise SchedulingError(
+                        f"machine {placement.machine_id} cannot back "
+                        f"job {spec.job_id} even after eviction"
+                    ) from None
+        self.running[spec.job_id] = job
+        return job
+
+    def submit_all(self, specs: Sequence[JobSpec]) -> List[RunningJob]:
+        """Submit many jobs; skips (and reports) the ones that don't fit."""
+        placed = []
+        for spec in specs:
+            try:
+                placed.append(self.submit(spec))
+            except SchedulingError:
+                self.events.record(
+                    self.clock.now, "cluster.admission_reject", job=spec.job_id
+                )
+        return placed
+
+    def finish(self, job_id: str) -> None:
+        """Stop a job and release its resources."""
+        job = self.running.pop(job_id)
+        job.stop()
+        self.scheduler.remove(job_id, self.clock.now)
+
+    def enable_churn(self, job_source, target_population: int) -> None:
+        """Keep the cluster population at a target as jobs finish.
+
+        Args:
+            job_source: zero-argument callable returning a fresh
+                :class:`JobSpec` (e.g. ``generator.next_job``).
+            target_population: jobs to keep running; each tick, departed
+                jobs are replaced (placement failures are skipped quietly
+                and retried next tick).
+        """
+        check_positive(target_population, "target_population")
+        self._job_source = job_source
+        self._target_population = int(target_population)
+
+    def _replenish(self) -> None:
+        if self._job_source is None:
+            return
+        while len(self.running) < self._target_population:
+            spec = self._job_source()
+            try:
+                self.submit(spec)
+            except SchedulingError:
+                self.events.record(
+                    self.clock.now, "cluster.replenish_reject",
+                    job=spec.job_id,
+                )
+                break
+
+    def _job_index(self, spec: JobSpec) -> int:
+        return abs(hash(spec.job_id)) & 0x7FFFFFFF
+
+    def _cpu_of(self, job_id: str) -> float:
+        try:
+            return self.scheduler.spec_of(job_id).cpu_cores
+        except SchedulingError:
+            return 1.0
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one tick: jobs, daemons, agents, exporters, sampling."""
+        now = self.clock.now
+
+        for job_id in [j for j, job in self.running.items() if job.expired(now)]:
+            self.finish(job_id)
+        self._replenish()
+
+        for job in self.running.values():
+            job.step(now, self.clock.tick_seconds)
+
+        for machine in self.machines:
+            machine.tick(now)
+            self._relieve_pressure(machine, now)
+
+        for agent in self.agents.values():
+            agent.maybe_control(now)
+        for exporter in self.exporters.values():
+            exporter.maybe_export(now)
+
+        if now >= self._next_coverage_sample:
+            self._sample_coverage(now)
+            self._next_coverage_sample = now + COVERAGE_SAMPLE_PERIOD
+
+        self.clock.advance()
+
+    def run(self, seconds: int) -> None:
+        """Run the cluster forward by ``seconds``."""
+        check_positive(seconds, "seconds")
+        end = self.clock.now + seconds
+        while self.clock.now < end:
+            self.tick()
+
+    def fail_machine(self, machine_id: str) -> List[str]:
+        """Simulate a machine crash: its jobs die and reschedule elsewhere.
+
+        The paper's reliability argument for zswap is that compression
+        confines the failure domain to one machine — this method is that
+        failure.  Jobs are torn down (their far-memory copies vanish with
+        the machine), recorded against the eviction SLO, and resubmitted
+        to the remaining machines where capacity allows.
+
+        Returns:
+            Job ids that could not be rescheduled.
+        """
+        machine = self.scheduler.machines.get(machine_id)
+        if machine is None:
+            raise SchedulingError(f"unknown machine {machine_id}")
+        victims = self.scheduler.jobs_on(machine_id)
+        self.scheduler.mark_offline(machine_id)
+        self.events.record(self.clock.now, "cluster.machine_failure",
+                           machine=machine_id, jobs=len(victims))
+        unplaced: List[str] = []
+        for job_id in victims:
+            spec = self.scheduler.spec_of(job_id)
+            job = self.running.pop(job_id, None)
+            if job is not None:
+                job.stop()
+            self.scheduler.remove(job_id, self.clock.now)
+            self.scheduler.eviction_slo.record(job_id, self.clock.now)
+            # Resubmit under a restart name (job ids are unique per life).
+            respawn = JobSpec(
+                job_id=f"{spec.job_id}.r{self.clock.now}",
+                pages=spec.pages,
+                cpu_cores=spec.cpu_cores,
+                priority=spec.priority,
+                content_profile=spec.content_profile,
+                pattern_factory=spec.pattern_factory,
+                cold_fraction_target=spec.cold_fraction_target,
+                duration_seconds=spec.duration_seconds,
+            )
+            try:
+                self.submit(respawn)
+            except SchedulingError:
+                unplaced.append(job_id)
+        return unplaced
+
+    def eviction_slo_jobs(self) -> set:
+        """Job ids with at least one recorded eviction."""
+        return set(self.scheduler.eviction_slo.evictions)
+
+    def repair_machine(self, machine_id: str) -> None:
+        """Bring a failed machine back into the placement pool."""
+        self.scheduler.mark_online(machine_id)
+        self.events.record(self.clock.now, "cluster.machine_repaired",
+                           machine=machine_id)
+
+    def _relieve_pressure(self, machine: Machine, now: int) -> None:
+        """Evict best-effort jobs while a machine is over capacity."""
+        while machine.free_bytes < 0:
+            victim = self.scheduler.evict_for_pressure(machine.machine_id, now)
+            if victim is None:
+                break
+            job = self.running.pop(victim, None)
+            if job is not None:
+                job.stop()
+
+    def _sample_coverage(self, now: int) -> None:
+        for machine in self.machines:
+            self.coverage_samples.append(
+                CoverageSample(
+                    far_memory_pages=machine.far_pages,
+                    cold_pages_at_min_threshold=machine.cold_pages(
+                        MIN_COLD_AGE_THRESHOLD
+                    ),
+                    time=now,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Control-plane management
+    # ------------------------------------------------------------------
+
+    def deploy_policy(self, config: ThresholdPolicyConfig) -> None:
+        """Roll a new (K, S) configuration to every node agent."""
+        self.policy_config = config
+        for agent in self.agents.values():
+            agent.set_policy_config(config)
+
+    def drain_sli_samples(self) -> List[SliSample]:
+        """Collect and clear SLI samples from all agents."""
+        samples: List[SliSample] = []
+        for agent in self.agents.values():
+            samples.extend(agent.drain_sli_samples())
+        return samples
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def machine_cold_fractions(self, threshold_seconds: float) -> List[float]:
+        """Per-machine cold memory share of used memory (Fig. 2)."""
+        fractions = []
+        for machine in self.machines:
+            resident = sum(m.resident_pages for m in machine.memcgs.values())
+            if resident == 0:
+                continue
+            fractions.append(machine.cold_pages(threshold_seconds) / resident)
+        return fractions
+
+    def machine_coverages(self) -> List[float]:
+        """Per-machine instantaneous coverage (Fig. 6)."""
+        coverages = []
+        for machine in self.machines:
+            cold = machine.cold_pages(MIN_COLD_AGE_THRESHOLD)
+            if cold == 0:
+                continue
+            coverages.append(min(1.0, machine.far_pages / cold))
+        return coverages

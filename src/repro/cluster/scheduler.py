@@ -1,0 +1,207 @@
+"""A Borg-like cluster scheduler (paper §4.2, §5.1 context).
+
+The paper's control plane leans on the cluster scheduler in two ways:
+
+* **eviction as the escape hatch** — when decompression bursts exhaust a
+  machine, low-priority jobs are killed and rescheduled elsewhere; the
+  scheduler offers users an *eviction SLO* (never breached in 18 months);
+* **fail-fast** — jobs at their memory limit are killed rather than
+  swapped, matching how the scheduler treats best-effort overruns.
+
+This scheduler implements best-fit-decreasing placement with configurable
+memory overcommit (far memory savings are what make overcommit safe), and
+priority-ordered eviction with SLO accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import SchedulingError
+from repro.common.events import EventLog
+from repro.common.validation import check_non_negative
+from repro.kernel.machine import Machine
+from repro.workloads.job_generator import JobSpec
+
+__all__ = ["EvictionSloTracker", "BorgScheduler", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A placement decision: which machine got the job."""
+
+    job_id: str
+    machine_id: str
+
+
+@dataclass
+class EvictionSloTracker:
+    """Tracks the eviction SLO: evictions per job per unit time.
+
+    Attributes:
+        max_evictions_per_job_per_day: the offered SLO.
+        evictions: per-job eviction timestamps.
+    """
+
+    max_evictions_per_job_per_day: float = 1.0
+    evictions: Dict[str, List[int]] = field(default_factory=dict)
+
+    def record(self, job_id: str, time: int) -> None:
+        """Record one eviction of ``job_id``."""
+        self.evictions.setdefault(job_id, []).append(time)
+
+    def violations(self, window_seconds: int = 86400) -> List[str]:
+        """Jobs evicted more often than the SLO allows in any window."""
+        limit = self.max_evictions_per_job_per_day * (window_seconds / 86400.0)
+        violators = []
+        for job_id, times in self.evictions.items():
+            times = sorted(times)
+            for i, start in enumerate(times):
+                in_window = sum(1 for t in times[i:] if t < start + window_seconds)
+                if in_window > limit:
+                    violators.append(job_id)
+                    break
+        return violators
+
+
+class BorgScheduler:
+    """Places jobs on machines; evicts best-effort jobs under pressure.
+
+    Args:
+        machines: the machines this scheduler manages.
+        overcommit: fraction of extra logical memory schedulable beyond
+            DRAM (0.0 = no overcommit; far memory savings justify > 0).
+        strategy: ``"best_fit"`` packs jobs tightly (bin-packing);
+            ``"spread"`` places each job on the least-committed machine
+            (load balancing, Borg's default bias for serving jobs).
+        events: optional shared event log.
+    """
+
+    STRATEGIES = ("best_fit", "spread")
+
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        overcommit: float = 0.0,
+        strategy: str = "best_fit",
+        events: Optional[EventLog] = None,
+    ):
+        check_non_negative(overcommit, "overcommit")
+        if strategy not in self.STRATEGIES:
+            raise SchedulingError(
+                f"unknown placement strategy {strategy!r}; "
+                f"known: {self.STRATEGIES}"
+            )
+        self.strategy = strategy
+        if not machines:
+            raise SchedulingError("scheduler needs at least one machine")
+        self.machines: Dict[str, Machine] = {m.machine_id: m for m in machines}
+        if len(self.machines) != len(machines):
+            raise SchedulingError("duplicate machine ids")
+        self.overcommit = overcommit
+        self.events = events if events is not None else EventLog(max_events=100_000)
+        #: Logical bytes committed per machine (sum of placed specs).
+        self.committed: Dict[str, int] = {m.machine_id: 0 for m in machines}
+        self.placements: Dict[str, str] = {}
+        self.offline: set = set()
+        self._specs: Dict[str, JobSpec] = {}
+        self.eviction_slo = EvictionSloTracker()
+        self.evictions_total = 0
+
+    def capacity_of(self, machine_id: str) -> int:
+        """Schedulable logical bytes on a machine."""
+        machine = self.machines[machine_id]
+        return int(machine.config.dram_bytes * (1.0 + self.overcommit))
+
+    def place(self, spec: JobSpec, now: int = 0) -> Placement:
+        """Place a job per the configured strategy.
+
+        Raises:
+            SchedulingError: when no machine has room.
+        """
+        if spec.job_id in self.placements:
+            raise SchedulingError(f"job {spec.job_id} already placed")
+        best_id = None
+        best_slack = None
+        for machine_id in self.machines:
+            if machine_id in self.offline:
+                continue
+            slack = (
+                self.capacity_of(machine_id)
+                - self.committed[machine_id]
+                - spec.bytes
+            )
+            if slack < 0:
+                continue
+            if self.strategy == "best_fit":
+                better = best_slack is None or slack < best_slack
+            else:  # spread: most remaining room wins
+                better = best_slack is None or slack > best_slack
+            if better:
+                best_id, best_slack = machine_id, slack
+        if best_id is None:
+            raise SchedulingError(
+                f"no machine can fit job {spec.job_id} ({spec.bytes} bytes)"
+            )
+        self.committed[best_id] += spec.bytes
+        self.placements[spec.job_id] = best_id
+        self._specs[spec.job_id] = spec
+        self.events.record(now, "scheduler.place", job=spec.job_id,
+                           machine=best_id)
+        return Placement(spec.job_id, best_id)
+
+    def remove(self, job_id: str, now: int = 0) -> None:
+        """Forget a finished job."""
+        machine_id = self.placements.pop(job_id, None)
+        if machine_id is None:
+            raise SchedulingError(f"job {job_id} is not placed")
+        spec = self._specs.pop(job_id)
+        self.committed[machine_id] -= spec.bytes
+        self.events.record(now, "scheduler.remove", job=job_id,
+                           machine=machine_id)
+
+    def evict_for_pressure(self, machine_id: str, now: int = 0) -> Optional[str]:
+        """Kill the lowest-priority job on a machine; returns its id.
+
+        Paper §4.2: under correlated decompression bursts, low-priority
+        jobs are selectively evicted and rescheduled elsewhere.  Ties are
+        broken toward the job with the largest footprint (frees the most).
+        """
+        candidates = [
+            (self._specs[job_id].priority, -self._specs[job_id].bytes, job_id)
+            for job_id, mid in self.placements.items()
+            if mid == machine_id
+        ]
+        if not candidates:
+            return None
+        _, _, victim = min(candidates)
+        self.remove(victim, now)
+        self.eviction_slo.record(victim, now)
+        self.evictions_total += 1
+        self.events.record(now, "scheduler.evict", job=victim,
+                           machine=machine_id)
+        return victim
+
+    def mark_offline(self, machine_id: str) -> None:
+        """Exclude a machine from placement (crash, drain, repair)."""
+        if machine_id not in self.machines:
+            raise SchedulingError(f"unknown machine {machine_id}")
+        self.offline.add(machine_id)
+
+    def mark_online(self, machine_id: str) -> None:
+        """Return a machine to the placement pool."""
+        if machine_id not in self.machines:
+            raise SchedulingError(f"unknown machine {machine_id}")
+        self.offline.discard(machine_id)
+
+    def spec_of(self, job_id: str) -> JobSpec:
+        """The spec of a currently placed job."""
+        try:
+            return self._specs[job_id]
+        except KeyError:
+            raise SchedulingError(f"job {job_id} is not placed") from None
+
+    def jobs_on(self, machine_id: str) -> List[str]:
+        """Job ids currently placed on a machine."""
+        return [j for j, m in self.placements.items() if m == machine_id]

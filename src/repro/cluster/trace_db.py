@@ -1,0 +1,110 @@
+"""The external trace database (paper §5.2-5.3).
+
+Node agents export per-job 5-minute trace entries here; the autotuner's
+fast far memory model reads them back as per-job traces.  The store is
+in-memory with JSON-lines persistence — the simulator's stand-in for the
+paper's telemetry warehouse.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import TraceError
+from repro.model.trace import JobTrace, TraceEntry
+
+__all__ = ["TraceDatabase"]
+
+
+class TraceDatabase:
+    """Append-only store of trace entries, indexed by job."""
+
+    def __init__(self) -> None:
+        self._by_job: Dict[str, JobTrace] = {}
+        self.entries_total = 0
+
+    def __len__(self) -> int:
+        return self.entries_total
+
+    @property
+    def job_ids(self) -> List[str]:
+        """All jobs with at least one entry."""
+        return sorted(self._by_job)
+
+    def add(self, entry: TraceEntry) -> None:
+        """Store one entry (the :class:`~repro.agent.telemetry.TraceSink`
+        protocol)."""
+        trace = self._by_job.get(entry.job_id)
+        if trace is None:
+            trace = JobTrace(entry.job_id)
+            self._by_job[entry.job_id] = trace
+        trace.append(entry)
+        self.entries_total += 1
+
+    def trace_for(self, job_id: str) -> JobTrace:
+        """The full trace of one job.
+
+        Raises:
+            TraceError: if the job has no entries.
+        """
+        trace = self._by_job.get(job_id)
+        if trace is None:
+            raise TraceError(f"no trace recorded for job {job_id}")
+        return trace
+
+    def traces(
+        self, start: Optional[int] = None, end: Optional[int] = None
+    ) -> List[JobTrace]:
+        """All job traces, optionally windowed to ``[start, end)``."""
+        if start is None and end is None:
+            return list(self._by_job.values())
+        result = []
+        for job_id, trace in self._by_job.items():
+            entries = [
+                e
+                for e in trace.entries
+                if (start is None or e.time >= start)
+                and (end is None or e.time < end)
+            ]
+            if entries:
+                windowed = JobTrace(job_id)
+                for entry in entries:
+                    windowed.append(entry)
+                result.append(windowed)
+        return result
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_jsonl(self, path: Union[str, Path]) -> int:
+        """Write every entry as one JSON line; returns lines written."""
+        path = Path(path)
+        count = 0
+        with path.open("w", encoding="utf-8") as fh:
+            for trace in self._by_job.values():
+                for entry in trace.entries:
+                    fh.write(json.dumps(entry.to_dict()))
+                    fh.write("\n")
+                    count += 1
+        return count
+
+    @classmethod
+    def load_jsonl(cls, path: Union[str, Path]) -> "TraceDatabase":
+        """Rebuild a database from :meth:`save_jsonl` output."""
+        db = cls()
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            for line_number, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    db.add(TraceEntry.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, TraceError) as exc:
+                    raise TraceError(
+                        f"{path}:{line_number}: bad trace entry: {exc}"
+                    ) from exc
+        return db

@@ -1,0 +1,197 @@
+"""The warehouse-scale computer: a fleet of clusters (paper §2.2, §6).
+
+:class:`WSC` aggregates clusters behind fleet-level metrics — coverage,
+cold-memory distributions, SLI percentiles — and fans control-plane
+deployments (new autotuner configurations) out to every cluster.
+:func:`quickfleet` builds a small calibrated fleet in one call for
+examples and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.agent.node_agent import SliSample
+from repro.common.rng import SeedSequenceFactory
+from repro.common.units import GIB, HOUR, MIB, MIN_COLD_AGE_THRESHOLD, PAGE_SIZE
+from repro.common.validation import check_positive
+from repro.core.coverage import CoverageSample, fleet_coverage
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.cluster.cluster import Cluster
+from repro.cluster.trace_db import TraceDatabase
+from repro.kernel.machine import FarMemoryMode, MachineConfig
+from repro.workloads.job_generator import FleetMixGenerator
+
+__all__ = ["WSC", "quickfleet"]
+
+
+class WSC:
+    """A fleet of clusters sharing one trace database and one policy.
+
+    Args:
+        clusters: member clusters (each already wired to ``trace_db``).
+        trace_db: the fleet telemetry store.
+    """
+
+    def __init__(self, clusters: Sequence[Cluster], trace_db: TraceDatabase):
+        if not clusters:
+            raise ValueError("a WSC needs at least one cluster")
+        self.clusters = list(clusters)
+        self.trace_db = trace_db
+        self.sli_history: List[SliSample] = []
+
+    @property
+    def machines(self) -> List:
+        """Every machine in the fleet."""
+        return [m for c in self.clusters for m in c.machines]
+
+    @property
+    def now(self) -> int:
+        """Fleet time (clusters share a logical clock)."""
+        return self.clusters[0].clock.now
+
+    def run(self, seconds: int, collect_sli: bool = True) -> None:
+        """Advance every cluster by ``seconds``, in lockstep ticks."""
+        check_positive(seconds, "seconds")
+        end = self.now + seconds
+        while self.now < end:
+            for cluster in self.clusters:
+                cluster.tick()
+            if collect_sli:
+                for cluster in self.clusters:
+                    self.sli_history.extend(cluster.drain_sli_samples())
+
+    def deploy_policy(self, config: ThresholdPolicyConfig) -> None:
+        """Fleet-wide rollout of new (K, S) parameters."""
+        for cluster in self.clusters:
+            cluster.deploy_policy(config)
+
+    # ------------------------------------------------------------------
+    # Fleet metrics
+    # ------------------------------------------------------------------
+
+    def coverage(self) -> float:
+        """Instantaneous fleet cold-memory coverage."""
+        samples = [
+            CoverageSample(
+                far_memory_pages=m.far_pages,
+                cold_pages_at_min_threshold=m.cold_pages(MIN_COLD_AGE_THRESHOLD),
+            )
+            for m in self.machines
+        ]
+        return fleet_coverage(samples)
+
+    def cold_fraction(self, threshold_seconds: float) -> float:
+        """Fleet share of used memory idle at least ``threshold_seconds``."""
+        cold = 0
+        resident = 0
+        for machine in self.machines:
+            cold += machine.cold_pages(threshold_seconds)
+            resident += sum(m.resident_pages for m in machine.memcgs.values())
+        return cold / resident if resident else 0.0
+
+    def promotion_rate_percentile(self, percentile: float) -> float:
+        """Fleet percentile of the normalized promotion-rate SLI (Fig. 7)."""
+        rates = [
+            s.normalized_rate_pct_per_min
+            for s in self.sli_history
+            if np.isfinite(s.normalized_rate_pct_per_min)
+            and s.working_set_pages > 0
+        ]
+        if not rates:
+            return 0.0
+        return float(np.percentile(rates, percentile))
+
+    def coverage_report(self) -> Dict[str, float]:
+        """Headline fleet numbers in one dict."""
+        return {
+            "coverage": self.coverage(),
+            "cold_fraction_at_min_threshold": self.cold_fraction(
+                MIN_COLD_AGE_THRESHOLD
+            ),
+            "promotion_rate_p98_pct_per_min": self.promotion_rate_percentile(98.0),
+            "far_memory_gib": sum(m.far_pages for m in self.machines)
+            * PAGE_SIZE
+            / GIB,
+            "saved_gib": sum(m.saved_bytes() for m in self.machines) / GIB,
+        }
+
+
+def quickfleet(
+    clusters: int = 1,
+    machines_per_cluster: int = 4,
+    jobs_per_machine: int = 8,
+    seed: int = 0,
+    machine_dram_gib: float = 4.0,
+    job_pages_range: Optional[tuple] = None,
+    mode: FarMemoryMode = FarMemoryMode.PROACTIVE,
+    policy_config: Optional[ThresholdPolicyConfig] = None,
+    mean_cold_fraction: float = 0.32,
+    warmup_hours: float = 0.0,
+    placement: str = "spread",
+    churn_duration_range: Optional[tuple] = None,
+) -> WSC:
+    """Build a small, ready-to-run fleet with a calibrated job mix.
+
+    Args:
+        clusters: number of clusters.
+        machines_per_cluster: machines per cluster.
+        jobs_per_machine: jobs submitted per machine.
+        seed: root RNG seed (everything is derived from it).
+        machine_dram_gib: DRAM per machine.
+        job_pages_range: (min_pages, max_pages) clip for job sizes;
+            defaults to 4-32 MiB jobs so examples run in seconds.
+        mode: far-memory mode for every machine.
+        policy_config: initial (K, S); defaults to the paper defaults.
+        mean_cold_fraction: target fleet-mean cold share.
+        warmup_hours: optionally run the fleet forward before returning,
+            so ages and histograms are populated.
+        placement: scheduler strategy; defaults to "spread" so every
+            machine hosts jobs (best_fit strands machines when jobs are
+            small relative to DRAM).
+        churn_duration_range: optional (low, high) job-lifetime seconds.
+            When set, jobs have finite lives and the cluster keeps its
+            population constant by admitting fresh jobs — the fleet churn
+            that makes the warm-up parameter S meaningful.
+
+    Returns:
+        A :class:`WSC` with all jobs placed (and optionally warmed up).
+    """
+    seeds = SeedSequenceFactory(seed)
+    trace_db = TraceDatabase()
+    if job_pages_range is None:
+        job_pages_range = ((4 * MIB) // PAGE_SIZE, (32 * MIB) // PAGE_SIZE)
+
+    generator = FleetMixGenerator(
+        seeds=seeds.fork("fleetmix"),
+        mean_cold_fraction=mean_cold_fraction,
+        min_pages=job_pages_range[0],
+        max_pages=job_pages_range[1],
+        duration_range=churn_duration_range,
+    )
+    machine_config = MachineConfig(
+        dram_bytes=int(machine_dram_gib * GIB), mode=mode
+    )
+    built = []
+    for c in range(clusters):
+        cluster = Cluster(
+            name=f"cluster-{c:02d}",
+            n_machines=machines_per_cluster,
+            machine_config=machine_config,
+            seeds=seeds.fork("cluster", index=c),
+            trace_db=trace_db,
+            policy_config=policy_config,
+            overcommit=0.0,
+            placement=placement,
+        )
+        specs = generator.generate(machines_per_cluster * jobs_per_machine)
+        cluster.submit_all(specs)
+        if churn_duration_range is not None:
+            cluster.enable_churn(generator.next_job, len(specs))
+        built.append(cluster)
+    fleet = WSC(built, trace_db)
+    if warmup_hours > 0:
+        fleet.run(int(warmup_hours * HOUR))
+    return fleet

@@ -1,0 +1,33 @@
+"""Shared infrastructure: units, RNG streams, validation, sim-time, events."""
+
+from repro.common.errors import (
+    AutotunerError,
+    ConfigurationError,
+    OutOfMemoryError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.events import Event, EventLog
+from repro.common.rng import SeedSequenceFactory, stream
+from repro.common.simtime import DEFAULT_TICK_SECONDS, Clock, PeriodicSchedule
+from repro.common import units
+
+__all__ = [
+    "AutotunerError",
+    "Clock",
+    "ConfigurationError",
+    "DEFAULT_TICK_SECONDS",
+    "Event",
+    "EventLog",
+    "OutOfMemoryError",
+    "PeriodicSchedule",
+    "ReproError",
+    "SchedulingError",
+    "SeedSequenceFactory",
+    "SimulationError",
+    "TraceError",
+    "stream",
+    "units",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "OutOfMemoryError",
+    "SchedulingError",
+    "TraceError",
+    "AutotunerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, malformed, or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class OutOfMemoryError(SimulationError):
+    """A machine could not satisfy an allocation even after reclaim."""
+
+
+class SchedulingError(ReproError):
+    """The cluster scheduler could not place or manage a job."""
+
+
+class TraceError(ReproError):
+    """A far-memory trace is malformed or inconsistent."""
+
+
+class AutotunerError(ReproError):
+    """The autotuning pipeline failed (model error, GP failure, ...)."""

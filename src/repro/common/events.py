@@ -1,0 +1,74 @@
+"""Lightweight event recording for simulator observability.
+
+Components append :class:`Event` records to an :class:`EventLog`; analysis
+code filters by kind.  This is the simulator's stand-in for the paper's
+monitoring infrastructure — cheap enough to leave on, structured enough to
+drive assertions in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence.
+
+    Attributes:
+        time: simulation time in seconds.
+        kind: dotted event name, e.g. ``"scheduler.evict"``.
+        payload: arbitrary structured details.
+    """
+
+    time: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event sink with simple filtering.
+
+    A log may be created bounded (``max_events``) for long simulations; when
+    full, the oldest events are dropped and ``dropped_count`` records how
+    many.
+    """
+
+    def __init__(self, max_events: Optional[int] = None):
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive or None")
+        self._events: List[Event] = []
+        self._max_events = max_events
+        self.dropped_count = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def record(self, time: int, kind: str, **payload: Any) -> Event:
+        """Append and return a new event."""
+        event = Event(time=time, kind=kind, payload=payload)
+        self._events.append(event)
+        if self._max_events is not None and len(self._events) > self._max_events:
+            overflow = len(self._events) - self._max_events
+            del self._events[:overflow]
+            self.dropped_count += overflow
+        return event
+
+    def of_kind(self, kind: str) -> List[Event]:
+        """All events whose kind equals or is nested under ``kind``."""
+        prefix = kind + "."
+        return [e for e in self._events if e.kind == kind or e.kind.startswith(prefix)]
+
+    def between(self, start: int, end: int) -> List[Event]:
+        """All events with ``start <= time < end``."""
+        return [e for e in self._events if start <= e.time < end]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

@@ -1,0 +1,87 @@
+"""Discrete simulation clock.
+
+The whole system advances in fixed *ticks* (default 60 s, the node agent's
+control period).  Components that run at coarser periods (kstaled scans every
+120 s, telemetry every 300 s) decide on each tick whether they are due.
+
+:class:`Clock` is deliberately dumb — it only tracks "now" — while
+:class:`PeriodicSchedule` answers "is this component due at the current
+tick?" without accumulating drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.validation import check_positive
+
+__all__ = ["Clock", "PeriodicSchedule", "DEFAULT_TICK_SECONDS"]
+
+#: Default simulator tick: one node-agent control period (60 s).
+DEFAULT_TICK_SECONDS = 60
+
+
+@dataclass
+class Clock:
+    """Monotonic simulation clock advancing in fixed ticks.
+
+    Attributes:
+        tick_seconds: duration of one tick.
+        now: current simulation time in seconds (multiple of tick_seconds).
+    """
+
+    tick_seconds: int = DEFAULT_TICK_SECONDS
+    now: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.tick_seconds, "tick_seconds")
+
+    @property
+    def tick_index(self) -> int:
+        """Number of whole ticks elapsed since time zero."""
+        return self.now // self.tick_seconds
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move the clock forward by ``ticks`` ticks; returns the new time."""
+        if ticks < 0:
+            raise ValueError(f"cannot advance clock by {ticks} ticks")
+        self.now += ticks * self.tick_seconds
+        return self.now
+
+
+@dataclass
+class PeriodicSchedule:
+    """Fires every ``period_seconds``, aligned to multiples of the period.
+
+    ``due(now)`` is edge-triggered: it returns True at most once per period
+    boundary, tracking the last time it fired.
+
+    Attributes:
+        period_seconds: firing period.
+        offset_seconds: phase offset of the first firing.
+    """
+
+    period_seconds: int
+    offset_seconds: int = 0
+    _last_fired: int = field(default=-1, repr=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.period_seconds, "period_seconds")
+        if self.offset_seconds < 0:
+            raise ValueError("offset_seconds must be non-negative")
+
+    def due(self, now: int) -> bool:
+        """Return True if a period boundary has been crossed since last fire."""
+        if now < self.offset_seconds:
+            return False
+        boundary = ((now - self.offset_seconds) // self.period_seconds) * (
+            self.period_seconds
+        ) + self.offset_seconds
+        if boundary > self._last_fired:
+            self._last_fired = boundary
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget firing history (e.g., when a job restarts)."""
+        self._last_fired = -1

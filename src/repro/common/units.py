@@ -1,0 +1,97 @@
+"""Units and physical constants shared across the simulator.
+
+Everything in the simulator is expressed in a small set of base units:
+
+* **memory** — bytes (with a 4 KiB page as the unit of migration),
+* **time** — seconds (the simulator is discrete-time; see
+  :mod:`repro.common.simtime`),
+* **CPU work** — cycles (converted to seconds via a nominal clock rate).
+
+These constants mirror the concrete values used by the paper: 4 KiB x86
+pages, a 120 s ``kstaled`` scan period, 8-bit page ages (so a maximum
+trackable age of 255 scans = 8.5 h), the 2990-byte zsmalloc payload cutoff
+beyond which compression is counted as a loss, and the 0.2 %/min promotion
+rate SLO.
+"""
+
+from __future__ import annotations
+
+#: Size of one OS page in bytes (x86-64 base pages, as in the paper).
+PAGE_SIZE = 4096
+
+#: Bytes in one KiB / MiB / GiB.
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Seconds in one minute / hour / day.
+MINUTE = 60
+HOUR = 60 * MINUTE
+DAY = 24 * HOUR
+
+#: ``kstaled`` scan period (seconds).  The paper runs kstaled every 120 s.
+KSTALED_SCAN_PERIOD = 120
+
+#: Number of distinct page-age values representable with the paper's 8-bit
+#: per-page age field.  Ages saturate at this value rather than wrapping.
+MAX_PAGE_AGE_SCANS = 255
+
+#: Maximum trackable age in seconds (255 scans x 120 s = 8.5 h).
+MAX_PAGE_AGE_SECONDS = MAX_PAGE_AGE_SCANS * KSTALED_SCAN_PERIOD
+
+#: zsmalloc payload cutoff: payloads larger than this (73 % of a 4 KiB page)
+#: cost more in metadata than they save, so the page is marked
+#: incompressible and rejected.
+ZSMALLOC_MAX_PAYLOAD = 2990
+
+#: The promotion-rate SLO: at most P percent of a job's working set may be
+#: promoted (swapped back in) per minute.  The paper determined P = 0.2 %/min
+#: through months-long A/B testing.
+TARGET_PROMOTION_RATE_PCT_PER_MIN = 0.2
+
+#: The minimum cold-age threshold (seconds).  A page younger than this is
+#: never considered cold; the working set is defined as the pages accessed
+#: within this window.
+MIN_COLD_AGE_THRESHOLD = 120
+
+#: Nominal CPU clock used to convert cycles <-> seconds (a 2.3 GHz Haswell
+#: class server, per the paper's machine description in section 6).
+CPU_HZ = 2.3e9
+
+
+def pages_to_bytes(pages: float) -> float:
+    """Convert a page count to bytes."""
+    return pages * PAGE_SIZE
+
+
+def bytes_to_pages(n_bytes: float) -> float:
+    """Convert bytes to (possibly fractional) pages."""
+    return n_bytes / PAGE_SIZE
+
+
+def cycles_to_seconds(cycles: float, cpu_hz: float = CPU_HZ) -> float:
+    """Convert CPU cycles to seconds at the given clock rate."""
+    return cycles / cpu_hz
+
+
+def seconds_to_cycles(seconds: float, cpu_hz: float = CPU_HZ) -> float:
+    """Convert seconds of CPU time to cycles at the given clock rate."""
+    return seconds * cpu_hz
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Render a byte count with a binary-unit suffix, e.g. ``'1.50 GiB'``."""
+    magnitude = abs(n_bytes)
+    for suffix, scale in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if magnitude >= scale:
+            return f"{n_bytes / scale:.2f} {suffix}"
+    return f"{n_bytes:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with the largest natural unit, e.g. ``'2.0 h'``."""
+    magnitude = abs(seconds)
+    for suffix, scale in (("d", DAY), ("h", HOUR), ("min", MINUTE)):
+        if magnitude >= scale:
+            return f"{seconds / scale:.1f} {suffix}"
+    return f"{seconds:.1f} s"

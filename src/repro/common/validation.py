@@ -1,0 +1,74 @@
+"""Small argument-validation helpers.
+
+These keep constructor bodies readable: each helper validates one property
+and raises :class:`~repro.common.errors.ConfigurationError` with a message
+naming the offending parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, TypeVar
+
+from repro.common.errors import ConfigurationError
+
+T = TypeVar("T")
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_fraction",
+    "check_sorted_unique",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate ``value > 0`` and return it."""
+    require(value > 0, f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate ``value >= 0`` and return it."""
+    require(value >= 0, f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (or strict, if not inclusive)."""
+    if inclusive:
+        ok = (low is None or value >= low) and (high is None or value <= high)
+    else:
+        ok = (low is None or value > low) and (high is None or value < high)
+    bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+    require(ok, f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate ``0 <= value <= 1`` and return it."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def check_sorted_unique(values: Sequence[float], name: str) -> Sequence[float]:
+    """Validate that ``values`` is strictly increasing and non-empty."""
+    require(len(values) > 0, f"{name} must be non-empty")
+    for earlier, later in zip(values, list(values)[1:]):
+        require(
+            later > earlier,
+            f"{name} must be strictly increasing, got {list(values)!r}",
+        )
+    return values

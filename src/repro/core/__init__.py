@@ -1,0 +1,49 @@
+"""The paper's primary contribution: SLO-driven cold-page identification.
+
+This package is the device-independent control plane of §4 — histogram
+schemas, the promotion-rate SLO, the K-th-percentile threshold controller,
+and the coverage/TCO metrics that score it.  It has no dependency on the
+simulated kernel: the same code is driven online by the node agent and
+offline by the fast far memory model.
+"""
+
+from repro.core.coverage import (
+    CoverageSample,
+    cold_memory_coverage,
+    coverage_timeseries,
+    fleet_coverage,
+)
+from repro.core.histograms import AgeBins, AgeHistogram, default_age_bins
+from repro.core.slo import (
+    PromotionRateSlo,
+    normalized_promotion_rate,
+    promotions_per_minute,
+    working_set_pages,
+)
+from repro.core.threshold_policy import (
+    DISABLED,
+    ColdAgeThresholdPolicy,
+    ThresholdPolicyConfig,
+    best_threshold,
+)
+from repro.core.tco import TcoModel, TcoReport
+
+__all__ = [
+    "AgeBins",
+    "AgeHistogram",
+    "ColdAgeThresholdPolicy",
+    "CoverageSample",
+    "DISABLED",
+    "PromotionRateSlo",
+    "TcoModel",
+    "TcoReport",
+    "ThresholdPolicyConfig",
+    "best_threshold",
+    "cold_memory_coverage",
+    "coverage_timeseries",
+    "default_age_bins",
+    "fleet_coverage",
+    "normalized_promotion_rate",
+    "promotions_per_minute",
+    "working_set_pages",
+]

@@ -1,0 +1,224 @@
+"""Per-job age histograms — the statistics the kernel exports (paper §4.3-4.4).
+
+The control plane never sees raw page accesses; it sees two compact per-job
+histograms that ``kstaled`` maintains at scan granularity:
+
+* the **cold-age histogram** — for each predefined cold-age threshold ``T``,
+  how many resident pages have not been accessed for at least ``T`` seconds
+  (stored here as per-bin counts; the "colder than T" view is a suffix sum);
+* the **promotion histogram** — for each threshold ``T``, how many page
+  accesses hit a page whose age was at least ``T`` at the moment of access
+  (i.e. how many promotions *would have happened* had ``T`` been the
+  threshold).
+
+Both are defined over a shared, strictly increasing grid of candidate
+thresholds (:class:`AgeBins`).  Exposing *all* candidate thresholds at once
+is what makes the paper's offline what-if analysis (§5.3) possible: the fast
+far memory model can replay the control algorithm under any threshold
+without re-running the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.common.units import (
+    KSTALED_SCAN_PERIOD,
+    MAX_PAGE_AGE_SECONDS,
+    MIN_COLD_AGE_THRESHOLD,
+)
+from repro.common.validation import check_positive, check_sorted_unique, require
+
+__all__ = ["AgeBins", "AgeHistogram", "default_age_bins"]
+
+
+@dataclass(frozen=True)
+class AgeBins:
+    """A shared grid of candidate cold-age thresholds, in seconds.
+
+    The grid must be strictly increasing and start at the minimum cold-age
+    threshold (120 s in the paper): pages younger than ``thresholds[0]`` are
+    by definition part of the working set, never cold.
+
+    Attributes:
+        thresholds: candidate thresholds in seconds, ascending.
+    """
+
+    thresholds: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        check_sorted_unique(self.thresholds, "thresholds")
+        require(
+            self.thresholds[0] >= KSTALED_SCAN_PERIOD,
+            "the smallest threshold cannot be below the kstaled scan period "
+            f"({KSTALED_SCAN_PERIOD} s), got {self.thresholds[0]} s",
+        )
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+    @property
+    def min_threshold(self) -> int:
+        """The most aggressive candidate threshold (the working-set window)."""
+        return self.thresholds[0]
+
+    @property
+    def max_threshold(self) -> int:
+        """The least aggressive candidate threshold."""
+        return self.thresholds[-1]
+
+    def bin_index(self, threshold_seconds: float) -> int:
+        """Index of the bin whose threshold equals ``threshold_seconds``.
+
+        Raises:
+            ValueError: if the threshold is not one of the candidates.
+        """
+        try:
+            return self.thresholds.index(int(threshold_seconds))
+        except ValueError:
+            raise ValueError(
+                f"{threshold_seconds} s is not a candidate threshold; "
+                f"candidates are {list(self.thresholds)}"
+            ) from None
+
+    def bin_of_age(self, age_seconds: np.ndarray) -> np.ndarray:
+        """Map page ages to bin indices.
+
+        Returns ``-1`` for ages younger than the first threshold (not cold
+        under any candidate), otherwise the index of the largest threshold
+        that the age meets or exceeds.
+        """
+        ages = np.asarray(age_seconds)
+        return np.searchsorted(self.thresholds, ages, side="right") - 1
+
+    def scan_periods(self, scan_period: int = KSTALED_SCAN_PERIOD) -> np.ndarray:
+        """Each threshold expressed in whole kstaled scans (ceil)."""
+        return np.ceil(np.asarray(self.thresholds) / scan_period).astype(np.int64)
+
+
+def default_age_bins(
+    min_threshold: int = MIN_COLD_AGE_THRESHOLD,
+    max_threshold: int = MAX_PAGE_AGE_SECONDS,
+    growth: float = 2.0,
+) -> AgeBins:
+    """The paper-shaped exponential threshold grid.
+
+    Starts at the 120 s minimum threshold and doubles up to the 8-bit age
+    ceiling (8.5 h), giving ~9 candidate thresholds — a realistic size for a
+    kernel-exported histogram.
+    """
+    check_positive(min_threshold, "min_threshold")
+    require(growth > 1.0, f"growth must exceed 1.0, got {growth}")
+    require(
+        max_threshold >= min_threshold,
+        f"max_threshold {max_threshold} < min_threshold {min_threshold}",
+    )
+    thresholds: List[int] = []
+    current = float(min_threshold)
+    while current < max_threshold:
+        thresholds.append(int(round(current)))
+        current *= growth
+    thresholds.append(int(max_threshold))
+    return AgeBins(tuple(thresholds))
+
+
+class AgeHistogram:
+    """Counts bucketed by the candidate-threshold grid.
+
+    One instance serves as either a cold-age histogram (counts are pages) or
+    a promotion histogram (counts are promotion events); the math — suffix
+    sums over the threshold grid — is identical.
+
+    ``counts[i]`` holds the population whose age lies in
+    ``[thresholds[i], thresholds[i+1])`` (the last bin is unbounded above).
+    Ages below ``thresholds[0]`` are tracked separately in ``young_count``
+    so that totals are preserved.
+    """
+
+    def __init__(self, bins: AgeBins):
+        self.bins = bins
+        self.counts = np.zeros(len(bins), dtype=np.int64)
+        self.young_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"AgeHistogram(young={self.young_count}, "
+            f"counts={self.counts.tolist()})"
+        )
+
+    @property
+    def total(self) -> int:
+        """All recorded observations, including the young bucket."""
+        return int(self.young_count + self.counts.sum())
+
+    def clear(self) -> None:
+        """Reset all counts to zero."""
+        self.counts[:] = 0
+        self.young_count = 0
+
+    def add_ages(self, age_seconds: np.ndarray, weight: int = 1) -> None:
+        """Record a batch of observations given their ages in seconds."""
+        ages = np.asarray(age_seconds)
+        if ages.size == 0:
+            return
+        idx = self.bins.bin_of_age(ages)
+        self.young_count += int(np.count_nonzero(idx < 0)) * weight
+        valid = idx[idx >= 0]
+        if valid.size:
+            self.counts += np.bincount(valid, minlength=len(self.bins)) * weight
+
+    def add_binned(self, bin_counts: np.ndarray, young: int = 0) -> None:
+        """Merge pre-binned counts (e.g. from a vectorized kernel scan)."""
+        bin_counts = np.asarray(bin_counts, dtype=np.int64)
+        require(
+            bin_counts.shape == self.counts.shape,
+            f"bin_counts has shape {bin_counts.shape}, "
+            f"expected {self.counts.shape}",
+        )
+        self.counts += bin_counts
+        self.young_count += int(young)
+
+    def colder_than(self, threshold_seconds: float) -> int:
+        """Total count with age >= ``threshold_seconds`` (a suffix sum)."""
+        idx = int(np.searchsorted(self.bins.thresholds, threshold_seconds, "left"))
+        return int(self.counts[idx:].sum())
+
+    def suffix_sums(self) -> np.ndarray:
+        """``colder_than(T)`` for every candidate threshold, vectorized."""
+        return np.cumsum(self.counts[::-1])[::-1].copy()
+
+    def copy(self) -> "AgeHistogram":
+        """Deep copy (shared immutable bins)."""
+        clone = AgeHistogram(self.bins)
+        clone.counts = self.counts.copy()
+        clone.young_count = self.young_count
+        return clone
+
+    def diff(self, earlier: "AgeHistogram") -> "AgeHistogram":
+        """Counts accumulated since ``earlier`` (for cumulative histograms)."""
+        require(
+            earlier.bins.thresholds == self.bins.thresholds,
+            "cannot diff histograms over different threshold grids",
+        )
+        delta = AgeHistogram(self.bins)
+        delta.counts = self.counts - earlier.counts
+        delta.young_count = self.young_count - earlier.young_count
+        return delta
+
+    @classmethod
+    def merge(cls, histograms: Iterable["AgeHistogram"]) -> "AgeHistogram":
+        """Sum many histograms over the same grid (fleet-level aggregation)."""
+        histograms = list(histograms)
+        require(len(histograms) > 0, "cannot merge zero histograms")
+        merged = histograms[0].copy()
+        for other in histograms[1:]:
+            require(
+                other.bins.thresholds == merged.bins.thresholds,
+                "cannot merge histograms over different threshold grids",
+            )
+            merged.counts += other.counts
+            merged.young_count += other.young_count
+        return merged

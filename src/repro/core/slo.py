@@ -1,0 +1,112 @@
+"""The far-memory performance SLO (paper §4.2).
+
+The paper's service-level indicator is the **promotion rate**: the rate at
+which pages are swapped back in from far memory.  Because jobs of different
+sizes tolerate very different absolute rates, the SLO normalizes by the
+job's **working set size** (pages accessed within the minimum cold-age
+threshold, 120 s): *no more than P % of the working set may be promoted per
+minute*, with ``P = 0.2``.
+
+This module holds the SLO dataclass plus the two measurements it is defined
+over: working-set size (from a cold-age histogram) and normalized promotion
+rate (from a promotion histogram).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import (
+    MIN_COLD_AGE_THRESHOLD,
+    MINUTE,
+    TARGET_PROMOTION_RATE_PCT_PER_MIN,
+)
+from repro.common.validation import check_positive
+from repro.core.histograms import AgeHistogram
+
+__all__ = [
+    "PromotionRateSlo",
+    "working_set_pages",
+    "normalized_promotion_rate",
+]
+
+
+@dataclass(frozen=True)
+class PromotionRateSlo:
+    """Promotion-rate SLO: promotions/min <= (target_pct/100) * WSS.
+
+    Attributes:
+        target_pct_per_min: the P in "P % of the working set per minute".
+        min_cold_age_seconds: the window defining the working set (120 s).
+    """
+
+    target_pct_per_min: float = TARGET_PROMOTION_RATE_PCT_PER_MIN
+    min_cold_age_seconds: int = MIN_COLD_AGE_THRESHOLD
+
+    def __post_init__(self) -> None:
+        check_positive(self.target_pct_per_min, "target_pct_per_min")
+        check_positive(self.min_cold_age_seconds, "min_cold_age_seconds")
+
+    def allowed_promotions_per_min(self, working_set_size_pages: float) -> float:
+        """The absolute promotion budget (pages/min) for a given working set."""
+        return (self.target_pct_per_min / 100.0) * working_set_size_pages
+
+    def is_met(
+        self, promotions_per_min: float, working_set_size_pages: float
+    ) -> bool:
+        """True when the measured rate fits within the budget.
+
+        A job with an empty working set trivially meets the SLO only when it
+        has zero promotions (there is nothing to normalize by).
+        """
+        if working_set_size_pages <= 0:
+            return promotions_per_min <= 0
+        return promotions_per_min <= self.allowed_promotions_per_min(
+            working_set_size_pages
+        )
+
+
+def working_set_pages(
+    cold_age_histogram: AgeHistogram,
+    min_cold_age_seconds: int = MIN_COLD_AGE_THRESHOLD,
+) -> int:
+    """Working-set size: resident pages accessed within the minimum window.
+
+    Per §4.2, the working set is all pages *not* cold under the most
+    aggressive candidate threshold, i.e. total resident pages minus pages
+    whose age is at least ``min_cold_age_seconds``.
+    """
+    return cold_age_histogram.total - cold_age_histogram.colder_than(
+        min_cold_age_seconds
+    )
+
+
+def normalized_promotion_rate(
+    promotions_per_min: float,
+    working_set_size_pages: float,
+) -> float:
+    """Promotion rate as a percentage of working set per minute.
+
+    Jobs with an empty working set but nonzero promotions are reported as
+    ``float('inf')`` — they cannot meet any normalized SLO.
+    """
+    if working_set_size_pages <= 0:
+        return 0.0 if promotions_per_min <= 0 else float("inf")
+    return 100.0 * promotions_per_min / working_set_size_pages
+
+
+def promotions_per_minute(
+    promotion_histogram: AgeHistogram,
+    threshold_seconds: float,
+    interval_seconds: float,
+) -> float:
+    """Promotions/min that threshold ``T`` would have caused over an interval.
+
+    The promotion histogram records the age of each page at the moment it
+    was accessed; accesses to pages with age >= T are exactly the promotions
+    a system running threshold T would have performed (§4.3's promotion
+    histogram semantics).
+    """
+    check_positive(interval_seconds, "interval_seconds")
+    events = promotion_histogram.colder_than(threshold_seconds)
+    return events * (MINUTE / interval_seconds)

@@ -1,0 +1,106 @@
+"""Memory TCO model (paper §6.1).
+
+The paper's arithmetic: with fleet-average cold-memory coverage ``c`` (20 %),
+an upper bound on the cold fraction of memory ``f`` (32 % at T = 120 s), and
+compressed pages costing ``1 - 1/r`` less DRAM (67 % cheaper at the median
+3x compression ratio), the DRAM TCO saving is approximately::
+
+    savings = c * f * (1 - 1/r) ~= 0.20 * 0.32 * 0.67 ~= 4.3 %
+
+This module generalizes that arithmetic, adds the CPU-overhead debit that
+zswap trades for the memory saving, and prices the result in dollars so the
+"millions of dollars at WSC scale" claim can be reproduced for any fleet
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import check_fraction, check_non_negative, check_positive
+
+__all__ = ["TcoModel", "TcoReport"]
+
+
+@dataclass(frozen=True)
+class TcoReport:
+    """Result of a TCO evaluation.
+
+    Attributes:
+        dram_saving_fraction: fraction of DRAM TCO saved (the 4-5 % figure).
+        effective_compressed_fraction: fraction of all DRAM bytes holding
+            compressed payloads' *logical* data (coverage x cold fraction).
+        dram_dollars_saved_per_year: priced saving for the modelled fleet.
+        cpu_overhead_dollars_per_year: cost of the compression cycles.
+        net_dollars_saved_per_year: saving minus CPU overhead.
+    """
+
+    dram_saving_fraction: float
+    effective_compressed_fraction: float
+    dram_dollars_saved_per_year: float
+    cpu_overhead_dollars_per_year: float
+    net_dollars_saved_per_year: float
+
+
+@dataclass(frozen=True)
+class TcoModel:
+    """Prices the memory saved by software-defined far memory.
+
+    Attributes:
+        dram_dollars_per_gib_year: amortized DRAM cost.
+        cpu_dollars_per_core_year: amortized cost of one logical core.
+        fleet_dram_gib: total fleet DRAM capacity being modelled.
+    """
+
+    dram_dollars_per_gib_year: float = 25.0
+    cpu_dollars_per_core_year: float = 300.0
+    fleet_dram_gib: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.dram_dollars_per_gib_year, "dram_dollars_per_gib_year")
+        check_positive(self.cpu_dollars_per_core_year, "cpu_dollars_per_core_year")
+        check_positive(self.fleet_dram_gib, "fleet_dram_gib")
+
+    def evaluate(
+        self,
+        coverage: float,
+        cold_fraction: float,
+        compression_ratio: float,
+        cpu_cores_per_machine_overhead: float = 0.0,
+        machines: int = 0,
+    ) -> TcoReport:
+        """Compute the TCO report for one operating point.
+
+        Args:
+            coverage: fleet cold-memory coverage (0..1), e.g. 0.20.
+            cold_fraction: fraction of used memory cold at the minimum
+                threshold (0..1), e.g. 0.32.
+            compression_ratio: average compression ratio of compressed
+                pages, e.g. 3.0 (so each compressed byte costs 1/3).
+            cpu_cores_per_machine_overhead: average logical cores each
+                machine spends on (de)compression (e.g. 0.001).
+            machines: fleet machine count for pricing the CPU debit.
+        """
+        check_fraction(coverage, "coverage")
+        check_fraction(cold_fraction, "cold_fraction")
+        check_positive(compression_ratio, "compression_ratio")
+        check_non_negative(
+            cpu_cores_per_machine_overhead, "cpu_cores_per_machine_overhead"
+        )
+        check_non_negative(machines, "machines")
+
+        compressed_fraction = coverage * cold_fraction
+        saving_fraction = compressed_fraction * (1.0 - 1.0 / compression_ratio)
+        dram_saved = (
+            saving_fraction * self.fleet_dram_gib * self.dram_dollars_per_gib_year
+        )
+        cpu_cost = (
+            cpu_cores_per_machine_overhead * machines * self.cpu_dollars_per_core_year
+        )
+        return TcoReport(
+            dram_saving_fraction=saving_fraction,
+            effective_compressed_fraction=compressed_fraction,
+            dram_dollars_saved_per_year=dram_saved,
+            cpu_overhead_dollars_per_year=cpu_cost,
+            net_dollars_saved_per_year=dram_saved - cpu_cost,
+        )

@@ -1,0 +1,198 @@
+"""Cold-age threshold controller (paper §4.3).
+
+Every control period (one minute) the node agent computes, from that
+period's promotion histogram, the *best* threshold — the smallest candidate
+cold-age threshold whose promotion rate would have stayed within the SLO.
+The controller then chooses the threshold for the *next* minute as:
+
+* the **K-th percentile** of the history of per-minute best thresholds
+  (violating the SLO roughly ``100 - K`` % of the time at steady state), or
+* the **last minute's best threshold, if higher** — the spike-reaction rule
+  that makes the system back off immediately when a job suddenly touches
+  a lot of previously-cold memory;
+* and zswap is **disabled for the first S seconds** of a job's execution,
+  because the history is too thin to act on.
+
+The policy is deliberately pure (no clock, no kernel handles): it consumes
+per-interval histograms and emits a threshold, which is what lets the fast
+far memory model (§5.3) replay it offline over recorded traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.common.units import MINUTE
+from repro.common.validation import check_in_range, check_non_negative, require
+from repro.core.histograms import AgeBins, AgeHistogram
+from repro.core.slo import PromotionRateSlo, promotions_per_minute
+
+__all__ = ["ThresholdPolicyConfig", "ColdAgeThresholdPolicy", "best_threshold"]
+
+#: Sentinel meaning "compress nothing" (no finite threshold chosen).
+DISABLED: float = float("inf")
+
+
+def best_threshold(
+    promotion_histogram: AgeHistogram,
+    working_set_size_pages: float,
+    slo: PromotionRateSlo,
+    interval_seconds: float = MINUTE,
+) -> float:
+    """Smallest candidate threshold meeting the SLO over one interval.
+
+    Walks the candidate grid from most to least aggressive and returns the
+    first threshold whose would-have-been promotion rate fits the budget.
+    Returns :data:`DISABLED` when even the largest candidate violates the
+    SLO (the job touched essentially all of its cold memory).
+    """
+    budget = slo.allowed_promotions_per_min(working_set_size_pages)
+    suffix = promotion_histogram.suffix_sums() * (MINUTE / interval_seconds)
+    for threshold, rate in zip(promotion_histogram.bins.thresholds, suffix):
+        if rate <= budget:
+            return float(threshold)
+    return DISABLED
+
+
+@dataclass(frozen=True)
+class ThresholdPolicyConfig:
+    """Tunable parameters of the controller — the autotuner's search space.
+
+    Attributes:
+        percentile_k: the K in "K-th percentile of past best thresholds".
+            Higher K is more conservative (higher thresholds, fewer SLO
+            violations, less far memory).
+        warmup_seconds: the S in "disable zswap for the first S seconds".
+        history_length: how many per-minute best thresholds to remember.
+        spike_reaction: apply §4.3's escalation rule (use the last
+            interval's best threshold when it exceeds the percentile).
+            Exposed so the ablation bench can measure what the rule buys.
+        fixed_threshold_seconds: when set, bypass the controller entirely
+            and always use this threshold (the static-threshold baseline;
+            warm-up still applies).
+    """
+
+    percentile_k: float = 98.0
+    warmup_seconds: int = 600
+    history_length: int = 120
+    spike_reaction: bool = True
+    fixed_threshold_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_in_range(self.percentile_k, "percentile_k", 0.0, 100.0)
+        check_non_negative(self.warmup_seconds, "warmup_seconds")
+        require(self.history_length >= 1, "history_length must be >= 1")
+
+
+class ColdAgeThresholdPolicy:
+    """Stateful per-job instance of the §4.3 control algorithm.
+
+    Drive it once per control interval with :meth:`observe`, then read
+    :meth:`threshold` for the threshold to apply during the next interval.
+    """
+
+    def __init__(self, config: ThresholdPolicyConfig, bins: AgeBins,
+                 slo: Optional[PromotionRateSlo] = None):
+        self.config = config
+        self.bins = bins
+        self.slo = slo if slo is not None else PromotionRateSlo()
+        self._pool: Deque[float] = deque(maxlen=config.history_length)
+        self._elapsed_seconds = 0
+        self._last_best: float = DISABLED
+
+    @property
+    def warmed_up(self) -> bool:
+        """True once the job has run for at least S seconds."""
+        return self._elapsed_seconds >= self.config.warmup_seconds
+
+    @property
+    def history(self) -> tuple:
+        """The pool of past per-minute best thresholds (oldest first)."""
+        return tuple(self._pool)
+
+    def observe(
+        self,
+        promotion_histogram: AgeHistogram,
+        working_set_size_pages: float,
+        interval_seconds: float = MINUTE,
+    ) -> float:
+        """Ingest one control interval's statistics.
+
+        Args:
+            promotion_histogram: promotions recorded during this interval
+                only (an interval diff, not a cumulative histogram).
+            working_set_size_pages: the job's working set this interval.
+            interval_seconds: length of the interval.
+
+        Returns:
+            The best threshold computed for this interval.
+        """
+        require(
+            promotion_histogram.bins.thresholds == self.bins.thresholds,
+            "promotion histogram uses a different threshold grid",
+        )
+        self._elapsed_seconds += int(interval_seconds)
+        best = best_threshold(
+            promotion_histogram, working_set_size_pages, self.slo, interval_seconds
+        )
+        self._pool.append(best)
+        self._last_best = best
+        return best
+
+    def threshold(self) -> float:
+        """Threshold to apply for the next interval (or DISABLED).
+
+        Returns :data:`DISABLED` while warming up or with an empty history.
+        Otherwise: ``max(K-th percentile of pool, last interval's best)``.
+        """
+        if not self.warmed_up:
+            return DISABLED
+        if self.config.fixed_threshold_seconds is not None:
+            return float(self.config.fixed_threshold_seconds)
+        if not self._pool:
+            return DISABLED
+        # DISABLED entries dominate: a minute where even the largest
+        # candidate violated the SLO must push high percentiles to
+        # "compress nothing", not to "compress at the largest threshold".
+        # They are mapped to a finite sentinel far above the grid so the
+        # percentile interpolation stays warning-free; any result beyond
+        # the grid decodes back to DISABLED.
+        pool = np.asarray(self._pool, dtype=float)
+        sentinel = float(self.bins.max_threshold) * 1e9
+        pool = np.where(np.isfinite(pool), pool, sentinel)
+        kth = float(np.percentile(pool, self.config.percentile_k))
+        if kth > self.bins.max_threshold:
+            return DISABLED
+        # Snap up to the nearest candidate threshold: the kernel can only
+        # enforce thresholds on the candidate grid.
+        idx = int(np.searchsorted(self.bins.thresholds, kth, side="left"))
+        if idx >= len(self.bins.thresholds):
+            kth_snapped = float(self.bins.max_threshold)
+        else:
+            kth_snapped = float(self.bins.thresholds[idx])
+        if not self.config.spike_reaction:
+            return kth_snapped
+        return max(kth_snapped, self._last_best)
+
+    def reset(self) -> None:
+        """Forget all history (job restart)."""
+        self._pool.clear()
+        self._elapsed_seconds = 0
+        self._last_best = DISABLED
+
+    def inherit_state(self, other: "ColdAgeThresholdPolicy") -> None:
+        """Adopt another policy's observations (parameter redeployment).
+
+        The kernel histograms — and therefore the per-minute best
+        thresholds derived from them — are properties of the *job*, not of
+        the parameters, so rolling out a new ``(K, S)`` must not restart
+        the job's history or its warm-up clock.
+        """
+        for best in other._pool:
+            self._pool.append(best)
+        self._elapsed_seconds = other._elapsed_seconds
+        self._last_best = other._last_best

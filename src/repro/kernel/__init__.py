@@ -1,0 +1,51 @@
+"""Simulated Linux kernel substrate: memcg, kstaled, kreclaimd, zswap,
+zsmalloc, direct reclaim, and the machine that composes them (paper §5.1)."""
+
+from repro.kernel.compression import (
+    DEFAULT_LATENCY_MODEL,
+    CompressionLatencyModel,
+    ContentProfile,
+)
+from repro.kernel.direct_reclaim import DirectReclaim
+from repro.kernel.kreclaimd import Kreclaimd
+from repro.kernel.kstaled import Kstaled
+from repro.kernel.machine import FarMemoryMode, Machine, MachineConfig
+from repro.kernel.memcg import MemCg, PageState
+from repro.kernel.remote import RemoteAccessModel, RemoteMemoryPool
+from repro.kernel.tiers import (
+    NVM_DEVICE,
+    ZSSD_DEVICE,
+    ZSWAP_ACCEL_DEVICE,
+    ZSWAP_DEVICE,
+    FarMemoryDevice,
+    TierAssignment,
+    TieredFarMemory,
+)
+from repro.kernel.zsmalloc import ArenaStats, ZsmallocArena
+from repro.kernel.zswap import Zswap, ZswapJobStats
+
+__all__ = [
+    "ArenaStats",
+    "FarMemoryDevice",
+    "NVM_DEVICE",
+    "RemoteAccessModel",
+    "RemoteMemoryPool",
+    "TierAssignment",
+    "TieredFarMemory",
+    "ZSSD_DEVICE",
+    "ZSWAP_ACCEL_DEVICE",
+    "ZSWAP_DEVICE",
+    "CompressionLatencyModel",
+    "ContentProfile",
+    "DEFAULT_LATENCY_MODEL",
+    "DirectReclaim",
+    "FarMemoryMode",
+    "Kreclaimd",
+    "Kstaled",
+    "Machine",
+    "MachineConfig",
+    "MemCg",
+    "PageState",
+    "Zswap",
+    "ZswapJobStats",
+]

@@ -1,0 +1,286 @@
+"""One WSC machine: DRAM + memcgs + kernel daemons (paper §5.1, Fig. 4).
+
+A :class:`Machine` composes the kernel substrate — memcgs, kstaled,
+kreclaimd, zswap over a global zsmalloc arena, and reactive direct reclaim
+— behind the API the node agent and cluster scheduler use:
+
+* job lifecycle (:meth:`add_job` / :meth:`remove_job`),
+* the memory fast path (:meth:`touch`, :meth:`allocate`, :meth:`release`),
+* a per-tick :meth:`tick` that runs whichever daemons are due.
+
+The far-memory *mode* selects the paper's system (``PROACTIVE``), the Linux
+default baseline (``REACTIVE``), or no far memory at all (``OFF``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.common.errors import OutOfMemoryError, SimulationError
+from repro.common.events import EventLog
+from repro.common.rng import SeedSequenceFactory
+from repro.common.units import KSTALED_SCAN_PERIOD, PAGE_SIZE
+from repro.common.validation import check_positive, require
+from repro.core.histograms import AgeBins, default_age_bins
+from repro.kernel.compression import (
+    DEFAULT_LATENCY_MODEL,
+    CompressionLatencyModel,
+    ContentProfile,
+)
+from repro.kernel.direct_reclaim import DirectReclaim
+from repro.kernel.kreclaimd import Kreclaimd
+from repro.kernel.kstaled import Kstaled
+from repro.kernel.memcg import MemCg
+from repro.kernel.zsmalloc import ZsmallocArena
+from repro.kernel.zswap import Zswap, ZswapJobStats
+
+__all__ = ["FarMemoryMode", "MachineConfig", "Machine"]
+
+
+class FarMemoryMode(enum.Enum):
+    """Which far-memory control plane a machine runs."""
+
+    PROACTIVE = "proactive"  #: the paper's system: kreclaimd + node agent
+    REACTIVE = "reactive"  #: stock Linux zswap: direct reclaim only
+    OFF = "off"  #: no far memory (control group in A/B tests)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static machine parameters.
+
+    Attributes:
+        dram_bytes: installed DRAM capacity.
+        mode: far-memory control plane (see :class:`FarMemoryMode`).
+        scan_period: kstaled period in seconds.
+        reclaim_watermark_fraction: free-memory fraction below which
+            reactive direct reclaim triggers on allocation.
+        kreclaimd_pages_per_run: slack-cycle budget per kreclaimd pass.
+        latency_model: compression cost model.
+        zswap_max_pool_fraction: cap on the arena footprint as a fraction
+            of DRAM (0 = uncapped; upstream zswap defaults to 20 %).
+    """
+
+    dram_bytes: int = 256 << 30
+    mode: FarMemoryMode = FarMemoryMode.PROACTIVE
+    scan_period: int = KSTALED_SCAN_PERIOD
+    reclaim_watermark_fraction: float = 0.02
+    kreclaimd_pages_per_run: Optional[int] = None
+    latency_model: CompressionLatencyModel = DEFAULT_LATENCY_MODEL
+    zswap_max_pool_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.dram_bytes, "dram_bytes")
+        check_positive(self.scan_period, "scan_period")
+        require(
+            0.0 <= self.reclaim_watermark_fraction < 1.0,
+            "reclaim_watermark_fraction must be in [0, 1)",
+        )
+        require(
+            0.0 <= self.zswap_max_pool_fraction <= 1.0,
+            "zswap_max_pool_fraction must be in [0, 1]",
+        )
+
+
+class Machine:
+    """A single server with software-defined far memory.
+
+    Args:
+        machine_id: fleet-unique identifier.
+        config: static parameters.
+        bins: fleet-wide candidate threshold grid.
+        seeds: RNG factory (forked per job for payload sampling).
+        events: optional shared event log.
+    """
+
+    def __init__(
+        self,
+        machine_id: str,
+        config: MachineConfig,
+        bins: Optional[AgeBins] = None,
+        seeds: Optional[SeedSequenceFactory] = None,
+        events: Optional[EventLog] = None,
+    ):
+        self.machine_id = machine_id
+        self.config = config
+        self.bins = bins if bins is not None else default_age_bins()
+        self._seeds = seeds if seeds is not None else SeedSequenceFactory(0)
+        self.events = events if events is not None else EventLog(max_events=100_000)
+
+        self.memcgs: Dict[str, MemCg] = {}
+        self.arena = ZsmallocArena()
+        self.zswap = Zswap(
+            self.arena,
+            config.latency_model,
+            max_pool_bytes=int(
+                config.zswap_max_pool_fraction * config.dram_bytes
+            ),
+        )
+        self.kstaled = Kstaled(config.scan_period)
+        self.kreclaimd = Kreclaimd(self.zswap, config.kreclaimd_pages_per_run)
+        self.direct_reclaim = DirectReclaim(self.zswap)
+        self.now = 0
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def near_bytes(self) -> int:
+        """DRAM used by uncompressed pages."""
+        return sum(m.near_bytes for m in self.memcgs.values())
+
+    @property
+    def used_bytes(self) -> int:
+        """Total DRAM in use (near pages + arena footprint)."""
+        return self.near_bytes + self.arena.footprint_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Uncommitted DRAM."""
+        return self.config.dram_bytes - self.used_bytes
+
+    @property
+    def far_pages(self) -> int:
+        """Pages currently stored compressed, machine-wide."""
+        return sum(m.far_pages for m in self.memcgs.values())
+
+    def saved_bytes(self) -> int:
+        """DRAM reclaimed by compression: far bytes minus arena footprint."""
+        return self.far_pages * PAGE_SIZE - self.arena.footprint_bytes
+
+    def cold_pages(self, threshold_seconds: float) -> int:
+        """Machine-wide pages idle at least ``threshold_seconds``."""
+        return sum(
+            m.cold_pages(threshold_seconds) for m in self.memcgs.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+
+    def add_job(
+        self,
+        job_id: str,
+        capacity_pages: int,
+        content_profile: Optional[ContentProfile] = None,
+    ) -> MemCg:
+        """Create a memcg for a newly scheduled job."""
+        require(job_id not in self.memcgs, f"job {job_id} already on machine")
+        profile = content_profile if content_profile is not None else ContentProfile()
+        memcg = MemCg(
+            job_id=job_id,
+            capacity_pages=capacity_pages,
+            content_profile=profile,
+            bins=self.bins,
+            rng=self._seeds.stream("payload", machine=hash(self.machine_id) & 0xFFFF,
+                                   job=hash(job_id) & 0xFFFFFF),
+            scan_period=self.config.scan_period,
+        )
+        memcg.start_time = self.now
+        # Proactive mode: zswap is enabled per job after warm-up by the node
+        # agent; reactive/off modes never run kreclaimd so the flag is moot.
+        memcg.zswap_enabled = self.config.mode is FarMemoryMode.PROACTIVE
+        self.memcgs[job_id] = memcg
+        self.events.record(self.now, "machine.job_added", job=job_id,
+                           machine=self.machine_id)
+        return memcg
+
+    def remove_job(self, job_id: str) -> ZswapJobStats:
+        """Tear down a job's memcg, dropping its far pages from the arena."""
+        memcg = self.memcgs.pop(job_id, None)
+        if memcg is None:
+            raise SimulationError(f"job {job_id} not on machine {self.machine_id}")
+        far = np.flatnonzero(memcg.far_mask())
+        self.zswap.evict_job(memcg, far)
+        self.events.record(self.now, "machine.job_removed", job=job_id,
+                           machine=self.machine_id)
+        return self.zswap.stats_for(job_id)
+
+    # ------------------------------------------------------------------
+    # Memory fast path
+    # ------------------------------------------------------------------
+
+    def allocate(self, job_id: str, n_pages: int) -> np.ndarray:
+        """Allocate pages for a job, reclaiming under pressure.
+
+        In REACTIVE mode a shortfall triggers synchronous direct reclaim
+        (the stock-Linux behaviour).  In PROACTIVE mode the paper instead
+        prefers failing fast: an unserviceable allocation raises
+        :class:`OutOfMemoryError` so the scheduler can evict/reschedule.
+        """
+        memcg = self._memcg(job_id)
+        needed = n_pages * PAGE_SIZE
+        watermark = int(
+            self.config.dram_bytes * self.config.reclaim_watermark_fraction
+        )
+        if self.free_bytes - needed < watermark:
+            self.arena.compact()
+        if (
+            self.free_bytes - needed < watermark
+            and self.config.mode is FarMemoryMode.REACTIVE
+        ):
+            shortfall = needed + watermark - self.free_bytes
+            freed, stall = self.direct_reclaim.reclaim(
+                self.memcgs.values(), shortfall
+            )
+            self.events.record(
+                self.now, "machine.direct_reclaim", job=job_id,
+                freed_bytes=freed, stall_seconds=stall,
+            )
+        if self.free_bytes < needed:
+            raise OutOfMemoryError(
+                f"machine {self.machine_id}: {n_pages} pages requested, "
+                f"{self.free_bytes // PAGE_SIZE} free"
+            )
+        return memcg.allocate(n_pages)
+
+    def release(self, job_id: str, indices: np.ndarray) -> None:
+        """Free pages, dropping any compressed copies from the arena."""
+        memcg = self._memcg(job_id)
+        far = memcg.release(indices)
+        self.zswap.evict_job(memcg, far)
+
+    def touch(self, job_id: str, indices: np.ndarray, write: bool = False) -> int:
+        """Access pages; faults on far pages decompress them (promotion).
+
+        Returns the number of promotions performed.
+        """
+        memcg = self._memcg(job_id)
+        far = memcg.touch(indices, write=write)
+        if far.size:
+            self.zswap.decompress(memcg, far)
+        return int(far.size)
+
+    # ------------------------------------------------------------------
+    # Daemons
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Advance machine time: run kstaled (if due) and kreclaimd.
+
+        The node agent's control loop runs *between* kstaled scans and
+        kreclaimd passes; the cluster layer sequences
+        ``machine.tick -> agent.control -> machine.run_reclaim``.
+        """
+        require(now >= self.now, "time went backwards")
+        self.now = now
+        self.kstaled.maybe_scan(now, self.memcgs.values())
+
+    def run_reclaim(self) -> int:
+        """One kreclaimd pass (proactive mode only); returns pages moved."""
+        if self.config.mode is not FarMemoryMode.PROACTIVE:
+            return 0
+        return self.kreclaimd.run(self.memcgs.values())
+
+    def _memcg(self, job_id: str) -> MemCg:
+        memcg = self.memcgs.get(job_id)
+        if memcg is None:
+            raise SimulationError(
+                f"job {job_id} not on machine {self.machine_id}"
+            )
+        return memcg

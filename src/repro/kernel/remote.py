@@ -1,0 +1,149 @@
+"""Remote-memory far tier: the alternative the paper declined (§2.1, §3.1).
+
+Memory disaggregation swaps cold pages to other machines' unused DRAM.
+The paper lists three blockers for WSC deployment, all of which this model
+makes measurable:
+
+1. **failure-domain expansion** — a machine crash now takes out not just
+   its own jobs but every borrower whose far pages it was hosting
+   (:meth:`RemoteMemoryPool.blast_radius`);
+2. **encryption** — pages leaving the machine must be encrypted, adding
+   CPU time on both the store and load paths;
+3. **tail latency** — a network fabric's latency distribution has a heavy
+   tail that a local decompression simply does not.
+
+:class:`RemoteMemoryPool` tracks donor placements for borrowed pages, and
+:class:`RemoteAccessModel` samples access latencies, so the zswap-vs-remote
+ablation can compare blast radius and latency tails quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.common.validation import check_non_negative, check_positive, require
+
+__all__ = ["RemoteAccessModel", "RemoteMemoryPool"]
+
+
+@dataclass(frozen=True)
+class RemoteAccessModel:
+    """Latency/CPU model of page-granular remote memory access.
+
+    Attributes:
+        network_base_seconds: median one-way fabric + RDMA completion time.
+        network_sigma: lognormal shape of the fabric latency (tail).
+        encryption_seconds_per_page: AES-class work per 4 KiB page, paid on
+            both swap-out and swap-in (the paper's security requirement).
+    """
+
+    network_base_seconds: float = 10e-6
+    network_sigma: float = 0.6
+    encryption_seconds_per_page: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        check_positive(self.network_base_seconds, "network_base_seconds")
+        check_positive(self.network_sigma, "network_sigma")
+        check_non_negative(
+            self.encryption_seconds_per_page, "encryption_seconds_per_page"
+        )
+
+    def sample_read_latencies(
+        self, n_pages: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-page promotion latency: fabric round trip + decryption."""
+        if n_pages == 0:
+            return np.zeros(0)
+        network = np.exp(
+            rng.normal(
+                np.log(self.network_base_seconds),
+                self.network_sigma,
+                size=n_pages,
+            )
+        )
+        return network + self.encryption_seconds_per_page
+
+    def store_cpu_seconds(self, n_pages: int) -> float:
+        """CPU cost of encrypting pages on their way out."""
+        return n_pages * self.encryption_seconds_per_page
+
+
+class RemoteMemoryPool:
+    """Tracks which donor machines hold each borrower job's far pages.
+
+    Args:
+        machine_ids: the participating machines.
+        rng: donor-selection stream.
+        fanout: donors each job's far pages are spread across (striping
+            improves bandwidth but widens the failure domain).
+    """
+
+    def __init__(
+        self,
+        machine_ids: Sequence[str],
+        rng: np.random.Generator,
+        fanout: int = 2,
+    ):
+        require(len(machine_ids) >= 2, "remote memory needs >= 2 machines")
+        check_positive(fanout, "fanout")
+        self.machine_ids = list(machine_ids)
+        self.fanout = min(int(fanout), len(machine_ids) - 1)
+        self._rng = rng
+        #: job id -> (host machine, {donor machine: pages})
+        self._placements: Dict[str, Tuple[str, Dict[str, int]]] = {}
+
+    def place_far_pages(
+        self, job_id: str, host_machine: str, pages: int
+    ) -> Dict[str, int]:
+        """Spread a job's far pages over donors (never its own host)."""
+        require(host_machine in self.machine_ids, "unknown host machine")
+        check_non_negative(pages, "pages")
+        candidates = [m for m in self.machine_ids if m != host_machine]
+        donors = list(
+            self._rng.choice(candidates, size=self.fanout, replace=False)
+        )
+        share, remainder = divmod(pages, len(donors))
+        allocation = {
+            donor: share + (1 if i < remainder else 0)
+            for i, donor in enumerate(donors)
+        }
+        self._placements[job_id] = (host_machine, allocation)
+        return allocation
+
+    def donors_of(self, job_id: str) -> Set[str]:
+        """Machines currently holding this job's far pages."""
+        if job_id not in self._placements:
+            return set()
+        _, allocation = self._placements[job_id]
+        return {donor for donor, pages in allocation.items() if pages > 0}
+
+    def affected_jobs(self, failed_machine: str) -> Set[str]:
+        """Jobs damaged by a machine failure.
+
+        A job is affected when the failed machine hosts it *or* holds any
+        of its remotely-placed far pages — the §2.1 failure-domain
+        expansion.
+        """
+        affected = set()
+        for job_id, (host, allocation) in self._placements.items():
+            if host == failed_machine:
+                affected.add(job_id)
+            elif allocation.get(failed_machine, 0) > 0:
+                affected.add(job_id)
+        return affected
+
+    def blast_radius(self, failed_machine: str) -> int:
+        """Number of jobs a single machine failure damages."""
+        return len(self.affected_jobs(failed_machine))
+
+    def hosted_jobs(self, machine_id: str) -> Set[str]:
+        """Jobs whose *host* is the given machine (the zswap-equivalent
+        failure domain)."""
+        return {
+            job_id
+            for job_id, (host, _) in self._placements.items()
+            if host == machine_id
+        }

@@ -1,0 +1,237 @@
+"""Multi-tier far memory (the paper's future-work §8).
+
+The paper closes with: "an exciting end state would be one where the
+system uses both hardware and software approaches and multiple tiers of
+far memory (sub-µs tier-1 and single-µs tier-2), all managed intelligently".
+This module implements that end state as a device-model layer:
+
+* :class:`FarMemoryDevice` — a latency/capacity/cost description of one
+  tier (presets for zswap, Optane-DIMM-like NVM, Z-SSD-like flash, and a
+  hardware-compression-accelerator variant of zswap);
+* :class:`TieredFarMemory` — a placement policy over multiple tiers: the
+  coldest pages go to the cheapest (slowest) tier, governed by one cold-age
+  threshold per tier (thresholds must increase with tier distance);
+* :func:`tier_assignment_from_histogram` — the offline what-if version:
+  given a job's cold-age histogram and per-tier thresholds, how many pages
+  land in each tier and what is the expected access penalty.
+
+The control-plane abstractions (§4) carry over unchanged: each tier's
+threshold is just another output of the same SLO machinery, which is
+exactly the generalization the paper claims its design permits ("our
+control plane is not tied to any specific far memory device").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.units import GIB, PAGE_SIZE
+from repro.common.validation import (
+    check_fraction,
+    check_positive,
+    check_sorted_unique,
+    require,
+)
+from repro.core.histograms import AgeHistogram
+
+__all__ = [
+    "FarMemoryDevice",
+    "ZSWAP_DEVICE",
+    "ZSWAP_ACCEL_DEVICE",
+    "NVM_DEVICE",
+    "ZSSD_DEVICE",
+    "TierAssignment",
+    "TieredFarMemory",
+    "tier_assignment_from_histogram",
+]
+
+
+@dataclass(frozen=True)
+class FarMemoryDevice:
+    """One far-memory technology, as the TCO model sees it.
+
+    Attributes:
+        name: human-readable technology name.
+        read_latency_seconds: page-granular access latency (median).
+        relative_cost_per_byte: cost of holding one logical byte, as a
+            fraction of DRAM cost (zswap at 3x compression = ~0.33).
+        fixed_capacity_bytes: None for elastic tiers (zswap); a fixed
+            device size for hardware tiers (the stranding risk of §2.1).
+        write_asymmetry: write cost multiplier vs reads (NVM is slower to
+            write).
+    """
+
+    name: str
+    read_latency_seconds: float
+    relative_cost_per_byte: float
+    fixed_capacity_bytes: Optional[int] = None
+    write_asymmetry: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.read_latency_seconds, "read_latency_seconds")
+        check_fraction(self.relative_cost_per_byte, "relative_cost_per_byte")
+        if self.fixed_capacity_bytes is not None:
+            check_positive(self.fixed_capacity_bytes, "fixed_capacity_bytes")
+        check_positive(self.write_asymmetry, "write_asymmetry")
+
+
+#: Software-defined far memory: the paper's measured operating point
+#: (6.4 us decompress, 1/3 of DRAM cost at 3x compression, elastic).
+ZSWAP_DEVICE = FarMemoryDevice(
+    name="zswap (lzo, software)",
+    read_latency_seconds=6.4e-6,
+    relative_cost_per_byte=0.33,
+)
+
+#: zswap with a tightly-coupled compression accelerator (§8): better
+#: ratios from heavier codecs at lower latency.
+ZSWAP_ACCEL_DEVICE = FarMemoryDevice(
+    name="zswap (hardware accelerator)",
+    read_latency_seconds=2.0e-6,
+    relative_cost_per_byte=0.22,
+)
+
+#: Optane-DC-Persistent-Memory-like NVM DIMM: sub-us loads, fixed size.
+NVM_DEVICE = FarMemoryDevice(
+    name="NVM DIMM (Optane-like)",
+    read_latency_seconds=0.4e-6,
+    relative_cost_per_byte=0.5,
+    fixed_capacity_bytes=128 * GIB,
+    write_asymmetry=3.0,
+)
+
+#: Z-SSD-like low-latency flash over PCIe: tens of us, very cheap.
+ZSSD_DEVICE = FarMemoryDevice(
+    name="Z-SSD (PCIe flash)",
+    read_latency_seconds=20e-6,
+    relative_cost_per_byte=0.05,
+    fixed_capacity_bytes=512 * GIB,
+    write_asymmetry=2.0,
+)
+
+
+@dataclass(frozen=True)
+class TierAssignment:
+    """Result of assigning one job's pages to tiers.
+
+    Attributes:
+        pages_per_tier: pages stored in each tier (tier order preserved);
+            index 0 is near memory (DRAM).
+        expected_access_seconds_per_min: expected stall time per minute,
+            from each tier's access rate x latency.
+        dram_cost_saving_fraction: saved DRAM cost as a fraction of the
+            job's total memory cost.
+        stranded_pages_per_tier: demand that exceeded a fixed tier's
+            capacity and had to stay one tier up.
+    """
+
+    pages_per_tier: Tuple[int, ...]
+    expected_access_seconds_per_min: float
+    dram_cost_saving_fraction: float
+    stranded_pages_per_tier: Tuple[int, ...]
+
+
+class TieredFarMemory:
+    """A stack of far-memory tiers ordered near to far.
+
+    Args:
+        devices: tiers ordered by increasing coldness (tier 1 holds the
+            warmest far pages, the last tier the coldest).
+        thresholds_seconds: cold-age threshold at which a page becomes
+            eligible for each tier; strictly increasing, one per device.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence[FarMemoryDevice],
+        thresholds_seconds: Sequence[float],
+    ):
+        require(len(devices) >= 1, "need at least one far-memory tier")
+        require(
+            len(devices) == len(thresholds_seconds),
+            "one threshold per device required",
+        )
+        check_sorted_unique(list(thresholds_seconds), "thresholds_seconds")
+        self.devices = list(devices)
+        self.thresholds_seconds = [float(t) for t in thresholds_seconds]
+
+    def assign(
+        self,
+        cold_age_histogram: AgeHistogram,
+        promotion_histogram: AgeHistogram,
+        interval_seconds: float = 60.0,
+    ) -> TierAssignment:
+        """Assign a job's pages to tiers and price the outcome.
+
+        Pages idle in ``[threshold[i], threshold[i+1])`` land in tier i;
+        pages younger than the first threshold stay in DRAM.  Expected
+        stall per minute multiplies each tier's would-be promotions by its
+        read latency.  Fixed-capacity tiers overflow upward (stranding).
+        """
+        return tier_assignment_from_histogram(
+            self.devices,
+            self.thresholds_seconds,
+            cold_age_histogram,
+            promotion_histogram,
+            interval_seconds,
+        )
+
+
+def tier_assignment_from_histogram(
+    devices: Sequence[FarMemoryDevice],
+    thresholds: Sequence[float],
+    cold_age_histogram: AgeHistogram,
+    promotion_histogram: AgeHistogram,
+    interval_seconds: float = 60.0,
+) -> TierAssignment:
+    """Pure function behind :meth:`TieredFarMemory.assign`."""
+    total_pages = cold_age_histogram.total
+    cold_at = [cold_age_histogram.colder_than(t) for t in thresholds]
+    promos_at = [promotion_histogram.colder_than(t) for t in thresholds]
+
+    pages_per_tier: List[int] = []
+    stranded: List[int] = []
+    carry = 0
+    for i, device in enumerate(devices):
+        in_band = cold_at[i] - (cold_at[i + 1] if i + 1 < len(cold_at) else 0)
+        demand = in_band + carry
+        if device.fixed_capacity_bytes is not None:
+            capacity_pages = device.fixed_capacity_bytes // PAGE_SIZE
+            stored = min(demand, capacity_pages)
+        else:
+            stored = demand
+        # Overflow falls to the NEXT (colder, larger) tier if one exists;
+        # from the last tier it is stranded back in DRAM.
+        overflow = demand - stored
+        pages_per_tier.append(int(stored))
+        if i + 1 < len(devices):
+            carry = overflow
+            stranded.append(0)
+        else:
+            carry = 0
+            stranded.append(int(overflow))
+
+    near_pages = total_pages - sum(pages_per_tier)
+    scale = 60.0 / interval_seconds
+    stall = 0.0
+    for i, device in enumerate(devices):
+        band_promos = promos_at[i] - (
+            promos_at[i + 1] if i + 1 < len(promos_at) else 0
+        )
+        stall += band_promos * scale * device.read_latency_seconds
+
+    if total_pages > 0:
+        saving = sum(
+            pages * (1.0 - device.relative_cost_per_byte)
+            for pages, device in zip(pages_per_tier, devices)
+        ) / total_pages
+    else:
+        saving = 0.0
+
+    return TierAssignment(
+        pages_per_tier=(near_pages, *pages_per_tier),
+        expected_access_seconds_per_min=stall,
+        dram_cost_saving_fraction=saving,
+        stranded_pages_per_tier=(0, *stranded),
+    )

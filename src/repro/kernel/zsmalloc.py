@@ -1,0 +1,213 @@
+"""zsmalloc: the machine-global compressed-data arena (paper §5.1).
+
+zsmalloc packs variable-size compressed payloads into fixed *size classes*;
+objects of one class are stored in multi-page "zspages".  The paper keeps
+**one global arena per machine** (per-memcg arenas fragmented badly with
+tens of jobs per machine) with **an explicit compaction interface** driven
+by the node agent.
+
+The model tracks, per size class, live objects and free slots (holes left
+by freed objects).  A class's DRAM footprint is the zspages needed to hold
+``live + holes`` slots; compaction migrates objects to squeeze the holes
+out.  This reproduces the phenomena that mattered in the paper: internal
+fragmentation (class rounding), external fragmentation (holes), and the
+accounting identity ``footprint >= payload bytes``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.common.units import PAGE_SIZE
+from repro.common.validation import check_positive, require
+
+__all__ = ["ZsmallocArena", "ArenaStats"]
+
+#: Granularity of size classes, matching Linux zsmalloc's step.
+SIZE_CLASS_STEP = 32
+
+#: Pages per zspage (Linux uses up to 4).
+ZSPAGE_PAGES = 4
+ZSPAGE_BYTES = ZSPAGE_PAGES * PAGE_SIZE
+
+#: Per-object metadata overhead (handle + zspage bookkeeping share).
+OBJECT_METADATA_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ArenaStats:
+    """Point-in-time arena accounting.
+
+    Attributes:
+        live_objects: stored payloads.
+        payload_bytes: sum of stored payload sizes.
+        footprint_bytes: DRAM actually consumed (zspages).
+        internal_fragmentation_bytes: class rounding + metadata waste.
+        external_fragmentation_bytes: bytes held by free holes.
+    """
+
+    live_objects: int
+    payload_bytes: int
+    footprint_bytes: int
+    internal_fragmentation_bytes: int
+    external_fragmentation_bytes: int
+
+
+class _SizeClass:
+    """Bookkeeping for one object size class."""
+
+    __slots__ = ("class_bytes", "objects_per_zspage", "live", "holes",
+                 "payload_bytes")
+
+    def __init__(self, class_bytes: int):
+        self.class_bytes = class_bytes
+        self.objects_per_zspage = max(1, ZSPAGE_BYTES // class_bytes)
+        self.live = 0
+        self.holes = 0
+        self.payload_bytes = 0
+
+    @property
+    def zspages(self) -> int:
+        slots = self.live + self.holes
+        return math.ceil(slots / self.objects_per_zspage)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.zspages * ZSPAGE_BYTES
+
+    def alloc(self, payload: int) -> None:
+        if self.holes > 0:
+            self.holes -= 1
+        self.live += 1
+        self.payload_bytes += payload
+
+    def free(self, payload: int) -> None:
+        if self.live <= 0:
+            raise SimulationError(
+                f"size class {self.class_bytes}: free with no live objects"
+            )
+        self.live -= 1
+        self.holes += 1
+        self.payload_bytes -= payload
+
+    def compact(self) -> int:
+        """Squeeze out holes; returns bytes released."""
+        before = self.footprint_bytes
+        self.holes = 0
+        return before - self.footprint_bytes
+
+
+class ZsmallocArena:
+    """Machine-global compressed-payload store.
+
+    Payload sizes are mapped to size classes by rounding
+    ``payload + metadata`` up to the next :data:`SIZE_CLASS_STEP` multiple.
+    """
+
+    def __init__(self, step: int = SIZE_CLASS_STEP):
+        check_positive(step, "step")
+        self._step = int(step)
+        self._classes: Dict[int, _SizeClass] = {}
+        self.compactions = 0
+
+    def class_bytes_for(self, payload_bytes: int) -> int:
+        """The size class a payload of this size lands in."""
+        require(payload_bytes > 0, f"payload must be positive, got {payload_bytes}")
+        gross = payload_bytes + OBJECT_METADATA_BYTES
+        return self._step * math.ceil(gross / self._step)
+
+    def _class(self, class_bytes: int) -> _SizeClass:
+        cls = self._classes.get(class_bytes)
+        if cls is None:
+            cls = _SizeClass(class_bytes)
+            self._classes[class_bytes] = cls
+        return cls
+
+    # ------------------------------------------------------------------
+    # Allocation API (batch-oriented: kreclaimd compresses pages in bulk)
+    # ------------------------------------------------------------------
+
+    def _grouped(self, payload_bytes: np.ndarray):
+        """Yield ``(class_bytes, object_count, payload_sum)`` per size class."""
+        payloads = np.asarray(payload_bytes, dtype=np.int64)
+        if payloads.size == 0:
+            return
+        require(bool((payloads > 0).all()), "payloads must be positive")
+        classes = self._step * np.ceil(
+            (payloads + OBJECT_METADATA_BYTES) / self._step
+        ).astype(np.int64)
+        unique, inverse, counts = np.unique(
+            classes, return_inverse=True, return_counts=True
+        )
+        sums = np.bincount(inverse, weights=payloads, minlength=unique.size)
+        for class_bytes, count, payload_sum in zip(unique, counts, sums):
+            yield int(class_bytes), int(count), int(payload_sum)
+
+    def store(self, payload_bytes: np.ndarray) -> None:
+        """Store one object per entry of ``payload_bytes``."""
+        for class_bytes, count, payload_sum in self._grouped(payload_bytes):
+            cls = self._class(class_bytes)
+            reused = min(cls.holes, count)
+            cls.holes -= reused
+            cls.live += count
+            cls.payload_bytes += payload_sum
+
+    def release(self, payload_bytes: np.ndarray) -> None:
+        """Free the objects previously stored with these payload sizes."""
+        for class_bytes, count, payload_sum in self._grouped(payload_bytes):
+            cls = self._classes.get(class_bytes)
+            if cls is None or cls.live < count:
+                raise SimulationError(
+                    f"release of {count} objects from size class {class_bytes} "
+                    f"with only {0 if cls is None else cls.live} live"
+                )
+            cls.live -= count
+            cls.holes += count
+            cls.payload_bytes -= payload_sum
+
+    def compact(self) -> int:
+        """Explicit compaction (node-agent triggered); returns bytes freed."""
+        released = sum(cls.compact() for cls in self._classes.values())
+        self.compactions += 1
+        return released
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def footprint_bytes(self) -> int:
+        """DRAM the arena currently pins."""
+        return sum(cls.footprint_bytes for cls in self._classes.values())
+
+    @property
+    def payload_bytes(self) -> int:
+        """Logical bytes stored (sum of payload sizes)."""
+        return sum(cls.payload_bytes for cls in self._classes.values())
+
+    @property
+    def live_objects(self) -> int:
+        """Number of stored objects."""
+        return sum(cls.live for cls in self._classes.values())
+
+    def stats(self) -> ArenaStats:
+        """Full accounting snapshot."""
+        live = payload = footprint = internal = external = 0
+        for cls in self._classes.values():
+            live += cls.live
+            payload += cls.payload_bytes
+            footprint += cls.footprint_bytes
+            internal += cls.live * cls.class_bytes - cls.payload_bytes
+            external += cls.holes * cls.class_bytes
+        return ArenaStats(
+            live_objects=live,
+            payload_bytes=payload,
+            footprint_bytes=footprint,
+            internal_fragmentation_bytes=internal,
+            external_fragmentation_bytes=external,
+        )

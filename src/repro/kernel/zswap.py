@@ -1,0 +1,210 @@
+"""zswap: the compressed far-memory tier (paper §3, §5.1).
+
+This is the simulator's equivalent of the augmented zswap the paper ships:
+it compresses pages into the machine-global zsmalloc arena, rejects pages
+whose payload exceeds the 2990-byte cutoff (marking them incompressible),
+and decompresses pages on fault, keeping them decompressed thereafter.
+
+All CPU time spent compressing, decompressing, and *failing* to compress
+(the wasted cycles on incompressible data the paper calls out in §3.2) is
+accounted per job, which is what Fig. 8 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.common.units import PAGE_SIZE, ZSMALLOC_MAX_PAYLOAD
+from repro.kernel.compression import (
+    DEFAULT_LATENCY_MODEL,
+    CompressionLatencyModel,
+)
+from repro.kernel.memcg import MemCg, PageState
+from repro.kernel.zsmalloc import ZsmallocArena
+
+__all__ = ["Zswap", "ZswapJobStats"]
+
+
+@dataclass
+class ZswapJobStats:
+    """Per-job zswap accounting (drives Fig. 8 and Fig. 9).
+
+    Attributes:
+        pages_compressed: successfully stored pages.
+        pages_rejected: compression attempts that exceeded the cutoff.
+        pages_decompressed: faults served from far memory.
+        compress_seconds: CPU time compressing (including rejected tries).
+        decompress_seconds: CPU time decompressing.
+        payload_bytes_stored: sum of stored payload sizes (for ratios).
+        decompress_latencies: per-page decompression latencies (seconds);
+            sampled reservoir-style to bound memory.
+    """
+
+    pages_compressed: int = 0
+    pages_rejected: int = 0
+    pages_decompressed: int = 0
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
+    payload_bytes_stored: int = 0
+    decompress_latencies: List[float] = field(default_factory=list)
+
+    #: Cap on retained latency samples per job.
+    LATENCY_SAMPLE_CAP = 4096
+
+    @property
+    def mean_compression_ratio(self) -> float:
+        """Uncompressed/compressed ratio over successfully stored pages."""
+        if self.pages_compressed == 0:
+            return 0.0
+        return self.pages_compressed * PAGE_SIZE / self.payload_bytes_stored
+
+
+class Zswap:
+    """Machine-wide zswap instance over one zsmalloc arena.
+
+    Args:
+        arena: the machine's global compressed-data arena.
+        latency_model: (de)compression cost model.
+        max_payload_bytes: reject payloads above this (2990 B in the paper).
+        max_pool_bytes: optional cap on the arena footprint (upstream
+            zswap's ``max_pool_percent``); once reached, further stores are
+            refused until promotions or job exits drain the pool.
+    """
+
+    def __init__(
+        self,
+        arena: ZsmallocArena,
+        latency_model: CompressionLatencyModel = DEFAULT_LATENCY_MODEL,
+        max_payload_bytes: int = ZSMALLOC_MAX_PAYLOAD,
+        max_pool_bytes: int = 0,
+    ):
+        self.arena = arena
+        self.latency_model = latency_model
+        self.max_payload_bytes = int(max_payload_bytes)
+        self.max_pool_bytes = int(max_pool_bytes)
+        self.pool_limit_rejections = 0
+        self.job_stats: Dict[str, ZswapJobStats] = {}
+
+    def pool_full(self) -> bool:
+        """True when the pool cap is set and the arena has reached it."""
+        return (
+            self.max_pool_bytes > 0
+            and self.arena.footprint_bytes >= self.max_pool_bytes
+        )
+
+    def stats_for(self, job_id: str) -> ZswapJobStats:
+        """The (created-on-demand) stats record for a job."""
+        stats = self.job_stats.get(job_id)
+        if stats is None:
+            stats = ZswapJobStats()
+            self.job_stats[job_id] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # Store path (kreclaimd -> zswap)
+    # ------------------------------------------------------------------
+
+    def compress(self, memcg: MemCg, indices: np.ndarray) -> int:
+        """Try to move the given NEAR pages to far memory.
+
+        Pages whose payload exceeds the cutoff are marked incompressible
+        and stay NEAR (their compression cycles are still charged — that is
+        the opportunity cost §3.2 describes).  Returns the number of pages
+        actually stored.
+        """
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            return 0
+        if self.pool_full():
+            # Pool cap reached: no cycles are burnt compressing pages that
+            # cannot be stored (unlike the payload cutoff, this is known
+            # before compressing).
+            self.pool_limit_rejections += int(indices.size)
+            return 0
+
+        payloads = memcg.payload_bytes[indices]
+        ok = payloads <= self.max_payload_bytes
+        rejected = indices[~ok]
+        accepted = indices[ok]
+
+        if self.max_pool_bytes > 0 and accepted.size:
+            # Clamp the batch to the remaining pool room; pages past the
+            # cut are deferred (not compressed, no cycles, no state).
+            room = self.max_pool_bytes - self.arena.footprint_bytes
+            cumulative = np.cumsum(memcg.payload_bytes[accepted])
+            keep = cumulative <= room
+            self.pool_limit_rejections += int((~keep).sum())
+            accepted = accepted[keep]
+
+        stats = self.stats_for(memcg.job_id)
+        stats.compress_seconds += self.latency_model.compress_seconds(
+            int(accepted.size + rejected.size)
+        )
+
+        if rejected.size:
+            memcg.incompressible[rejected] = True
+            stats.pages_rejected += int(rejected.size)
+            memcg.rejected_pages_total += int(rejected.size)
+
+        if accepted.size:
+            accepted_payloads = memcg.payload_bytes[accepted]
+            self.arena.store(accepted_payloads)
+            memcg.state[accepted] = PageState.FAR
+            # Swap-out unmaps the page; any pending PTE dirty state was
+            # captured in the payload that was just stored.  Swapping out
+            # part of a huge mapping splits it (Linux splits THPs before
+            # zswap sees them).
+            memcg.dirtied[accepted] = False
+            touched_groups = np.unique(
+                memcg.huge_group[accepted][memcg.huge_group[accepted] >= 0]
+            )
+            for group in touched_groups:
+                memcg.split_huge(int(group))
+            stats.pages_compressed += int(accepted.size)
+            stats.payload_bytes_stored += int(accepted_payloads.sum())
+            memcg.compressed_pages_total += int(accepted.size)
+        return int(accepted.size)
+
+    # ------------------------------------------------------------------
+    # Load path (page fault -> zswap)
+    # ------------------------------------------------------------------
+
+    def decompress(self, memcg: MemCg, indices: np.ndarray) -> float:
+        """Fault far pages back to near memory (promotion).
+
+        Pages are removed from the arena, flipped to NEAR, and kept
+        decompressed (the paper avoids repeated decompression by leaving
+        promoted pages uncompressed until they turn cold again).  Returns
+        the total decompression latency incurred.
+        """
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            return 0.0
+        payloads = memcg.payload_bytes[indices]
+        self.arena.release(payloads)
+        memcg.state[indices] = PageState.NEAR
+        memcg.record_promotions(indices)
+
+        latencies = self.latency_model.decompress_seconds(payloads)
+        stats = self.stats_for(memcg.job_id)
+        stats.pages_decompressed += int(indices.size)
+        total = float(latencies.sum())
+        stats.decompress_seconds += total
+        room = ZswapJobStats.LATENCY_SAMPLE_CAP - len(stats.decompress_latencies)
+        if room > 0:
+            stats.decompress_latencies.extend(latencies[:room].tolist())
+        return total
+
+    # ------------------------------------------------------------------
+    # Teardown path (job exit)
+    # ------------------------------------------------------------------
+
+    def evict_job(self, memcg: MemCg, far_indices: np.ndarray) -> None:
+        """Drop a dying job's far pages from the arena without promoting."""
+        far_indices = np.asarray(far_indices)
+        if far_indices.size == 0:
+            return
+        self.arena.release(memcg.payload_bytes[far_indices])

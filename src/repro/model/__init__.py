@@ -1,0 +1,24 @@
+"""The fast far memory model: trace schema, MapReduce engine, offline replay."""
+
+from repro.model.mapreduce import MapReduce, mapreduce
+from repro.model.replay import FarMemoryModel, FleetReplayReport, JobReplayResult
+from repro.model.trace import TRACE_PERIOD_SECONDS, JobTrace, TraceEntry
+from repro.model.validation import (
+    ConfigOutcome,
+    ModelValidator,
+    ValidationReport,
+)
+
+__all__ = [
+    "ConfigOutcome",
+    "FarMemoryModel",
+    "ModelValidator",
+    "ValidationReport",
+    "FleetReplayReport",
+    "JobReplayResult",
+    "MapReduce",
+    "TRACE_PERIOD_SECONDS",
+    "JobTrace",
+    "TraceEntry",
+    "mapreduce",
+]

@@ -1,0 +1,70 @@
+"""A minimal MapReduce-style pipeline engine (paper §5.3).
+
+The paper's fast far memory model is a FlumeJava/MapReduce pipeline: replay
+of each job's trace is independent (map), and fleet statistics combine the
+per-job results (reduce).  This engine reproduces that structure with a
+deterministic in-process executor and an optional process pool — enough to
+demonstrate the embarrassing parallelism the paper's scalability claim
+rests on, without a cluster.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Sequence, TypeVar
+
+from repro.common.validation import check_positive
+
+__all__ = ["MapReduce", "mapreduce"]
+
+InputT = TypeVar("InputT")
+MappedT = TypeVar("MappedT")
+ReducedT = TypeVar("ReducedT")
+
+
+@dataclass
+class MapReduce(Generic[InputT, MappedT, ReducedT]):
+    """A two-stage pipeline: ``reduce(map(x) for x in inputs)``.
+
+    Attributes:
+        mapper: pure function applied to each input independently.
+        reducer: combines the full list of mapped results.
+        workers: process-pool size; 1 (default) runs in-process.
+        chunk_size: inputs per task when using a pool.
+    """
+
+    mapper: Callable[[InputT], MappedT]
+    reducer: Callable[[List[MappedT]], ReducedT]
+    workers: int = 1
+    chunk_size: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive(self.workers, "workers")
+        check_positive(self.chunk_size, "chunk_size")
+
+    def run(self, inputs: Sequence[InputT]) -> ReducedT:
+        """Execute the pipeline over ``inputs``.
+
+        Results are reduced in input order regardless of worker scheduling,
+        so runs are deterministic for deterministic mappers.
+        """
+        inputs = list(inputs)
+        if self.workers == 1 or len(inputs) <= 1:
+            mapped = [self.mapper(item) for item in inputs]
+        else:
+            # The mapper must be picklable (a module-level function or a
+            # functools.partial of one) for the process pool.
+            with multiprocessing.get_context("spawn").Pool(self.workers) as pool:
+                mapped = pool.map(self.mapper, inputs, chunksize=self.chunk_size)
+        return self.reducer(mapped)
+
+
+def mapreduce(
+    inputs: Sequence[InputT],
+    mapper: Callable[[InputT], MappedT],
+    reducer: Callable[[List[MappedT]], ReducedT],
+    workers: int = 1,
+) -> ReducedT:
+    """Functional shorthand for :class:`MapReduce`."""
+    return MapReduce(mapper=mapper, reducer=reducer, workers=workers).run(inputs)

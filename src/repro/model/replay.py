@@ -1,0 +1,196 @@
+"""The fast far memory model: offline what-if replay (paper §5.3).
+
+Given recorded per-job traces (working set size, promotion histogram, and
+cold-age histogram per 5-minute period) and a candidate parameter
+configuration ``(K, S)``, the model re-runs the §4.3 control algorithm over
+each trace and estimates, interval by interval, what the fleet would have
+done under that configuration:
+
+* the **size of cold memory captured** — pages whose age exceeded the
+  replayed threshold (the memory that would have been in far memory), and
+* the **promotion rate** — accesses that would have hit far memory,
+  normalized by the working set.
+
+The report's two headline numbers mirror the autotuner's problem
+formulation: total cold memory captured (the objective) and the fleet-wide
+98th-percentile normalized promotion rate (the constraint).
+
+Replay of different jobs is independent, so the model runs as a MapReduce
+pipeline (:mod:`repro.model.mapreduce`) and scales linearly with workers.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.units import MINUTE
+from repro.core.slo import PromotionRateSlo, normalized_promotion_rate
+from repro.core.threshold_policy import (
+    ColdAgeThresholdPolicy,
+    ThresholdPolicyConfig,
+)
+from repro.model.mapreduce import MapReduce
+from repro.model.trace import TRACE_PERIOD_SECONDS, JobTrace
+
+__all__ = ["JobReplayResult", "FleetReplayReport", "FarMemoryModel"]
+
+
+@dataclass
+class JobReplayResult:
+    """Replay outcome for one job under one configuration.
+
+    Attributes:
+        job_id: the replayed job.
+        cold_pages_captured: per-interval pages the replayed threshold
+            would have put in far memory.
+        normalized_rates: per-interval promotion rate, % of WSS per minute.
+        thresholds: per-interval threshold the policy chose (inf=disabled).
+        intervals: number of trace intervals replayed.
+    """
+
+    job_id: str
+    cold_pages_captured: List[float] = field(default_factory=list)
+    normalized_rates: List[float] = field(default_factory=list)
+    thresholds: List[float] = field(default_factory=list)
+
+    @property
+    def intervals(self) -> int:
+        return len(self.thresholds)
+
+    @property
+    def mean_cold_pages(self) -> float:
+        """Average far-memory size this job would have sustained."""
+        if not self.cold_pages_captured:
+            return 0.0
+        return float(np.mean(self.cold_pages_captured))
+
+
+@dataclass
+class FleetReplayReport:
+    """Fleet aggregation of per-job replay results.
+
+    Attributes:
+        config: the configuration replayed.
+        total_cold_pages: mean-over-time, summed-over-jobs far memory size
+            (the autotuner's objective).
+        promotion_rate_p98: fleet-wide 98th percentile of per-job,
+            per-interval normalized promotion rates (the constraint).
+        slo_target: the SLO the constraint is checked against.
+        job_results: per-job detail.
+    """
+
+    config: ThresholdPolicyConfig
+    total_cold_pages: float
+    promotion_rate_p98: float
+    slo_target: float
+    job_results: List[JobReplayResult]
+
+    @property
+    def meets_slo(self) -> bool:
+        """True when the replayed p98 promotion rate is within the SLO."""
+        return self.promotion_rate_p98 <= self.slo_target
+
+
+def _replay_one_job(
+    trace: JobTrace,
+    config: ThresholdPolicyConfig,
+    slo: PromotionRateSlo,
+) -> JobReplayResult:
+    """Replay the control algorithm over one job's trace.
+
+    For each interval the threshold chosen from history *before* observing
+    the interval governs it — exactly the online ordering, where the agent
+    publishes a threshold and the next minute runs under it.
+    """
+    result = JobReplayResult(job_id=trace.job_id)
+    if not trace.entries:
+        return result
+    bins = trace.entries[0].bins
+    policy = ColdAgeThresholdPolicy(config, bins, slo)
+    for entry in trace.entries:
+        threshold = policy.threshold()
+        result.thresholds.append(threshold)
+
+        if np.isfinite(threshold):
+            captured = entry.cold_age_histogram.colder_than(threshold)
+            promoted = entry.promotion_histogram.colder_than(threshold)
+        else:
+            captured = 0
+            promoted = 0
+        per_min = promoted * (MINUTE / TRACE_PERIOD_SECONDS)
+        result.cold_pages_captured.append(float(captured))
+        result.normalized_rates.append(
+            normalized_promotion_rate(per_min, entry.working_set_pages)
+        )
+        policy.observe(
+            entry.promotion_histogram,
+            entry.working_set_pages,
+            TRACE_PERIOD_SECONDS,
+        )
+    return result
+
+
+class FarMemoryModel:
+    """Replays fleet traces under candidate configurations.
+
+    Args:
+        traces: per-job traces (e.g. ``trace_db.traces()``).
+        slo: the promotion-rate SLO used both inside the policy and as the
+            fleet constraint.
+        workers: MapReduce worker processes (1 = in-process).
+    """
+
+    def __init__(
+        self,
+        traces: Sequence[JobTrace],
+        slo: Optional[PromotionRateSlo] = None,
+        workers: int = 1,
+    ):
+        self.traces = list(traces)
+        self.slo = slo if slo is not None else PromotionRateSlo()
+        self.workers = workers
+
+    def evaluate(self, config: ThresholdPolicyConfig) -> FleetReplayReport:
+        """What-if analysis of one configuration over the whole fleet."""
+        pipeline = MapReduce(
+            mapper=functools.partial(
+                _replay_one_job, config=config, slo=self.slo
+            ),
+            reducer=functools.partial(
+                _reduce_fleet, config=config, slo=self.slo
+            ),
+            workers=self.workers,
+        )
+        return pipeline.run(self.traces)
+
+    def evaluate_many(
+        self, configs: Sequence[ThresholdPolicyConfig]
+    ) -> List[FleetReplayReport]:
+        """Evaluate several configurations (independent, order-preserving)."""
+        return [self.evaluate(config) for config in configs]
+
+
+def _reduce_fleet(
+    results: List[JobReplayResult],
+    config: ThresholdPolicyConfig,
+    slo: PromotionRateSlo,
+) -> FleetReplayReport:
+    """Combine per-job replays into the fleet report."""
+    total_cold = sum(r.mean_cold_pages for r in results)
+    rates = np.concatenate(
+        [np.asarray(r.normalized_rates) for r in results if r.normalized_rates]
+        or [np.zeros(0)]
+    )
+    finite = rates[np.isfinite(rates)]
+    p98 = float(np.percentile(finite, 98.0)) if finite.size else 0.0
+    return FleetReplayReport(
+        config=config,
+        total_cold_pages=total_cold,
+        promotion_rate_p98=p98,
+        slo_target=slo.target_pct_per_min,
+        job_results=results,
+    )

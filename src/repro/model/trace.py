@@ -1,0 +1,185 @@
+"""Far-memory trace schema (paper §5.3).
+
+Each trace entry captures one job's far-memory statistics aggregated over a
+5-minute period — exactly the triple the paper's telemetry exports:
+
+* the **working set size** (pages touched within the minimum threshold),
+* the **promotion histogram** accumulated over the period (would-be
+  promotions at every candidate threshold),
+* the **cold-age histogram** snapshot at the end of the period.
+
+These entries are all the fast far memory model needs to replay the §4.3
+control algorithm offline under any parameter configuration: the histograms
+carry information about *all* candidate thresholds simultaneously.
+
+Entries are plain data with dict/JSON round-tripping so traces can be
+persisted to the external database (:mod:`repro.cluster.trace_db`) and
+shipped to the autotuner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.core.histograms import AgeBins, AgeHistogram
+
+__all__ = ["TRACE_PERIOD_SECONDS", "TraceEntry", "JobTrace"]
+
+#: Aggregation period of one trace entry (the paper uses 5 minutes).
+TRACE_PERIOD_SECONDS = 300
+
+
+def _histogram_to_lists(histogram: AgeHistogram) -> Tuple[List[int], int]:
+    return histogram.counts.tolist(), histogram.young_count
+
+
+def _histogram_from_lists(
+    bins: AgeBins, counts: Sequence[int], young: int
+) -> AgeHistogram:
+    histogram = AgeHistogram(bins)
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.shape != histogram.counts.shape:
+        raise TraceError(
+            f"histogram has {counts.size} bins, grid expects "
+            f"{histogram.counts.size}"
+        )
+    histogram.counts = counts
+    histogram.young_count = int(young)
+    return histogram
+
+
+@dataclass
+class TraceEntry:
+    """One job's 5-minute far-memory statistics.
+
+    Attributes:
+        job_id: the job this entry describes.
+        machine_id: where the job was running.
+        time: start of the aggregation period (seconds).
+        working_set_pages: pages accessed within the minimum threshold.
+        promotion_histogram: would-be promotions during this period, by age.
+        cold_age_histogram: page-age snapshot at the end of the period.
+        resident_pages: total resident pages (near + far).
+        cpu_cores: the job's average CPU usage in cores (for overhead
+            normalization in Fig. 8).
+    """
+
+    job_id: str
+    machine_id: str
+    time: int
+    working_set_pages: int
+    promotion_histogram: AgeHistogram
+    cold_age_histogram: AgeHistogram
+    resident_pages: int
+    cpu_cores: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.promotion_histogram.bins.thresholds != (
+            self.cold_age_histogram.bins.thresholds
+        ):
+            raise TraceError("trace histograms must share one threshold grid")
+        if self.working_set_pages < 0 or self.resident_pages < 0:
+            raise TraceError("page counts must be non-negative")
+
+    @property
+    def bins(self) -> AgeBins:
+        """The candidate-threshold grid these histograms use."""
+        return self.promotion_histogram.bins
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to JSON-compatible primitives."""
+        promo_counts, promo_young = _histogram_to_lists(self.promotion_histogram)
+        cold_counts, cold_young = _histogram_to_lists(self.cold_age_histogram)
+        return {
+            "job_id": self.job_id,
+            "machine_id": self.machine_id,
+            "time": self.time,
+            "working_set_pages": self.working_set_pages,
+            "thresholds": list(self.bins.thresholds),
+            "promotion_counts": promo_counts,
+            "promotion_young": promo_young,
+            "cold_counts": cold_counts,
+            "cold_young": cold_young,
+            "resident_pages": self.resident_pages,
+            "cpu_cores": self.cpu_cores,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEntry":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            bins = AgeBins(tuple(int(t) for t in data["thresholds"]))
+            return cls(
+                job_id=data["job_id"],
+                machine_id=data["machine_id"],
+                time=int(data["time"]),
+                working_set_pages=int(data["working_set_pages"]),
+                promotion_histogram=_histogram_from_lists(
+                    bins, data["promotion_counts"], data["promotion_young"]
+                ),
+                cold_age_histogram=_histogram_from_lists(
+                    bins, data["cold_counts"], data["cold_young"]
+                ),
+                resident_pages=int(data["resident_pages"]),
+                cpu_cores=float(data.get("cpu_cores", 1.0)),
+            )
+        except KeyError as missing:
+            raise TraceError(f"trace entry missing field {missing}") from None
+
+
+@dataclass
+class JobTrace:
+    """The time-ordered trace of one job (one replay unit).
+
+    Attributes:
+        job_id: the job identifier.
+        entries: entries sorted by time.
+    """
+
+    job_id: str
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def append(self, entry: TraceEntry) -> None:
+        """Add an entry, enforcing job identity and time order."""
+        if entry.job_id != self.job_id:
+            raise TraceError(
+                f"entry for job {entry.job_id} appended to trace of "
+                f"{self.job_id}"
+            )
+        if self.entries and entry.time < self.entries[-1].time:
+            raise TraceError(
+                f"out-of-order trace entry at t={entry.time} after "
+                f"t={self.entries[-1].time}"
+            )
+        self.entries.append(entry)
+
+    @property
+    def duration_seconds(self) -> int:
+        """Span from first entry to one period past the last."""
+        if not self.entries:
+            return 0
+        return (
+            self.entries[-1].time - self.entries[0].time + TRACE_PERIOD_SECONDS
+        )
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Serialize all entries."""
+        return [entry.to_dict() for entry in self.entries]
+
+    @classmethod
+    def from_dicts(cls, job_id: str, dicts: Sequence[Dict[str, Any]]) -> "JobTrace":
+        """Rebuild a trace from serialized entries."""
+        trace = cls(job_id)
+        for data in dicts:
+            trace.append(TraceEntry.from_dict(data))
+        return trace

@@ -1,0 +1,31 @@
+"""Synthetic workloads: access patterns, fleet job mixes, applications."""
+
+from repro.workloads.access_patterns import (
+    AccessPattern,
+    DiurnalModulation,
+    HeterogeneousPoissonPattern,
+    PhasedPattern,
+    ScanPattern,
+    ZipfianPattern,
+    make_rates_for_cold_fraction,
+)
+from repro.workloads.bigtable import BigtableApp, BigtableConfig, BigtableMetricSample
+from repro.workloads.content import CONTENT_PROFILES, profile_for
+from repro.workloads.job_generator import FleetMixGenerator, JobSpec
+
+__all__ = [
+    "AccessPattern",
+    "BigtableApp",
+    "BigtableConfig",
+    "BigtableMetricSample",
+    "CONTENT_PROFILES",
+    "DiurnalModulation",
+    "FleetMixGenerator",
+    "HeterogeneousPoissonPattern",
+    "JobSpec",
+    "PhasedPattern",
+    "ScanPattern",
+    "ZipfianPattern",
+    "make_rates_for_cold_fraction",
+    "profile_for",
+]

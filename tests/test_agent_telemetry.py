@@ -1,0 +1,98 @@
+"""Telemetry export of 5-minute trace entries."""
+
+import numpy as np
+import pytest
+
+from repro.agent.telemetry import TelemetryExporter
+from repro.cluster.trace_db import TraceDatabase
+from repro.common.rng import SeedSequenceFactory
+from repro.kernel.compression import ContentProfile
+from repro.kernel.machine import Machine, MachineConfig
+from repro.model.trace import TRACE_PERIOD_SECONDS
+
+
+COMPRESSIBLE = ContentProfile(incompressible_fraction=0.0, min_ratio=1.5)
+
+
+def make_machine():
+    return Machine(
+        "m0", MachineConfig(dram_bytes=1 << 30), seeds=SeedSequenceFactory(4)
+    )
+
+
+def test_exports_every_five_minutes():
+    machine = make_machine()
+    db = TraceDatabase()
+    exporter = TelemetryExporter(machine, db)
+    machine.add_job("j", 200, COMPRESSIBLE)
+    machine.allocate("j", 200)
+    for t in range(0, 1501, 60):
+        machine.tick(t)
+        exporter.maybe_export(t)
+    # Exports at t=0, 300, ..., 1500 -> 6 entries (t=0 one included).
+    assert len(db) == 6
+    assert db.job_ids == ["j"]
+
+
+def test_promotion_histogram_is_per_period_diff():
+    machine = make_machine()
+    db = TraceDatabase()
+    exporter = TelemetryExporter(machine, db)
+    memcg = machine.add_job("j", 200, COMPRESSIBLE)
+    idx = machine.allocate("j", 200)
+    for t in range(0, 601, 60):
+        machine.tick(t)
+        exporter.maybe_export(t)
+    # Age everything, then touch cold pages once in period 3.
+    machine.touch("j", idx[:50])
+    for t in range(660, 1201, 60):
+        machine.tick(t)
+        exporter.maybe_export(t)
+    entries = db.trace_for("j").entries
+    total_promos = sum(e.promotion_histogram.colder_than(120) for e in entries)
+    # The cold touches appear exactly once across all period diffs.
+    assert total_promos == memcg.promotion_histogram.colder_than(120)
+
+
+def test_entry_fields_populated():
+    machine = make_machine()
+    db = TraceDatabase()
+    exporter = TelemetryExporter(machine, db, cpu_lookup=lambda j: 4.0)
+    machine.add_job("j", 300, COMPRESSIBLE)
+    machine.allocate("j", 300)
+    for t in range(0, 601, 60):
+        machine.tick(t)
+        exporter.maybe_export(t)
+    entry = db.trace_for("j").entries[-1]
+    assert entry.machine_id == "m0"
+    assert entry.resident_pages == 300
+    assert entry.cpu_cores == 4.0
+    assert entry.working_set_pages >= 0
+
+
+def test_departed_jobs_cleaned_up():
+    machine = make_machine()
+    db = TraceDatabase()
+    exporter = TelemetryExporter(machine, db)
+    machine.add_job("j", 100, COMPRESSIBLE)
+    machine.allocate("j", 100)
+    for t in range(0, 301, 60):
+        machine.tick(t)
+        exporter.maybe_export(t)
+    machine.remove_job("j")
+    for t in range(360, 661, 60):
+        machine.tick(t)
+        exporter.maybe_export(t)
+    assert "j" not in exporter._last_promotion
+
+
+def test_counts_exported_entries():
+    machine = make_machine()
+    db = TraceDatabase()
+    exporter = TelemetryExporter(machine, db)
+    machine.add_job("a", 50, COMPRESSIBLE)
+    machine.add_job("b", 50, COMPRESSIBLE)
+    machine.allocate("a", 50)
+    machine.allocate("b", 50)
+    exporter.export(TRACE_PERIOD_SECONDS)
+    assert exporter.entries_exported == 2

@@ -1,0 +1,93 @@
+"""Distribution statistics, with property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.analysis.distributions import (
+    cdf_points,
+    percentile_summary,
+    violin_stats,
+)
+
+
+class TestViolinStats:
+    def test_known_quartiles(self):
+        stats = violin_stats(list(range(1, 101)))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.n == 100
+
+    def test_whiskers_exclude_outliers(self):
+        data = [10.0] * 50 + [11.0] * 50 + [1000.0]
+        stats = violin_stats(data)
+        assert stats.whisker_high < 1000.0
+        assert stats.maximum == 1000.0
+
+    def test_single_value(self):
+        stats = violin_stats([5.0])
+        assert stats.median == 5.0
+        assert stats.iqr == 0.0
+        assert stats.whisker_low == stats.whisker_high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            violin_stats([])
+
+
+class TestCdf:
+    def test_basic(self):
+        values, fractions = cdf_points([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cdf_points([])
+
+
+class TestPercentileSummary:
+    def test_named_keys(self):
+        summary = percentile_summary(range(101), percentiles=(50, 98))
+        assert summary == {"p50": 50.0, "p98": 98.0}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_violin_invariants(data):
+    """Property: whiskers are real data within the Tukey fences, and the
+    box ordering q1 <= median <= q3 holds.  (With interpolated quartiles a
+    whisker can sit inside the box, so we don't compare them to q1/q3.)"""
+    stats = violin_stats(data)
+    assert stats.minimum <= stats.whisker_low <= stats.whisker_high
+    assert stats.whisker_high <= stats.maximum
+    assert stats.q1 <= stats.median <= stats.q3
+    assert stats.whisker_low >= stats.q1 - 1.5 * stats.iqr - 1e-9
+    assert stats.whisker_high <= stats.q3 + 1.5 * stats.iqr + 1e-9
+    assert stats.whisker_low in data and stats.whisker_high in data
+    assert stats.n == len(data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_cdf_invariants(data):
+    """Property: CDF values are sorted, fractions end at 1."""
+    values, fractions = cdf_points(data)
+    assert (np.diff(values) >= 0).all()
+    assert fractions[-1] == pytest.approx(1.0)
+    assert (np.diff(fractions) > 0).all()

@@ -1,0 +1,59 @@
+"""Text rendering of tables, CDFs, and violins."""
+
+from repro.analysis.distributions import violin_stats
+from repro.analysis.reporting import (
+    render_cdf,
+    render_series,
+    render_table,
+    render_violins,
+)
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        out = render_table(
+            ["name", "value"], [("a", 1.0), ("bb", 22.5)], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [(0.123456789,)])
+        assert "0.1235" in out
+
+
+class TestRenderCdf:
+    def test_quantiles_present(self):
+        out = render_cdf(list(range(100)), "latency", unit="us")
+        assert "latency" in out
+        assert "p98" in out
+        assert "us" in out
+
+    def test_empty_samples(self):
+        assert "(no samples)" in render_cdf([], "nothing")
+
+
+class TestRenderViolins:
+    def test_groups_rendered(self):
+        groups = {
+            "cluster-a": violin_stats([0.1, 0.2, 0.3]),
+            "cluster-b": violin_stats([0.4, 0.5]),
+        }
+        out = render_violins(groups, "Fig 2")
+        assert "cluster-a" in out and "cluster-b" in out
+        assert "median" in out
+        assert "20.0%" in out  # 0.2 * 100
+
+
+class TestRenderSeries:
+    def test_xy_table(self):
+        out = render_series([1, 2], [10.0, 20.0], "T", "cold", "Fig 1")
+        assert "Fig 1" in out
+        assert "10" in out and "20" in out

@@ -1,0 +1,60 @@
+"""Per-job SLI aggregation for Fig. 7."""
+
+import pytest
+
+from repro.agent.node_agent import SliSample
+from repro.analysis.sli import per_job_promotion_rates, slo_violation_fraction
+
+
+def sample(job, promotions, wss, time=0):
+    rate = 100.0 * promotions / wss if wss else 0.0
+    return SliSample(
+        time=time,
+        job_id=job,
+        promotions=promotions,
+        working_set_pages=wss,
+        normalized_rate_pct_per_min=rate,
+        threshold=120.0,
+    )
+
+
+class TestPerJobRates:
+    def test_averages_over_minutes(self):
+        samples = [sample("a", 10, 1000, 0), sample("a", 0, 1000, 60)]
+        rates = per_job_promotion_rates(samples)
+        # 5 promotions/min over a 1000-page working set = 0.5 %/min.
+        assert rates == [pytest.approx(0.5)]
+
+    def test_one_value_per_job(self):
+        samples = [sample("a", 1, 100), sample("b", 2, 100),
+                   sample("b", 2, 100)]
+        assert len(per_job_promotion_rates(samples)) == 2
+
+    def test_zero_wss_jobs_skipped(self):
+        samples = [sample("empty", 0, 0)]
+        assert per_job_promotion_rates(samples) == []
+
+    def test_empty_input(self):
+        assert per_job_promotion_rates([]) == []
+
+    def test_live_fleet_p98_band(self, warm_fleet):
+        """Per-job lifetime rates should be far tamer than per-minute
+        spikes — the statistic the paper's Fig. 7 reports."""
+        import numpy as np
+
+        rates = per_job_promotion_rates(warm_fleet.sli_history)
+        assert rates
+        assert float(np.percentile(rates, 98)) < 5.0
+
+
+class TestViolationFraction:
+    def test_counts_violations(self):
+        samples = [
+            sample("a", 10, 1000),   # 1.0 %/min: violation
+            sample("a", 1, 1000),    # 0.1 %/min: ok
+            sample("a", 0, 1000),
+        ]
+        assert slo_violation_fraction(samples, 0.2) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert slo_violation_fraction([]) == 0.0

@@ -1,0 +1,61 @@
+"""UCB vs Expected-Improvement acquisitions in the bandit."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.autotuner.gp_bandit import GpBandit
+from repro.autotuner.search_space import ContinuousParameter, SearchSpace
+
+
+def make_space():
+    return SearchSpace(
+        [ContinuousParameter("x0", 0.0, 1.0), ContinuousParameter("x1", 0.0, 1.0)]
+    )
+
+
+def objective(point):
+    return -np.sum((point - np.array([0.6, 0.4])) ** 2)
+
+
+class TestAcquisitionSelection:
+    def test_unknown_acquisition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpBandit(make_space(), constraint_limit=1.0, acquisition="pi")
+
+    @pytest.mark.parametrize("acquisition", ["ucb", "ei"])
+    def test_both_acquisitions_optimize(self, acquisition):
+        bandit = GpBandit(
+            make_space(), constraint_limit=10.0, seed=2,
+            acquisition=acquisition,
+        )
+        for _ in range(22):
+            point = bandit.suggest(1)[0]
+            bandit.observe(point, objective(point), constraint=0.0)
+        best = bandit.best()
+        assert best is not None
+        assert best.objective > -0.08
+
+    def test_ei_exploits_after_good_observation(self):
+        """EI should concentrate suggestions near a dominant optimum."""
+        bandit = GpBandit(make_space(), constraint_limit=10.0, seed=3,
+                          acquisition="ei")
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            point = rng.random(2)
+            bandit.observe(point, objective(point), 0.0)
+        suggestion = bandit.suggest(1)[0]
+        assert np.linalg.norm(suggestion - np.array([0.6, 0.4])) < 0.45
+
+    def test_acquisitions_respect_constraint(self):
+        for acquisition in ("ucb", "ei"):
+            bandit = GpBandit(make_space(), constraint_limit=0.5, seed=4,
+                              acquisition=acquisition)
+            rng = np.random.default_rng(1)
+            for _ in range(25):
+                point = rng.random(2)
+                # objective rises with x0, infeasible past x0 = 0.5
+                bandit.observe(point, float(point[0]), float(point[0]))
+            suggestions = bandit.suggest(4)
+            on_feasible_side = sum(1 for p in suggestions if p[0] <= 0.65)
+            assert on_feasible_side >= 3

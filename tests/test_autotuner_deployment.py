@@ -1,0 +1,84 @@
+"""Staged deployment with rollback."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.cluster import quickfleet
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.autotuner.deployment import (
+    DeploymentStage,
+    StagedDeployment,
+)
+
+
+def make_fleet():
+    return quickfleet(
+        clusters=3,
+        machines_per_cluster=1,
+        jobs_per_machine=2,
+        seed=77,
+        warmup_hours=0.5,
+    )
+
+
+SAFE = ThresholdPolicyConfig(percentile_k=99.0, warmup_seconds=1800)
+PREVIOUS = ThresholdPolicyConfig(percentile_k=98.0, warmup_seconds=600)
+
+
+class TestStageValidation:
+    def test_fraction_must_not_decrease(self):
+        fleet = make_fleet()
+        stages = [
+            DeploymentStage("a", 0.5, 600),
+            DeploymentStage("b", 0.2, 600),
+        ]
+        with pytest.raises(ConfigurationError):
+            StagedDeployment(fleet, stages)
+
+    def test_stage_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeploymentStage("x", 1.5, 600)
+        with pytest.raises(ConfigurationError):
+            DeploymentStage("x", 0.5, 0)
+
+
+class TestRollout:
+    def test_safe_config_reaches_production(self):
+        fleet = make_fleet()
+        stages = [
+            DeploymentStage("qual", 0.34, 600),
+            DeploymentStage("prod", 1.0, 600),
+        ]
+        deployment = StagedDeployment(fleet, stages, slo_limit=1e9)
+        assert deployment.deploy(SAFE, PREVIOUS)
+        assert len(deployment.outcomes) == 2
+        assert all(o.passed for o in deployment.outcomes)
+        for cluster in fleet.clusters:
+            assert cluster.policy_config == SAFE
+
+    def test_bad_config_rolls_back(self):
+        fleet = make_fleet()
+        stages = [
+            DeploymentStage("qual", 0.34, 600),
+            DeploymentStage("prod", 1.0, 600),
+        ]
+        # An impossible SLO limit guarantees stage failure.
+        deployment = StagedDeployment(fleet, stages, slo_limit=1e-12)
+        aggressive = ThresholdPolicyConfig(percentile_k=50.0, warmup_seconds=60)
+        assert not deployment.deploy(aggressive, PREVIOUS)
+        assert not deployment.outcomes[-1].passed
+        # Every touched cluster is back on the previous config.
+        for cluster in fleet.clusters[:1]:
+            assert cluster.policy_config == PREVIOUS
+        # Untouched clusters never saw the new config.
+        assert fleet.clusters[-1].policy_config != aggressive
+
+    def test_stage_fraction_maps_to_cluster_count(self):
+        fleet = make_fleet()
+        deployment = StagedDeployment(
+            fleet, [DeploymentStage("tiny", 0.01, 600)], slo_limit=1e9
+        )
+        deployment.deploy(SAFE, PREVIOUS)
+        # At least one cluster always upgrades.
+        assert fleet.clusters[0].policy_config == SAFE
+        assert fleet.clusters[1].policy_config != SAFE

@@ -1,0 +1,97 @@
+"""Gaussian-process regression behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.autotuner.gp import GaussianProcess
+from repro.autotuner.kernels import Matern52Kernel, RbfKernel
+
+
+def toy_function(x):
+    return np.sin(6.0 * x[:, 0]) + 0.5 * x[:, 0]
+
+
+class TestInterpolation:
+    def test_mean_passes_through_training_points(self):
+        x = np.linspace(0, 1, 8)[:, None]
+        y = toy_function(x)
+        gp = GaussianProcess(noise_variance=1e-8)
+        gp.fit(x, y, optimize_hyperparameters=False)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert std.max() < 0.1
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.4], [0.5], [0.6]])
+        gp = GaussianProcess().fit(
+            x, toy_function(x), optimize_hyperparameters=False
+        )
+        _, std_near = gp.predict(np.array([[0.45]]))
+        _, std_far = gp.predict(np.array([[0.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_interpolates_smooth_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((25, 1))
+        y = toy_function(x)
+        gp = GaussianProcess().fit(x, y, seed=1)
+        test_x = np.linspace(0.1, 0.9, 20)[:, None]
+        mean, _ = gp.predict(test_x)
+        np.testing.assert_allclose(mean, toy_function(test_x), atol=0.15)
+
+
+class TestHyperparameters:
+    def test_optimization_improves_lml(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((20, 1))
+        y = toy_function(x) + rng.normal(0, 0.05, 20)
+        fixed = GaussianProcess(Matern52Kernel(1.5), noise_variance=0.5)
+        fixed.fit(x, y, optimize_hyperparameters=False)
+        lml_fixed = fixed.log_marginal_likelihood()
+        tuned = GaussianProcess(Matern52Kernel(1.5), noise_variance=0.5)
+        tuned.fit(x, y, optimize_hyperparameters=True, seed=2)
+        assert tuned.log_marginal_likelihood() >= lml_fixed
+
+    def test_skipped_below_three_points(self):
+        gp = GaussianProcess(Matern52Kernel(0.33))
+        gp.fit(np.array([[0.0], [1.0]]), np.array([0.0, 1.0]))
+        assert gp.kernel.lengthscales[0] == pytest.approx(0.33)
+
+
+class TestEdgeCases:
+    def test_single_observation(self):
+        gp = GaussianProcess().fit(np.array([[0.5]]), np.array([2.0]))
+        mean, std = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(2.0, abs=0.1)
+
+    def test_constant_targets(self):
+        x = np.linspace(0, 1, 5)[:, None]
+        gp = GaussianProcess().fit(x, np.full(5, 3.0),
+                                   optimize_hyperparameters=False)
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(3.0, abs=1e-6)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GaussianProcess().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_rbf_kernel_works_too(self):
+        x = np.linspace(0, 1, 6)[:, None]
+        gp = GaussianProcess(RbfKernel(0.3)).fit(
+            x, toy_function(x), optimize_hyperparameters=False
+        )
+        mean, _ = gp.predict(x)
+        np.testing.assert_allclose(mean, toy_function(x), atol=0.05)
+
+    def test_predictions_in_original_units(self):
+        """Standardization must be invisible to callers."""
+        x = np.linspace(0, 1, 10)[:, None]
+        y = 1000.0 + 500.0 * toy_function(x)
+        gp = GaussianProcess().fit(x, y, optimize_hyperparameters=False)
+        mean, _ = gp.predict(x)
+        np.testing.assert_allclose(mean, y, rtol=0.05)

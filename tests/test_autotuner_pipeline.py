@@ -1,0 +1,103 @@
+"""The autotuning pipeline over the fast far memory model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import AutotunerError
+from repro.core.histograms import AgeHistogram, default_age_bins
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.model.replay import FarMemoryModel
+from repro.model.trace import JobTrace, TraceEntry
+from repro.autotuner.pipeline import AutotuningPipeline, TuningResult
+
+
+def make_fleet_traces(n_jobs=6, n_entries=16, seed=0):
+    """Jobs with varying cold sizes and occasional promotion bursts."""
+    rng = np.random.default_rng(seed)
+    bins = default_age_bins()
+    traces = []
+    for j in range(n_jobs):
+        trace = JobTrace(f"j{j}")
+        cold_pages = int(rng.integers(200, 800))
+        for i in range(n_entries):
+            promo = AgeHistogram(bins)
+            if rng.random() < 0.3:
+                promo.add_ages(
+                    rng.uniform(120, 2000, size=int(rng.integers(1, 40)))
+                )
+            cold = AgeHistogram(bins)
+            cold.add_ages(
+                np.concatenate(
+                    [
+                        rng.uniform(120, 20000, size=cold_pages),
+                        np.zeros(1000 - cold_pages),
+                    ]
+                )
+            )
+            trace.append(
+                TraceEntry(
+                    job_id=f"j{j}",
+                    machine_id="m0",
+                    time=i * 300,
+                    working_set_pages=1000 - cold_pages,
+                    promotion_histogram=promo,
+                    cold_age_histogram=cold,
+                    resident_pages=1000,
+                )
+            )
+        traces.append(trace)
+    return traces
+
+
+@pytest.fixture
+def model():
+    return FarMemoryModel(make_fleet_traces())
+
+
+class TestPipeline:
+    def test_run_produces_trials(self, model):
+        pipeline = AutotuningPipeline(model, batch_size=2, seed=0)
+        result = pipeline.run(iterations=3)
+        assert len(result.trials) == 6
+        assert all(t.report is not None for t in result.trials)
+
+    def test_finds_feasible_config(self, model):
+        pipeline = AutotuningPipeline(model, batch_size=3, seed=0)
+        result = pipeline.run(iterations=4)
+        assert result.best is not None
+        assert result.best.feasible
+        config = result.best_config
+        assert 50.0 <= config.percentile_k <= 99.9
+
+    def test_best_is_max_feasible_objective(self, model):
+        pipeline = AutotuningPipeline(model, batch_size=2, seed=1)
+        result = pipeline.run(iterations=4)
+        feasible = [t.objective for t in result.trials if t.feasible]
+        assert result.best.objective == max(feasible)
+
+    def test_objective_curve_monotone(self, model):
+        pipeline = AutotuningPipeline(model, batch_size=2, seed=2)
+        result = pipeline.run(iterations=3)
+        curve = result.objective_curve()
+        finite = [c for c in curve if np.isfinite(c)]
+        assert all(b >= a for a, b in zip(finite, finite[1:]))
+
+    def test_random_baseline(self, model):
+        pipeline = AutotuningPipeline(model, seed=0)
+        result = pipeline.run_random_baseline(n_trials=6, seed=3)
+        assert len(result.trials) == 6
+
+    def test_no_feasible_raises_on_best_config(self):
+        result = TuningResult()
+        with pytest.raises(AutotunerError):
+            _ = result.best_config
+
+    def test_gp_at_least_matches_random_here(self, model):
+        """On this small problem GP-Bandit should do no worse than random
+        search at an equal budget."""
+        gp = AutotuningPipeline(model, batch_size=3, seed=5).run(iterations=4)
+        random = AutotuningPipeline(model, seed=5).run_random_baseline(
+            n_trials=12, seed=6
+        )
+        if gp.best and random.best:
+            assert gp.best.objective >= 0.8 * random.best.objective

@@ -1,0 +1,116 @@
+"""Search-space encoding, including property-based roundtrips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.autotuner.search_space import (
+    ContinuousParameter,
+    IntegerParameter,
+    SearchSpace,
+    config_from_values,
+    far_memory_search_space,
+)
+
+
+class TestParameter:
+    def test_linear_mapping(self):
+        p = ContinuousParameter("x", 0.0, 10.0)
+        assert p.to_unit(5.0) == pytest.approx(0.5)
+        assert p.from_unit(0.5) == pytest.approx(5.0)
+
+    def test_log_mapping(self):
+        p = ContinuousParameter("x", 1.0, 100.0, log_scale=True)
+        assert p.from_unit(0.5) == pytest.approx(10.0)
+        assert p.to_unit(10.0) == pytest.approx(0.5)
+
+    def test_integer_rounds(self):
+        p = IntegerParameter("n", 0, 10)
+        assert p.from_unit(0.449) == 4.0
+        assert float(p.from_unit(0.46)).is_integer()
+
+    def test_clipping(self):
+        p = ContinuousParameter("x", 0.0, 1.0)
+        assert p.from_unit(-0.5) == 0.0
+        assert p.from_unit(1.5) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousParameter("x", 5.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            ContinuousParameter("x", 0.0, 1.0, log_scale=True)
+
+
+class TestSearchSpace:
+    def test_roundtrip_dict(self):
+        space = far_memory_search_space()
+        values = {"percentile_k": 80.0, "warmup_seconds": 600}
+        u = space.to_unit(values)
+        decoded = space.from_unit(u)
+        assert decoded["percentile_k"] == pytest.approx(80.0)
+        assert decoded["warmup_seconds"] == pytest.approx(600, abs=1)
+
+    def test_names_and_dim(self):
+        space = far_memory_search_space()
+        assert space.dim == 2
+        assert space.names == ["percentile_k", "warmup_seconds"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace(
+                [ContinuousParameter("a", 0, 1), ContinuousParameter("a", 0, 1)]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace([])
+
+    def test_latin_hypercube_covers_each_dim(self):
+        space = far_memory_search_space()
+        rng = np.random.default_rng(0)
+        samples = space.sample(10, rng)
+        assert samples.shape == (10, 2)
+        for d in range(2):
+            # Each of the 10 strata contains exactly one sample.
+            strata = np.floor(samples[:, d] * 10).astype(int)
+            assert sorted(strata) == list(range(10))
+
+    def test_wrong_point_size(self):
+        space = far_memory_search_space()
+        with pytest.raises(ConfigurationError):
+            space.from_unit(np.array([0.5]))
+
+
+class TestConfigFromValues:
+    def test_builds_policy_config(self):
+        config = config_from_values(
+            {"percentile_k": 95.0, "warmup_seconds": 1200.0}
+        )
+        assert config.percentile_k == 95.0
+        assert config.warmup_seconds == 1200
+
+
+@settings(max_examples=50, deadline=None)
+@given(u=st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=2))
+def test_unit_roundtrip_is_stable(u):
+    """Property: from_unit then to_unit is idempotent (within rounding)."""
+    space = far_memory_search_space()
+    point = np.array(u)
+    decoded = space.from_unit(point)
+    re_encoded = space.to_unit(decoded)
+    re_decoded = space.from_unit(re_encoded)
+    for name in space.names:
+        assert decoded[name] == pytest.approx(re_decoded[name], rel=1e-6,
+                                              abs=1e-6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(u=st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=2))
+def test_decoded_values_always_in_bounds(u):
+    """Property: every unit-cube point decodes into the parameter box."""
+    space = far_memory_search_space()
+    decoded = space.from_unit(np.array(u))
+    for parameter in space.parameters:
+        assert parameter.low <= decoded[parameter.name] <= parameter.high

@@ -1,0 +1,99 @@
+"""Thermostat-style sampling cold detector."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ThermostatConfig, ThermostatDetector
+
+
+def run_epochs(detector, hot_pages, rng, epochs=20, ticks_per_epoch=2):
+    """Drive the detector: `hot_pages` are touched every tick."""
+    for _ in range(epochs):
+        detector.begin_epoch(rng)
+        for _ in range(ticks_per_epoch):
+            detector.record_accesses(hot_pages)
+        detector.end_epoch()
+
+
+class TestBasics:
+    def test_region_mapping(self):
+        detector = ThermostatDetector(
+            2048, ThermostatConfig(region_pages=512)
+        )
+        assert detector.n_regions == 4
+        np.testing.assert_array_equal(
+            detector.region_of(np.array([0, 511, 512, 2047])), [0, 0, 1, 3]
+        )
+
+    def test_sample_size(self, rng):
+        detector = ThermostatDetector(
+            51200, ThermostatConfig(region_pages=512, sample_fraction=0.1)
+        )
+        sample = detector.begin_epoch(rng)
+        assert sample.size == 10
+        assert np.unique(sample).size == 10
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ThermostatDetector(0)
+
+
+class TestFaultAccounting:
+    def test_first_touch_faults_once(self, rng):
+        config = ThermostatConfig(region_pages=512, sample_fraction=1.0)
+        detector = ThermostatDetector(1024, config)
+        detector.begin_epoch(rng)
+        page = np.array([7])
+        assert detector.record_accesses(page) == 1
+        # Poison was cleared by the first fault.
+        assert detector.record_accesses(page) == 0
+        assert detector.total_sampled_faults == 1
+
+    def test_unsampled_regions_never_fault(self, rng):
+        config = ThermostatConfig(region_pages=512, sample_fraction=0.5)
+        detector = ThermostatDetector(1024, config)  # 2 regions, sample 1
+        sample = detector.begin_epoch(rng)
+        unsampled = 1 - int(sample[0])
+        pages = np.arange(unsampled * 512, unsampled * 512 + 10)
+        assert detector.record_accesses(pages) == 0
+
+
+class TestClassification:
+    def test_separates_hot_from_cold_regions(self, rng):
+        # 8 regions; regions 0-3 hot, 4-7 never touched.
+        config = ThermostatConfig(region_pages=512, sample_fraction=0.5)
+        detector = ThermostatDetector(8 * 512, config)
+        hot_pages = np.arange(0, 4 * 512)
+        run_epochs(detector, hot_pages, rng, epochs=30)
+
+        cold = set(detector.cold_regions(max_faults_per_epoch=0.0))
+        assert cold, "sampling never classified anything cold"
+        assert cold <= {4, 5, 6, 7}
+        hot_estimates = detector.estimated_rate[:4]
+        known_hot = hot_estimates[~np.isnan(hot_estimates)]
+        assert (known_hot > 0).all()
+
+    def test_cold_page_mask_matches_regions(self, rng):
+        config = ThermostatConfig(region_pages=512, sample_fraction=1.0)
+        detector = ThermostatDetector(4 * 512, config)
+        run_epochs(detector, np.arange(512), rng, epochs=3)
+        mask = detector.cold_page_mask()
+        assert not mask[:512].any()
+        assert mask[512:].all()
+
+    def test_coverage_grows_with_epochs(self, rng):
+        config = ThermostatConfig(region_pages=512, sample_fraction=0.1)
+        detector = ThermostatDetector(100 * 512, config)
+        run_epochs(detector, np.zeros(0, dtype=int), rng, epochs=5)
+        early = detector.coverage_fraction
+        run_epochs(detector, np.zeros(0, dtype=int), rng, epochs=30)
+        assert detector.coverage_fraction >= early
+        assert detector.coverage_fraction < 1.0 or detector.epochs >= 10
+
+    def test_unsampled_regions_not_classified(self, rng):
+        config = ThermostatConfig(region_pages=512, sample_fraction=0.01)
+        detector = ThermostatDetector(100 * 512, config)
+        detector.begin_epoch(rng)
+        detector.end_epoch()
+        # Only the single sampled region can be classified.
+        assert detector.cold_regions().size <= 1

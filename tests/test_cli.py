@@ -1,0 +1,66 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.clusters == 2
+        assert args.func.__name__ == "cmd_quickstart"
+
+    def test_fleet_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["quickstart", "--clusters", "5", "--hours", "2.5", "--seed", "9"]
+        )
+        assert args.clusters == 5
+        assert args.hours == 2.5
+        assert args.seed == 9
+
+    def test_autotune_iterations(self):
+        args = build_parser().parse_args(["autotune", "--iterations", "3"])
+        assert args.iterations == 3
+
+    def test_figures_output(self):
+        args = build_parser().parse_args(["figures", "--output", "/tmp/x"])
+        assert args.output == "/tmp/x"
+
+
+class TestExecution:
+    def test_quickstart_runs(self, capsys):
+        code = main(
+            ["quickstart", "--clusters", "1", "--machines", "1",
+             "--jobs", "2", "--hours", "0.5", "--dram-gib", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "DRAM TCO saving" in out
+
+    def test_traces_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["traces", "--clusters", "1", "--machines", "1", "--jobs", "2",
+             "--hours", "0.5", "--dram-gib", "2", "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        from repro.cluster.trace_db import TraceDatabase
+
+        assert len(TraceDatabase.load_jsonl(out)) > 0
+
+    def test_figures_writes_directory(self, tmp_path, capsys):
+        code = main(
+            ["figures", "--clusters", "1", "--machines", "2", "--jobs", "2",
+             "--hours", "1", "--dram-gib", "2", "--output", str(tmp_path)]
+        )
+        assert code == 0
+        written = {p.name for p in tmp_path.iterdir()}
+        assert "fig1.txt" in written
+        assert "fig3.txt" in written

@@ -1,0 +1,85 @@
+"""Machine failure injection: the zswap failure-domain argument."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.cluster import quickfleet
+
+
+def make_fleet():
+    return quickfleet(
+        clusters=1,
+        machines_per_cluster=3,
+        jobs_per_machine=2,
+        seed=41,
+        warmup_hours=0.5,
+    )
+
+
+class TestFailMachine:
+    def test_jobs_reschedule_to_survivors(self):
+        fleet = make_fleet()
+        cluster = fleet.clusters[0]
+        victim_machine = cluster.machines[0].machine_id
+        victims = cluster.scheduler.jobs_on(victim_machine)
+        assert victims
+
+        unplaced = cluster.fail_machine(victim_machine)
+        assert unplaced == []
+        # Every victim restarted somewhere else.
+        for machine_id in (
+            cluster.scheduler.placements[j] for j in cluster.running
+        ):
+            assert machine_id != victim_machine
+        assert len(cluster.running) == 6
+
+    def test_failure_confined_to_one_machine(self):
+        """The paper's reliability claim: other machines' far memory and
+        jobs are untouched by a crash."""
+        fleet = make_fleet()
+        cluster = fleet.clusters[0]
+        survivor = cluster.machines[1]
+        far_before = survivor.far_pages
+        jobs_before = set(survivor.memcgs)
+        cluster.fail_machine(cluster.machines[0].machine_id)
+        assert survivor.far_pages >= far_before  # nothing was dropped
+        assert jobs_before <= set(survivor.memcgs)
+
+    def test_failed_machine_excluded_from_placement(self):
+        fleet = make_fleet()
+        cluster = fleet.clusters[0]
+        failed = cluster.machines[0].machine_id
+        cluster.fail_machine(failed)
+        assert failed in cluster.scheduler.offline
+        assert cluster.scheduler.jobs_on(failed) == []
+
+    def test_evictions_recorded_against_slo(self):
+        fleet = make_fleet()
+        cluster = fleet.clusters[0]
+        victims = cluster.scheduler.jobs_on(cluster.machines[0].machine_id)
+        cluster.fail_machine(cluster.machines[0].machine_id)
+        for job_id in victims:
+            assert job_id in cluster.eviction_slo_jobs()
+
+    def test_repair_restores_placement(self):
+        fleet = make_fleet()
+        cluster = fleet.clusters[0]
+        failed = cluster.machines[0].machine_id
+        cluster.fail_machine(failed)
+        cluster.repair_machine(failed)
+        assert failed not in cluster.scheduler.offline
+
+    def test_unknown_machine_rejected(self):
+        fleet = make_fleet()
+        with pytest.raises(SchedulingError):
+            fleet.clusters[0].fail_machine("ghost")
+
+    def test_fleet_keeps_running_after_failure(self):
+        fleet = make_fleet()
+        cluster = fleet.clusters[0]
+        cluster.fail_machine(cluster.machines[0].machine_id)
+        fleet.run(1800)
+        # Simulation stays consistent post-failure.
+        for machine in cluster.machines[1:]:
+            assert machine.free_bytes >= 0
+            assert machine.far_pages == machine.arena.live_objects

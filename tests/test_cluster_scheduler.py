@@ -1,0 +1,130 @@
+"""Borg-like scheduler: placement, overcommit, eviction, the eviction SLO."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.common.rng import SeedSequenceFactory
+from repro.common.units import MIB, PAGE_SIZE
+from repro.cluster.scheduler import BorgScheduler, EvictionSloTracker
+from repro.kernel.compression import ContentProfile
+from repro.kernel.machine import Machine, MachineConfig
+from repro.workloads.job_generator import JobSpec
+
+
+def make_machines(n=2, dram=64 * MIB):
+    seeds = SeedSequenceFactory(1)
+    return [
+        Machine(f"m{i}", MachineConfig(dram_bytes=dram), seeds=seeds)
+        for i in range(n)
+    ]
+
+
+def make_spec(job_id, pages, priority=1, cpu=1.0):
+    return JobSpec(
+        job_id=job_id,
+        pages=pages,
+        cpu_cores=cpu,
+        priority=priority,
+        content_profile=ContentProfile(),
+        pattern_factory=lambda rng: None,
+    )
+
+
+class TestPlacement:
+    def test_best_fit_prefers_tightest_machine(self):
+        machines = make_machines(2)
+        scheduler = BorgScheduler(machines)
+        scheduler.place(make_spec("big", 10000))  # lands somewhere
+        first = scheduler.placements["big"]
+        # A small job should co-locate on the fuller machine (best fit).
+        scheduler.place(make_spec("small", 1000))
+        assert scheduler.placements["small"] == first
+
+    def test_rejects_when_full(self):
+        machines = make_machines(1, dram=4 * MIB)  # 1024 pages
+        scheduler = BorgScheduler(machines)
+        with pytest.raises(SchedulingError):
+            scheduler.place(make_spec("huge", 2000))
+
+    def test_duplicate_placement_rejected(self):
+        scheduler = BorgScheduler(make_machines())
+        scheduler.place(make_spec("j", 100))
+        with pytest.raises(SchedulingError):
+            scheduler.place(make_spec("j", 100))
+
+    def test_overcommit_expands_capacity(self):
+        machines = make_machines(1, dram=4 * MIB)
+        no_oc = BorgScheduler(machines)
+        with pytest.raises(SchedulingError):
+            no_oc.place(make_spec("j", 1200))
+        with_oc = BorgScheduler(make_machines(1, dram=4 * MIB), overcommit=0.25)
+        with_oc.place(make_spec("j", 1200))  # fits at 125%
+
+    def test_remove_frees_capacity(self):
+        machines = make_machines(1, dram=4 * MIB)
+        scheduler = BorgScheduler(machines)
+        scheduler.place(make_spec("a", 1000))
+        scheduler.remove("a")
+        scheduler.place(make_spec("b", 1000))
+        assert scheduler.committed["m0"] == 1000 * PAGE_SIZE
+
+    def test_remove_unknown_job(self):
+        with pytest.raises(SchedulingError):
+            BorgScheduler(make_machines()).remove("ghost")
+
+    def test_duplicate_machines_rejected(self):
+        machine = make_machines(1)[0]
+        with pytest.raises(SchedulingError):
+            BorgScheduler([machine, machine])
+
+    def test_jobs_on(self):
+        scheduler = BorgScheduler(make_machines(1))
+        scheduler.place(make_spec("a", 10))
+        scheduler.place(make_spec("b", 10))
+        assert sorted(scheduler.jobs_on("m0")) == ["a", "b"]
+
+
+class TestEviction:
+    def test_evicts_lowest_priority(self):
+        scheduler = BorgScheduler(make_machines(1))
+        scheduler.place(make_spec("high", 100, priority=2))
+        scheduler.place(make_spec("low", 100, priority=0))
+        victim = scheduler.evict_for_pressure("m0")
+        assert victim == "low"
+        assert "low" not in scheduler.placements
+
+    def test_ties_broken_by_size(self):
+        scheduler = BorgScheduler(make_machines(1))
+        scheduler.place(make_spec("small", 100, priority=0))
+        scheduler.place(make_spec("large", 500, priority=0))
+        assert scheduler.evict_for_pressure("m0") == "large"
+
+    def test_empty_machine_returns_none(self):
+        scheduler = BorgScheduler(make_machines(1))
+        assert scheduler.evict_for_pressure("m0") is None
+
+    def test_eviction_counted_in_slo(self):
+        scheduler = BorgScheduler(make_machines(1))
+        scheduler.place(make_spec("j", 100, priority=0))
+        scheduler.evict_for_pressure("m0", now=100)
+        assert scheduler.evictions_total == 1
+        assert "j" in scheduler.eviction_slo.evictions
+
+
+class TestEvictionSloTracker:
+    def test_within_slo(self):
+        tracker = EvictionSloTracker(max_evictions_per_job_per_day=1.0)
+        tracker.record("j", 0)
+        assert tracker.violations() == []
+
+    def test_violation_detected(self):
+        tracker = EvictionSloTracker(max_evictions_per_job_per_day=1.0)
+        tracker.record("j", 0)
+        tracker.record("j", 3600)
+        assert tracker.violations() == ["j"]
+
+    def test_spread_out_evictions_ok(self):
+        tracker = EvictionSloTracker(max_evictions_per_job_per_day=1.0)
+        tracker.record("j", 0)
+        tracker.record("j", 2 * 86400)
+        assert tracker.violations() == []

@@ -1,0 +1,69 @@
+"""Spread placement strategy."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.common.rng import SeedSequenceFactory
+from repro.common.units import MIB
+from repro.cluster.scheduler import BorgScheduler
+from repro.kernel.compression import ContentProfile
+from repro.kernel.machine import Machine, MachineConfig
+from repro.workloads.job_generator import JobSpec
+
+
+def make_machines(n=3, dram=64 * MIB):
+    seeds = SeedSequenceFactory(2)
+    return [
+        Machine(f"m{i}", MachineConfig(dram_bytes=dram), seeds=seeds)
+        for i in range(n)
+    ]
+
+
+def make_spec(job_id, pages):
+    return JobSpec(
+        job_id=job_id,
+        pages=pages,
+        cpu_cores=1.0,
+        priority=1,
+        content_profile=ContentProfile(),
+        pattern_factory=lambda rng: None,
+    )
+
+
+def test_spread_balances_across_machines():
+    scheduler = BorgScheduler(make_machines(3), strategy="spread")
+    for i in range(6):
+        scheduler.place(make_spec(f"j{i}", 1000))
+    per_machine = [len(scheduler.jobs_on(f"m{i}")) for i in range(3)]
+    assert per_machine == [2, 2, 2]
+
+
+def test_best_fit_concentrates():
+    scheduler = BorgScheduler(make_machines(3), strategy="best_fit")
+    for i in range(3):
+        scheduler.place(make_spec(f"j{i}", 1000))
+    per_machine = sorted(len(scheduler.jobs_on(f"m{i}")) for i in range(3))
+    assert per_machine == [0, 0, 3]
+
+
+def test_spread_still_respects_capacity():
+    scheduler = BorgScheduler(make_machines(2, dram=8 * MIB),
+                              strategy="spread")
+    scheduler.place(make_spec("a", 1500))
+    scheduler.place(make_spec("b", 1500))
+    with pytest.raises(SchedulingError):
+        scheduler.place(make_spec("c", 1500))
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(SchedulingError):
+        BorgScheduler(make_machines(1), strategy="first_fit")
+
+
+def test_quickfleet_spread_populates_every_machine():
+    from repro.cluster import quickfleet
+
+    fleet = quickfleet(clusters=1, machines_per_cluster=4,
+                       jobs_per_machine=2, seed=3)
+    for machine in fleet.machines:
+        assert machine.memcgs

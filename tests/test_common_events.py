@@ -1,0 +1,67 @@
+"""Event log behaviour."""
+
+import pytest
+
+from repro.common.events import Event, EventLog
+
+
+def test_record_and_iterate():
+    log = EventLog()
+    log.record(0, "a.start", x=1)
+    log.record(5, "a.stop")
+    assert len(log) == 2
+    kinds = [e.kind for e in log]
+    assert kinds == ["a.start", "a.stop"]
+
+
+def test_payload_preserved():
+    log = EventLog()
+    event = log.record(3, "scheduler.evict", job="j1", machine="m0")
+    assert event.payload == {"job": "j1", "machine": "m0"}
+    assert event.time == 3
+
+
+def test_of_kind_exact_and_nested():
+    log = EventLog()
+    log.record(0, "scheduler.place")
+    log.record(1, "scheduler.evict")
+    log.record(2, "machine.oom")
+    log.record(3, "scheduler")
+    assert len(log.of_kind("scheduler")) == 3
+    assert len(log.of_kind("scheduler.place")) == 1
+    # Prefix matching is on dotted segments, not raw strings.
+    assert len(log.of_kind("sched")) == 0
+
+
+def test_between_is_half_open():
+    log = EventLog()
+    for t in range(5):
+        log.record(t, "tick")
+    assert [e.time for e in log.between(1, 4)] == [1, 2, 3]
+
+
+def test_bounded_log_drops_oldest():
+    log = EventLog(max_events=3)
+    for t in range(5):
+        log.record(t, "tick", index=t)
+    assert len(log) == 3
+    assert [e.payload["index"] for e in log] == [2, 3, 4]
+    assert log.dropped_count == 2
+
+
+def test_bad_bound_rejected():
+    with pytest.raises(ValueError):
+        EventLog(max_events=0)
+
+
+def test_clear():
+    log = EventLog()
+    log.record(0, "x")
+    log.clear()
+    assert len(log) == 0
+
+
+def test_events_are_frozen():
+    event = Event(time=0, kind="x")
+    with pytest.raises(AttributeError):
+        event.time = 1

@@ -1,0 +1,69 @@
+"""Clock and periodic schedules."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import Clock, PeriodicSchedule
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        clock = Clock()
+        assert clock.now == 0
+        assert clock.tick_index == 0
+
+    def test_advance_default_tick(self):
+        clock = Clock(tick_seconds=60)
+        clock.advance()
+        assert clock.now == 60
+        clock.advance(3)
+        assert clock.now == 240
+        assert clock.tick_index == 4
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1)
+
+    def test_non_positive_tick_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Clock(tick_seconds=0)
+
+
+class TestPeriodicSchedule:
+    def test_fires_on_boundaries_only(self):
+        schedule = PeriodicSchedule(period_seconds=120)
+        fired = [t for t in range(0, 601, 60) if schedule.due(t)]
+        assert fired == [0, 120, 240, 360, 480, 600]
+
+    def test_edge_triggered_once_per_boundary(self):
+        schedule = PeriodicSchedule(period_seconds=100)
+        assert schedule.due(100)
+        assert not schedule.due(100)
+        assert not schedule.due(150)
+        assert schedule.due(200)
+
+    def test_catches_up_after_gap(self):
+        schedule = PeriodicSchedule(period_seconds=60)
+        assert schedule.due(0)
+        # A large time jump fires once (not once per missed boundary).
+        assert schedule.due(600)
+        assert not schedule.due(601)
+
+    def test_offset_delays_first_fire(self):
+        schedule = PeriodicSchedule(period_seconds=100, offset_seconds=30)
+        assert not schedule.due(0)
+        assert not schedule.due(29)
+        assert schedule.due(30)
+        assert schedule.due(130)
+
+    def test_reset_forgets_history(self):
+        schedule = PeriodicSchedule(period_seconds=60)
+        assert schedule.due(60)
+        schedule.reset()
+        assert schedule.due(60)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSchedule(period_seconds=0)
+        with pytest.raises(ValueError):
+            PeriodicSchedule(period_seconds=10, offset_seconds=-1)

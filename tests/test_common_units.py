@@ -1,0 +1,66 @@
+"""Unit and constant conversions."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_page_constants_match_paper():
+    assert units.PAGE_SIZE == 4096
+    assert units.KSTALED_SCAN_PERIOD == 120
+    assert units.MAX_PAGE_AGE_SCANS == 255
+    assert units.MAX_PAGE_AGE_SECONDS == 255 * 120  # 8.5 hours
+    assert units.ZSMALLOC_MAX_PAYLOAD == 2990
+    assert units.TARGET_PROMOTION_RATE_PCT_PER_MIN == pytest.approx(0.2)
+
+
+def test_max_age_is_8_5_hours():
+    assert units.MAX_PAGE_AGE_SECONDS == pytest.approx(8.5 * units.HOUR)
+
+
+def test_pages_bytes_roundtrip():
+    assert units.pages_to_bytes(10) == 40960
+    assert units.bytes_to_pages(units.pages_to_bytes(123)) == 123
+
+
+def test_cycles_seconds_roundtrip():
+    seconds = 1.5e-6
+    cycles = units.seconds_to_cycles(seconds)
+    assert units.cycles_to_seconds(cycles) == pytest.approx(seconds)
+
+
+def test_cycles_conversion_uses_clock():
+    assert units.seconds_to_cycles(1.0, cpu_hz=1e9) == pytest.approx(1e9)
+    assert units.cycles_to_seconds(2e9, cpu_hz=1e9) == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize(
+    "n_bytes,expected",
+    [
+        (512, "512 B"),
+        (2048, "2.00 KiB"),
+        (3 * units.MIB, "3.00 MiB"),
+        (int(1.5 * units.GIB), "1.50 GiB"),
+    ],
+)
+def test_format_bytes(n_bytes, expected):
+    assert units.format_bytes(n_bytes) == expected
+
+
+@pytest.mark.parametrize(
+    "seconds,expected",
+    [
+        (30, "30.0 s"),
+        (90, "1.5 min"),
+        (2 * units.HOUR, "2.0 h"),
+        (3 * units.DAY, "3.0 d"),
+    ],
+)
+def test_format_duration(seconds, expected):
+    assert units.format_duration(seconds) == expected
+
+
+def test_zsmalloc_cutoff_is_73_percent_of_page():
+    assert units.ZSMALLOC_MAX_PAYLOAD / units.PAGE_SIZE == pytest.approx(
+        0.73, abs=0.01
+    )

@@ -1,0 +1,60 @@
+"""Validation helper behaviour."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common import validation as v
+
+
+def test_require_passes_and_fails():
+    v.require(True, "never raised")
+    with pytest.raises(ConfigurationError, match="broken"):
+        v.require(False, "broken")
+
+
+def test_check_positive():
+    assert v.check_positive(1.5, "x") == 1.5
+    for bad in (0, -1):
+        with pytest.raises(ConfigurationError, match="x"):
+            v.check_positive(bad, "x")
+
+
+def test_check_non_negative():
+    assert v.check_non_negative(0, "x") == 0
+    with pytest.raises(ConfigurationError):
+        v.check_non_negative(-0.1, "x")
+
+
+def test_check_in_range_inclusive():
+    assert v.check_in_range(5, "x", 0, 5) == 5
+    assert v.check_in_range(0, "x", 0, 5) == 0
+    with pytest.raises(ConfigurationError):
+        v.check_in_range(5.1, "x", 0, 5)
+
+
+def test_check_in_range_exclusive():
+    with pytest.raises(ConfigurationError):
+        v.check_in_range(5, "x", 0, 5, inclusive=False)
+    assert v.check_in_range(4.9, "x", 0, 5, inclusive=False) == 4.9
+
+
+def test_check_in_range_open_ended():
+    assert v.check_in_range(1e9, "x", low=0) == 1e9
+    assert v.check_in_range(-1e9, "x", high=0) == -1e9
+
+
+def test_check_fraction():
+    assert v.check_fraction(0.5, "f") == 0.5
+    for bad in (-0.01, 1.01):
+        with pytest.raises(ConfigurationError):
+            v.check_fraction(bad, "f")
+
+
+def test_check_sorted_unique():
+    assert v.check_sorted_unique([1, 2, 3], "s") == [1, 2, 3]
+    with pytest.raises(ConfigurationError):
+        v.check_sorted_unique([], "s")
+    with pytest.raises(ConfigurationError):
+        v.check_sorted_unique([1, 1, 2], "s")
+    with pytest.raises(ConfigurationError):
+        v.check_sorted_unique([3, 2], "s")

@@ -1,0 +1,65 @@
+"""Cold-memory coverage accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.coverage import (
+    CoverageSample,
+    cold_memory_coverage,
+    coverage_timeseries,
+    fleet_coverage,
+)
+
+
+class TestColdMemoryCoverage:
+    def test_basic_ratio(self):
+        assert cold_memory_coverage(20, 100) == pytest.approx(0.2)
+
+    def test_no_cold_memory(self):
+        assert cold_memory_coverage(0, 0) == 0.0
+
+    def test_clamped_at_one(self):
+        # Races between sampling far and cold counts can overshoot.
+        assert cold_memory_coverage(110, 100) == 1.0
+
+
+class TestCoverageSample:
+    def test_property(self):
+        sample = CoverageSample(far_memory_pages=15, cold_pages_at_min_threshold=60)
+        assert sample.coverage == pytest.approx(0.25)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CoverageSample(far_memory_pages=-1, cold_pages_at_min_threshold=0)
+
+
+class TestFleetCoverage:
+    def test_weighted_by_cold_size(self):
+        # A big machine at 10% and a tiny machine at 100%: fleet coverage
+        # must sit near the big machine, not at the mean of ratios.
+        samples = [
+            CoverageSample(100, 1000),
+            CoverageSample(10, 10),
+        ]
+        assert fleet_coverage(samples) == pytest.approx(110 / 1010)
+
+    def test_empty_fleet(self):
+        assert fleet_coverage([]) == 0.0
+
+
+class TestCoverageTimeseries:
+    def test_windows_aggregate(self):
+        samples = [
+            CoverageSample(1, 10, time=0),
+            CoverageSample(2, 10, time=100),
+            CoverageSample(3, 10, time=300),
+        ]
+        series = coverage_timeseries(samples, window_seconds=300)
+        assert len(series) == 2
+        assert series[0].far_memory_pages == 3
+        assert series[0].cold_pages_at_min_threshold == 20
+        assert series[1].time == 300
+
+    def test_zero_window_passthrough(self):
+        samples = [CoverageSample(1, 2, time=5)]
+        assert coverage_timeseries(samples, 0) == samples

@@ -1,0 +1,175 @@
+"""Age-bin grids and histograms, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MAX_PAGE_AGE_SECONDS
+from repro.core.histograms import AgeBins, AgeHistogram, default_age_bins
+
+
+class TestAgeBins:
+    def test_default_grid_spans_paper_range(self):
+        bins = default_age_bins()
+        assert bins.min_threshold == 120
+        assert bins.max_threshold == MAX_PAGE_AGE_SECONDS
+        assert list(bins.thresholds)[:4] == [120, 240, 480, 960]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigurationError):
+            AgeBins((240, 120))
+
+    def test_rejects_below_scan_period(self):
+        with pytest.raises(ConfigurationError):
+            AgeBins((60, 120))
+
+    def test_bin_index_of_candidate(self):
+        bins = AgeBins((120, 240, 480))
+        assert bins.bin_index(240) == 1
+
+    def test_bin_index_of_non_candidate_raises(self):
+        bins = AgeBins((120, 240))
+        with pytest.raises(ValueError, match="not a candidate"):
+            bins.bin_index(200)
+
+    def test_bin_of_age_maps_young_to_minus_one(self):
+        bins = AgeBins((120, 240, 480))
+        ages = np.array([0, 119, 120, 239, 240, 500])
+        np.testing.assert_array_equal(
+            bins.bin_of_age(ages), [-1, -1, 0, 0, 1, 2]
+        )
+
+    def test_scan_periods_rounds_up(self):
+        bins = AgeBins((120, 250))
+        np.testing.assert_array_equal(bins.scan_periods(120), [1, 3])
+
+    def test_growth_factor(self):
+        bins = default_age_bins(min_threshold=120, max_threshold=1000, growth=3.0)
+        assert list(bins.thresholds) == [120, 360, 1000]
+
+
+class TestAgeHistogram:
+    def test_add_ages_buckets_correctly(self, bins):
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array([0, 130, 250, 100000]))
+        assert hist.young_count == 1
+        assert hist.total == 4
+        assert hist.colder_than(120) == 3
+        assert hist.colder_than(240) == 2
+        assert hist.colder_than(bins.max_threshold) == 1
+
+    def test_add_with_weight(self, bins):
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array([150]), weight=5)
+        assert hist.colder_than(120) == 5
+
+    def test_suffix_sums_match_colder_than(self, bins):
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array([120, 240, 480, 960, 5000, 20000]))
+        suffix = hist.suffix_sums()
+        for i, threshold in enumerate(bins.thresholds):
+            assert suffix[i] == hist.colder_than(threshold)
+
+    def test_diff(self, bins):
+        earlier = AgeHistogram(bins)
+        earlier.add_ages(np.array([130.0]))
+        later = earlier.copy()
+        later.add_ages(np.array([130.0, 300.0, 10.0]))
+        delta = later.diff(earlier)
+        assert delta.total == 3
+        assert delta.colder_than(120) == 2
+        assert delta.young_count == 1
+
+    def test_diff_requires_same_grid(self, bins):
+        other = AgeHistogram(AgeBins((120, 999)))
+        with pytest.raises(ConfigurationError):
+            AgeHistogram(bins).diff(other)
+
+    def test_merge(self, bins):
+        a = AgeHistogram(bins)
+        a.add_ages(np.array([150.0]))
+        b = AgeHistogram(bins)
+        b.add_ages(np.array([150.0, 20.0]))
+        merged = AgeHistogram.merge([a, b])
+        assert merged.total == 3
+        assert merged.colder_than(120) == 2
+        # Merging does not mutate inputs.
+        assert a.total == 1
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AgeHistogram.merge([])
+
+    def test_copy_is_independent(self, bins):
+        a = AgeHistogram(bins)
+        a.add_ages(np.array([150.0]))
+        b = a.copy()
+        b.add_ages(np.array([150.0]))
+        assert a.colder_than(120) == 1
+        assert b.colder_than(120) == 2
+
+    def test_clear(self, bins):
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array([10.0, 500.0]))
+        hist.clear()
+        assert hist.total == 0
+
+    def test_add_binned_shape_check(self, bins):
+        hist = AgeHistogram(bins)
+        with pytest.raises(ConfigurationError):
+            hist.add_binned(np.zeros(3))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ages=st.lists(
+        st.floats(min_value=0, max_value=40000, allow_nan=False),
+        min_size=0,
+        max_size=200,
+    )
+)
+def test_histogram_conserves_total(ages):
+    """Property: every recorded age lands in exactly one bucket."""
+    bins = default_age_bins()
+    hist = AgeHistogram(bins)
+    hist.add_ages(np.array(ages))
+    assert hist.total == len(ages)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ages=st.lists(
+        st.floats(min_value=0, max_value=40000, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_colder_than_is_monotone_in_threshold(ages):
+    """Property: raising the threshold never finds more cold pages."""
+    bins = default_age_bins()
+    hist = AgeHistogram(bins)
+    hist.add_ages(np.array(ages))
+    counts = [hist.colder_than(t) for t in bins.thresholds]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ages=st.lists(
+        st.floats(min_value=0, max_value=40000, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    ),
+    threshold_index=st.integers(min_value=0, max_value=8),
+)
+def test_colder_than_matches_bruteforce(ages, threshold_index):
+    """Property: histogram suffix sums equal the brute-force count."""
+    bins = default_age_bins()
+    threshold_index = min(threshold_index, len(bins) - 1)
+    threshold = bins.thresholds[threshold_index]
+    hist = AgeHistogram(bins)
+    hist.add_ages(np.array(ages))
+    expected = sum(1 for age in ages if age >= threshold)
+    assert hist.colder_than(threshold) == expected

@@ -1,0 +1,81 @@
+"""Promotion-rate SLO and working-set arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.histograms import AgeHistogram
+from repro.core.slo import (
+    PromotionRateSlo,
+    normalized_promotion_rate,
+    promotions_per_minute,
+    working_set_pages,
+)
+
+
+class TestPromotionRateSlo:
+    def test_paper_defaults(self):
+        slo = PromotionRateSlo()
+        assert slo.target_pct_per_min == pytest.approx(0.2)
+        assert slo.min_cold_age_seconds == 120
+
+    def test_allowed_budget(self):
+        slo = PromotionRateSlo(target_pct_per_min=0.2)
+        # 0.2% of a 10_000-page working set = 20 pages/min.
+        assert slo.allowed_promotions_per_min(10_000) == pytest.approx(20.0)
+
+    def test_is_met(self):
+        slo = PromotionRateSlo(target_pct_per_min=0.2)
+        assert slo.is_met(19.9, 10_000)
+        assert slo.is_met(20.0, 10_000)
+        assert not slo.is_met(20.1, 10_000)
+
+    def test_empty_working_set(self):
+        slo = PromotionRateSlo()
+        assert slo.is_met(0, 0)
+        assert not slo.is_met(1, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PromotionRateSlo(target_pct_per_min=0)
+        with pytest.raises(ConfigurationError):
+            PromotionRateSlo(min_cold_age_seconds=-1)
+
+
+class TestWorkingSet:
+    def test_working_set_excludes_cold_pages(self, bins):
+        hist = AgeHistogram(bins)
+        # 3 young pages, 2 pages at 150s, 1 at 500s.
+        hist.add_ages(np.array([0, 10, 60, 150, 150, 500]))
+        assert working_set_pages(hist) == 3
+
+    def test_working_set_with_custom_window(self, bins):
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array([0, 150, 150, 500]))
+        assert working_set_pages(hist, min_cold_age_seconds=240) == 3
+
+
+class TestNormalizedRate:
+    def test_basic(self):
+        assert normalized_promotion_rate(20, 10_000) == pytest.approx(0.2)
+
+    def test_zero_promotions(self):
+        assert normalized_promotion_rate(0, 0) == 0.0
+
+    def test_promotions_without_working_set_is_inf(self):
+        assert normalized_promotion_rate(5, 0) == float("inf")
+
+
+class TestPromotionsPerMinute:
+    def test_scales_by_interval(self, bins):
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array([300.0] * 10))
+        # Ten cold-page accesses over 5 minutes = 2/min at T=120 or 240.
+        assert promotions_per_minute(hist, 120, 300) == pytest.approx(2.0)
+        assert promotions_per_minute(hist, 240, 300) == pytest.approx(2.0)
+        # At T=480 those accesses would not have been promotions.
+        assert promotions_per_minute(hist, 480, 300) == 0.0
+
+    def test_rejects_bad_interval(self, bins):
+        with pytest.raises(ConfigurationError):
+            promotions_per_minute(AgeHistogram(bins), 120, 0)

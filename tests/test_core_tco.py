@@ -1,0 +1,70 @@
+"""The TCO model, including the paper's §6.1 headline arithmetic."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.tco import TcoModel
+
+
+class TestPaperArithmetic:
+    def test_headline_4_to_5_percent(self):
+        """20% coverage x 32% cold bound x 67% cost cut = 4-5% of DRAM TCO."""
+        report = TcoModel().evaluate(
+            coverage=0.20, cold_fraction=0.32, compression_ratio=3.0
+        )
+        assert 0.04 <= report.dram_saving_fraction <= 0.05
+        assert report.effective_compressed_fraction == pytest.approx(0.064)
+
+    def test_compression_ratio_drives_cost_cut(self):
+        """3x compression means compressed bytes cost 1/3: a 67% cut."""
+        report = TcoModel().evaluate(
+            coverage=1.0, cold_fraction=1.0, compression_ratio=3.0
+        )
+        assert report.dram_saving_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_millions_of_dollars_at_wsc_scale(self):
+        """At an exabyte-class fleet, 4% of DRAM TCO is millions per year."""
+        model = TcoModel(dram_dollars_per_gib_year=25.0, fleet_dram_gib=10_000_000)
+        report = model.evaluate(
+            coverage=0.20, cold_fraction=0.32, compression_ratio=3.0
+        )
+        assert report.dram_dollars_saved_per_year > 1_000_000
+
+
+class TestCpuDebit:
+    def test_cpu_overhead_reduces_net(self):
+        model = TcoModel(fleet_dram_gib=1000)
+        gross = model.evaluate(0.2, 0.32, 3.0)
+        with_cpu = model.evaluate(
+            0.2, 0.32, 3.0, cpu_cores_per_machine_overhead=0.01, machines=100
+        )
+        assert with_cpu.net_dollars_saved_per_year < gross.net_dollars_saved_per_year
+        assert with_cpu.cpu_overhead_dollars_per_year > 0
+
+    def test_paper_scale_cpu_overhead_is_negligible(self):
+        """At the paper's measured ~0.006% machine CPU the debit is tiny."""
+        model = TcoModel(fleet_dram_gib=1_000_000)
+        # 36-core machines, 0.006% of cycles on zswap.
+        report = model.evaluate(
+            0.20, 0.32, 3.0,
+            cpu_cores_per_machine_overhead=36 * 0.00006,
+            machines=4000,
+        )
+        assert report.cpu_overhead_dollars_per_year < (
+            0.01 * report.dram_dollars_saved_per_year
+        )
+
+
+class TestValidation:
+    def test_bad_inputs_rejected(self):
+        model = TcoModel()
+        with pytest.raises(ConfigurationError):
+            model.evaluate(coverage=1.2, cold_fraction=0.3, compression_ratio=3.0)
+        with pytest.raises(ConfigurationError):
+            model.evaluate(coverage=0.2, cold_fraction=-0.1, compression_ratio=3.0)
+        with pytest.raises(ConfigurationError):
+            model.evaluate(coverage=0.2, cold_fraction=0.3, compression_ratio=0.0)
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcoModel(dram_dollars_per_gib_year=0)

@@ -1,0 +1,99 @@
+"""Compression ratio and latency models vs the paper's Fig. 9."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import PAGE_SIZE, ZSMALLOC_MAX_PAYLOAD
+from repro.kernel.compression import (
+    DEFAULT_LATENCY_MODEL,
+    CompressionLatencyModel,
+    ContentProfile,
+)
+
+
+class TestContentProfile:
+    def test_payloads_within_page(self, rng):
+        payloads = ContentProfile().sample_payload_bytes(5000, rng)
+        assert payloads.min() > 0
+        assert payloads.max() <= PAGE_SIZE
+
+    def test_median_ratio_near_three(self, rng):
+        profile = ContentProfile(median_ratio=3.0, incompressible_fraction=0.0)
+        payloads = profile.sample_payload_bytes(20_000, rng)
+        ratios = PAGE_SIZE / payloads
+        assert np.median(ratios) == pytest.approx(3.0, rel=0.05)
+
+    def test_ratio_spread_matches_2_to_6x(self, rng):
+        """Fig. 9a: compressible-page ratios span roughly 2-6x."""
+        profile = ContentProfile(incompressible_fraction=0.0, min_ratio=1.5)
+        ratios = PAGE_SIZE / profile.sample_payload_bytes(20_000, rng)
+        p5, p95 = np.percentile(ratios, [5, 95])
+        assert 1.5 <= p5 <= 2.5
+        assert 4.0 <= p95 <= 7.5
+
+    def test_incompressible_fraction_respected(self, rng):
+        profile = ContentProfile(incompressible_fraction=0.31)
+        payloads = profile.sample_payload_bytes(20_000, rng)
+        over_cutoff = float(np.mean(payloads > ZSMALLOC_MAX_PAYLOAD))
+        assert over_cutoff == pytest.approx(0.31, abs=0.03)
+
+    def test_fully_incompressible(self, rng):
+        profile = ContentProfile(incompressible_fraction=1.0)
+        payloads = profile.sample_payload_bytes(1000, rng)
+        assert (payloads > ZSMALLOC_MAX_PAYLOAD).all()
+
+    def test_zero_pages(self, rng):
+        assert ContentProfile().sample_payload_bytes(0, rng).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContentProfile(median_ratio=0)
+        with pytest.raises(ConfigurationError):
+            ContentProfile(incompressible_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ContentProfile(min_ratio=3.0, max_ratio=2.0)
+
+
+class TestLatencyModel:
+    def test_paper_p50_latency(self):
+        """A median (3x) page decompresses in ~6.4 us (Fig. 9b p50)."""
+        payload_3x = PAGE_SIZE / 3.0
+        latency = DEFAULT_LATENCY_MODEL.decompress_seconds(np.array([payload_3x]))
+        assert latency[0] == pytest.approx(6.4e-6, rel=0.02)
+
+    def test_paper_p98_latency(self):
+        """A 2x page decompresses in ~9.1 us (Fig. 9b p98)."""
+        payload_2x = PAGE_SIZE / 2.0
+        latency = DEFAULT_LATENCY_MODEL.decompress_seconds(np.array([payload_2x]))
+        assert latency[0] == pytest.approx(9.1e-6, rel=0.02)
+
+    def test_latency_monotone_in_payload(self):
+        payloads = np.array([500, 1000, 2000, 4000])
+        latencies = DEFAULT_LATENCY_MODEL.decompress_seconds(payloads)
+        assert (np.diff(latencies) > 0).all()
+
+    def test_compression_slower_than_decompression(self):
+        compress = DEFAULT_LATENCY_MODEL.compress_seconds(1)
+        worst_decompress = DEFAULT_LATENCY_MODEL.decompress_seconds(
+            np.array([PAGE_SIZE])
+        )[0]
+        assert compress > worst_decompress
+
+    def test_compress_cost_linear_in_pages(self):
+        model = DEFAULT_LATENCY_MODEL
+        assert model.compress_seconds(10) == pytest.approx(
+            10 * model.compress_seconds(1)
+        )
+
+    def test_cycles_conversion(self):
+        cycles = DEFAULT_LATENCY_MODEL.compress_cycles(1)
+        assert cycles > 0
+        latency_cycles = DEFAULT_LATENCY_MODEL.decompress_cycles(
+            np.array([1000.0])
+        )
+        assert latency_cycles[0] > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompressionLatencyModel(decompress_base_seconds=0)

@@ -1,0 +1,118 @@
+"""Huge-page (THP) modeling: shared accessed bits and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.histograms import default_age_bins
+from repro.kernel.compression import ContentProfile
+from repro.kernel.memcg import MemCg, PageState
+from repro.kernel.zsmalloc import ZsmallocArena
+from repro.kernel.zswap import Zswap
+
+HUGE = 64  # use small "huge" mappings to keep tests fast
+
+
+@pytest.fixture
+def huge_memcg(rng):
+    profile = ContentProfile(incompressible_fraction=0.0, min_ratio=1.5)
+    memcg = MemCg("job", 512, profile, default_age_bins(), rng)
+    memcg.allocate(512)
+    memcg.map_huge(0, pages_per_huge=HUGE)
+    memcg.map_huge(HUGE, pages_per_huge=HUGE)
+    memcg.scan_update()  # consume allocation touches
+    return memcg
+
+
+class TestMapping:
+    def test_mapping_records_group(self, huge_memcg):
+        assert (huge_memcg.huge_group[:HUGE] == 0).all()
+        assert (huge_memcg.huge_group[HUGE : 2 * HUGE] == HUGE).all()
+        assert (huge_memcg.huge_group[2 * HUGE :] == -1).all()
+
+    def test_overlap_rejected(self, huge_memcg):
+        with pytest.raises(SimulationError):
+            huge_memcg.map_huge(HUGE // 2, pages_per_huge=HUGE)
+
+    def test_nonresident_rejected(self, rng):
+        memcg = MemCg("j", 256, ContentProfile(), default_age_bins(), rng)
+        memcg.allocate(32)  # not the full range
+        with pytest.raises(SimulationError):
+            memcg.map_huge(0, pages_per_huge=64)
+
+    def test_out_of_bounds_rejected(self, huge_memcg):
+        with pytest.raises(Exception):
+            huge_memcg.map_huge(512 - 8, pages_per_huge=HUGE)
+
+
+class TestSharedAccessedBit:
+    def test_one_touch_keeps_whole_mapping_young(self, huge_memcg):
+        # Touch a single page of group 0; none of group HUGE.
+        huge_memcg.touch(np.array([3]))
+        huge_memcg.scan_update()
+        # All of group 0 reads as accessed -> age 0.
+        assert (huge_memcg.age_scans[:HUGE] == 0).all()
+        # Group HUGE aged normally.
+        assert (huge_memcg.age_scans[HUGE : 2 * HUGE] == 1).all()
+
+    def test_huge_mapping_hides_cold_pages(self, huge_memcg):
+        """The fragmentation-vs-resolution trade-off: one hot page in a
+        huge mapping makes 2 MiB undetectable as cold."""
+        for _ in range(4):
+            huge_memcg.touch(np.array([3]))  # only page 3 is really hot
+            huge_memcg.scan_update()
+        assert huge_memcg.cold_pages(120) == 512 - 2 * HUGE + HUGE
+        # Base pages aged; group 0 pinned young by page 3; group HUGE cold.
+        assert (huge_memcg.age_scans[:HUGE] == 0).all()
+
+    def test_dirty_bit_shared_too(self, huge_memcg):
+        huge_memcg.incompressible[:HUGE] = True
+        huge_memcg.touch(np.array([5]), write=True)
+        huge_memcg.scan_update()
+        # The shared PMD dirty bit cleared incompressible for the group.
+        assert not huge_memcg.incompressible[:HUGE].any()
+
+
+class TestSplitting:
+    def test_swap_out_splits_mapping(self, huge_memcg):
+        zswap = Zswap(ZsmallocArena())
+        for _ in range(3):
+            huge_memcg.scan_update()
+        candidates = huge_memcg.reclaim_candidates(120)
+        group0 = candidates[candidates < HUGE]
+        assert group0.size
+        zswap.compress(huge_memcg, group0[:8])
+        # The partially-swapped mapping fell back to base pages.
+        assert (huge_memcg.huge_group[:HUGE] == -1).all()
+        # The untouched mapping survived.
+        assert (huge_memcg.huge_group[HUGE : 2 * HUGE] == HUGE).all()
+
+    def test_explicit_split(self, huge_memcg):
+        huge_memcg.split_huge(0)
+        assert (huge_memcg.huge_group[:HUGE] == -1).all()
+        # After the split, per-page coldness is visible again.
+        huge_memcg.touch(np.array([3]))
+        huge_memcg.scan_update()
+        assert huge_memcg.age_scans[3] == 0
+        assert (huge_memcg.age_scans[4:HUGE] >= 1).all()
+
+
+class TestColdDetectionResolution:
+    @pytest.mark.parametrize("huge_fraction", [0.0, 0.5, 1.0])
+    def test_more_huge_pages_less_detectable_cold(self, rng, huge_fraction):
+        """Sweep: with one hot page per mapping, detectable cold memory
+        shrinks as more of the job is huge-mapped."""
+        profile = ContentProfile(incompressible_fraction=0.0, min_ratio=1.5)
+        memcg = MemCg("j", 512, profile, default_age_bins(), rng)
+        memcg.allocate(512)
+        n_groups = int(huge_fraction * 512 / HUGE)
+        for g in range(n_groups):
+            memcg.map_huge(g * HUGE, pages_per_huge=HUGE)
+        memcg.scan_update()
+        for _ in range(3):
+            # One hot page per 64-page span, huge or not.
+            memcg.touch(np.arange(0, 512, HUGE))
+            memcg.scan_update()
+        detectable = memcg.cold_pages(120)
+        expected = 512 - n_groups * HUGE - (512 // HUGE - n_groups)
+        assert detectable == expected

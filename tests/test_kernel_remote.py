@@ -1,0 +1,82 @@
+"""Remote-memory model: placement, blast radius, latency."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.kernel.remote import RemoteAccessModel, RemoteMemoryPool
+
+
+MACHINES = [f"m{i}" for i in range(8)]
+
+
+@pytest.fixture
+def pool(rng):
+    return RemoteMemoryPool(MACHINES, rng, fanout=2)
+
+
+class TestPlacement:
+    def test_pages_spread_over_fanout_donors(self, pool):
+        allocation = pool.place_far_pages("job", "m0", pages=101)
+        assert len(allocation) == 2
+        assert sum(allocation.values()) == 101
+        assert "m0" not in allocation
+
+    def test_zero_pages(self, pool):
+        allocation = pool.place_far_pages("job", "m0", pages=0)
+        assert sum(allocation.values()) == 0
+        assert pool.donors_of("job") == set()
+
+    def test_fanout_clamped_to_cluster(self, rng):
+        pool = RemoteMemoryPool(["a", "b"], rng, fanout=5)
+        allocation = pool.place_far_pages("j", "a", 10)
+        assert set(allocation) == {"b"}
+
+    def test_needs_two_machines(self, rng):
+        with pytest.raises(ConfigurationError):
+            RemoteMemoryPool(["solo"], rng)
+
+
+class TestBlastRadius:
+    def test_host_failure_hits_hosted_jobs(self, pool):
+        pool.place_far_pages("a", "m0", 10)
+        pool.place_far_pages("b", "m1", 10)
+        assert "a" in pool.affected_jobs("m0")
+
+    def test_donor_failure_hits_borrowers(self, pool):
+        allocation = pool.place_far_pages("a", "m0", 10)
+        donor = next(iter(allocation))
+        assert "a" in pool.affected_jobs(donor)
+
+    def test_remote_blast_radius_exceeds_local(self, rng):
+        """The §2.1 claim, quantified: with remote memory, a failure hurts
+        strictly more jobs than the zswap (host-only) failure domain."""
+        pool = RemoteMemoryPool(MACHINES, rng, fanout=3)
+        for i in range(64):
+            pool.place_far_pages(f"job{i}", MACHINES[i % 8], pages=100)
+        remote_radius = [pool.blast_radius(m) for m in MACHINES]
+        local_radius = [len(pool.hosted_jobs(m)) for m in MACHINES]
+        assert sum(remote_radius) > sum(local_radius)
+        assert all(r >= l for r, l in zip(remote_radius, local_radius))
+
+
+class TestAccessModel:
+    def test_latency_includes_encryption(self, rng):
+        with_enc = RemoteAccessModel(encryption_seconds_per_page=5e-6)
+        without = RemoteAccessModel(encryption_seconds_per_page=0.0)
+        a = with_enc.sample_read_latencies(1000, np.random.default_rng(1))
+        b = without.sample_read_latencies(1000, np.random.default_rng(1))
+        np.testing.assert_allclose(a - b, 5e-6)
+
+    def test_tail_heavier_than_median(self, rng):
+        model = RemoteAccessModel()
+        samples = model.sample_read_latencies(20_000, rng)
+        p50, p99 = np.percentile(samples, [50, 99])
+        assert p99 > 2.5 * p50  # lognormal fabric tail
+
+    def test_store_cpu_linear(self):
+        model = RemoteAccessModel(encryption_seconds_per_page=2e-6)
+        assert model.store_cpu_seconds(100) == pytest.approx(2e-4)
+
+    def test_empty_sample(self, rng):
+        assert RemoteAccessModel().sample_read_latencies(0, rng).size == 0

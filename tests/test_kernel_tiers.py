@@ -1,0 +1,147 @@
+"""Multi-tier far memory (the §8 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import PAGE_SIZE
+from repro.core.histograms import AgeHistogram, default_age_bins
+from repro.kernel.tiers import (
+    NVM_DEVICE,
+    ZSSD_DEVICE,
+    ZSWAP_ACCEL_DEVICE,
+    ZSWAP_DEVICE,
+    FarMemoryDevice,
+    TieredFarMemory,
+)
+
+
+@pytest.fixture
+def histograms(bins):
+    cold = AgeHistogram(bins)
+    # 1000 pages: 400 hot, 300 at ~10 min, 200 at ~1.5 h, 100 at ~6 h.
+    cold.add_ages(
+        np.concatenate(
+            [
+                np.zeros(400),
+                np.full(300, 600.0),
+                np.full(200, 5400.0),
+                np.full(100, 21000.0),
+            ]
+        )
+    )
+    promo = AgeHistogram(bins)
+    promo.add_ages(np.concatenate([np.full(30, 600.0), np.full(5, 5400.0)]))
+    return cold, promo
+
+
+class TestDevices:
+    def test_presets_are_ordered_sanely(self):
+        assert NVM_DEVICE.read_latency_seconds < ZSWAP_DEVICE.read_latency_seconds
+        assert (
+            ZSWAP_DEVICE.read_latency_seconds < ZSSD_DEVICE.read_latency_seconds
+        )
+        assert ZSSD_DEVICE.relative_cost_per_byte < (
+            ZSWAP_DEVICE.relative_cost_per_byte
+        )
+
+    def test_accelerator_strictly_dominates_software(self):
+        """The §8 claim: hardware compression improves both axes."""
+        assert ZSWAP_ACCEL_DEVICE.read_latency_seconds < (
+            ZSWAP_DEVICE.read_latency_seconds
+        )
+        assert ZSWAP_ACCEL_DEVICE.relative_cost_per_byte < (
+            ZSWAP_DEVICE.relative_cost_per_byte
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FarMemoryDevice("x", read_latency_seconds=0,
+                            relative_cost_per_byte=0.3)
+
+
+class TestTieredAssignment:
+    def test_pages_partitioned_by_age(self, histograms):
+        cold, promo = histograms
+        tiers = TieredFarMemory(
+            [NVM_DEVICE, ZSWAP_DEVICE], thresholds_seconds=[480, 3840]
+        )
+        result = tiers.assign(cold, promo)
+        # DRAM keeps the 400 hot pages, NVM the 300 at 10 min, zswap the
+        # 300 older than 3840 s.
+        assert result.pages_per_tier == (400, 300, 300)
+        assert sum(result.pages_per_tier) == cold.total
+
+    def test_single_tier_matches_zswap_view(self, histograms):
+        cold, promo = histograms
+        tiers = TieredFarMemory([ZSWAP_DEVICE], thresholds_seconds=[480])
+        result = tiers.assign(cold, promo)
+        assert result.pages_per_tier == (400 + 300 - 300, 600)
+
+    def test_stall_accounts_latency_per_band(self, histograms):
+        cold, promo = histograms
+        tiers = TieredFarMemory(
+            [NVM_DEVICE, ZSWAP_DEVICE], thresholds_seconds=[480, 3840]
+        )
+        result = tiers.assign(cold, promo)
+        # 30 promos at 600s land in the NVM band; 5 at 5400s in zswap.
+        expected = 30 * NVM_DEVICE.read_latency_seconds + (
+            5 * ZSWAP_DEVICE.read_latency_seconds
+        )
+        assert result.expected_access_seconds_per_min == pytest.approx(expected)
+
+    def test_cheaper_cold_tier_saves_more(self, histograms):
+        cold, promo = histograms
+        zswap_only = TieredFarMemory([ZSWAP_DEVICE], [480]).assign(cold, promo)
+        with_flash = TieredFarMemory(
+            [ZSWAP_DEVICE, ZSSD_DEVICE], [480, 3840]
+        ).assign(cold, promo)
+        assert (
+            with_flash.dram_cost_saving_fraction
+            > zswap_only.dram_cost_saving_fraction
+        )
+
+    def test_fixed_capacity_overflows_to_colder_tier(self, histograms):
+        cold, promo = histograms
+        tiny_nvm = FarMemoryDevice(
+            "tiny NVM",
+            read_latency_seconds=0.4e-6,
+            relative_cost_per_byte=0.5,
+            fixed_capacity_bytes=100 * PAGE_SIZE,
+        )
+        tiers = TieredFarMemory(
+            [tiny_nvm, ZSWAP_DEVICE], thresholds_seconds=[480, 3840]
+        )
+        result = tiers.assign(cold, promo)
+        # NVM holds only 100 of its 300-page band; 200 spill to zswap.
+        assert result.pages_per_tier == (400, 100, 500)
+        assert result.stranded_pages_per_tier == (0, 0, 0)
+
+    def test_last_fixed_tier_strands(self, histograms):
+        cold, promo = histograms
+        tiny = FarMemoryDevice(
+            "tiny flash",
+            read_latency_seconds=20e-6,
+            relative_cost_per_byte=0.05,
+            fixed_capacity_bytes=50 * PAGE_SIZE,
+        )
+        result = TieredFarMemory([tiny], [3840]).assign(cold, promo)
+        assert result.pages_per_tier[-1] == 50
+        assert result.stranded_pages_per_tier[-1] == 250
+
+    def test_thresholds_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            TieredFarMemory([NVM_DEVICE, ZSWAP_DEVICE], [3840, 480])
+
+    def test_accelerator_improves_both_metrics(self, histograms):
+        """End-to-end §8 comparison: swapping in the accelerated device
+        lowers stall and raises savings for the same placement."""
+        cold, promo = histograms
+        software = TieredFarMemory([ZSWAP_DEVICE], [480]).assign(cold, promo)
+        accel = TieredFarMemory([ZSWAP_ACCEL_DEVICE], [480]).assign(cold, promo)
+        assert accel.expected_access_seconds_per_min < (
+            software.expected_access_seconds_per_min
+        )
+        assert accel.dram_cost_saving_fraction > (
+            software.dram_cost_saving_fraction
+        )

@@ -1,0 +1,52 @@
+"""The MapReduce-style pipeline engine."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.model.mapreduce import MapReduce, mapreduce
+
+
+def square(x):
+    return x * x
+
+
+def total(values):
+    return sum(values)
+
+
+class TestInProcess:
+    def test_map_then_reduce(self):
+        assert mapreduce([1, 2, 3, 4], square, total) == 30
+
+    def test_empty_input(self):
+        assert mapreduce([], square, total) == 0
+
+    def test_order_preserved(self):
+        result = mapreduce([3, 1, 2], lambda x: x, lambda xs: xs)
+        assert result == [3, 1, 2]
+
+    def test_single_input(self):
+        assert mapreduce([5], square, total) == 25
+
+
+class TestParallel:
+    def test_pool_matches_sequential(self):
+        inputs = list(range(50))
+        sequential = MapReduce(square, total, workers=1).run(inputs)
+        parallel = MapReduce(square, total, workers=2).run(inputs)
+        assert sequential == parallel
+
+    def test_pool_preserves_order(self):
+        inputs = list(range(20))
+        result = MapReduce(square, lambda xs: xs, workers=2).run(inputs)
+        assert result == [x * x for x in inputs]
+
+
+class TestValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            MapReduce(square, total, workers=0)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            MapReduce(square, total, chunk_size=0)

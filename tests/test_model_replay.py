@@ -1,0 +1,163 @@
+"""The fast far memory model: offline replay of the control algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.core.histograms import AgeHistogram, default_age_bins
+from repro.core.slo import PromotionRateSlo
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.model.replay import FarMemoryModel, _replay_one_job
+from repro.model.trace import JobTrace, TraceEntry
+
+
+def make_trace(job_id="j", n_entries=12, cold_pages=500, wss=1000,
+               promo_ages=(), resident=2000):
+    """A trace with constant per-period statistics."""
+    bins = default_age_bins()
+    trace = JobTrace(job_id)
+    for i in range(n_entries):
+        promo = AgeHistogram(bins)
+        promo.add_ages(np.array(promo_ages, dtype=float))
+        cold = AgeHistogram(bins)
+        cold.add_ages(
+            np.array([200.0] * cold_pages + [0.0] * (resident - cold_pages))
+        )
+        trace.append(
+            TraceEntry(
+                job_id=job_id,
+                machine_id="m0",
+                time=i * 300,
+                working_set_pages=wss,
+                promotion_histogram=promo,
+                cold_age_histogram=cold,
+                resident_pages=resident,
+            )
+        )
+    return trace
+
+
+class TestReplayOneJob:
+    def test_quiet_job_captures_cold_memory(self):
+        config = ThresholdPolicyConfig(percentile_k=90, warmup_seconds=0)
+        result = _replay_one_job(make_trace(), config, PromotionRateSlo())
+        assert result.intervals == 12
+        # First interval has no history -> threshold disabled -> 0 captured.
+        assert result.cold_pages_captured[0] == 0.0
+        # Later intervals run at 120s and capture the 500 cold pages.
+        assert result.cold_pages_captured[-1] == 500.0
+        assert result.mean_cold_pages > 0
+
+    def test_warmup_suppresses_early_intervals(self):
+        config = ThresholdPolicyConfig(percentile_k=90, warmup_seconds=1500)
+        result = _replay_one_job(make_trace(), config, PromotionRateSlo())
+        # 1500s warm-up = five 300s intervals disabled (plus the first).
+        assert all(c == 0 for c in result.cold_pages_captured[:5])
+        assert result.cold_pages_captured[-1] > 0
+
+    def test_noisy_job_captures_less(self):
+        config = ThresholdPolicyConfig(percentile_k=90, warmup_seconds=0)
+        quiet = _replay_one_job(make_trace(), config, PromotionRateSlo())
+        noisy = _replay_one_job(
+            make_trace(promo_ages=[200.0] * 400),  # heavy cold re-touch
+            config,
+            PromotionRateSlo(),
+        )
+        assert noisy.mean_cold_pages < quiet.mean_cold_pages
+
+    def test_empty_trace(self):
+        config = ThresholdPolicyConfig()
+        result = _replay_one_job(JobTrace("j"), config, PromotionRateSlo())
+        assert result.intervals == 0
+        assert result.mean_cold_pages == 0.0
+
+
+class TestFleetModel:
+    def test_aggregates_jobs(self):
+        traces = [make_trace(f"j{i}") for i in range(4)]
+        model = FarMemoryModel(traces)
+        report = model.evaluate(
+            ThresholdPolicyConfig(percentile_k=90, warmup_seconds=0)
+        )
+        assert len(report.job_results) == 4
+        assert report.total_cold_pages > 0
+        assert report.meets_slo
+
+    def test_constraint_detects_violation(self):
+        """Quiet history drives the threshold to 120 s; periodic bursts of
+        cold-page accesses then land as real promotions — the violation
+        pattern the p98 constraint exists to catch."""
+        bins = default_age_bins()
+        trace = JobTrace("bursty")
+        for i in range(12):
+            promo = AgeHistogram(bins)
+            if i % 2 == 1:  # burst intervals
+                promo.add_ages(np.array([150.0] * 500))
+            cold = AgeHistogram(bins)
+            cold.add_ages(np.array([200.0] * 500 + [0.0] * 500))
+            trace.append(
+                TraceEntry(
+                    job_id="bursty",
+                    machine_id="m0",
+                    time=i * 300,
+                    working_set_pages=500,
+                    promotion_histogram=promo,
+                    cold_age_histogram=cold,
+                    resident_pages=1000,
+                )
+            )
+        model = FarMemoryModel([trace])
+        report = model.evaluate(
+            ThresholdPolicyConfig(percentile_k=10, warmup_seconds=0,
+                                  history_length=4)
+        )
+        assert report.promotion_rate_p98 > report.slo_target
+
+    def test_conservative_config_captures_less(self):
+        traces = [
+            make_trace(f"j{i}", promo_ages=[300.0] * 30) for i in range(3)
+        ]
+        model = FarMemoryModel(traces)
+        aggressive = model.evaluate(
+            ThresholdPolicyConfig(percentile_k=50, warmup_seconds=0)
+        )
+        conservative = model.evaluate(
+            ThresholdPolicyConfig(percentile_k=50, warmup_seconds=3000)
+        )
+        assert conservative.total_cold_pages <= aggressive.total_cold_pages
+
+    def test_evaluate_many_order(self):
+        model = FarMemoryModel([make_trace()])
+        configs = [
+            ThresholdPolicyConfig(percentile_k=50, warmup_seconds=0),
+            ThresholdPolicyConfig(percentile_k=99, warmup_seconds=600),
+        ]
+        reports = model.evaluate_many(configs)
+        assert [r.config for r in reports] == configs
+
+    def test_deterministic(self):
+        traces = [make_trace("j", promo_ages=[250.0] * 10)]
+        model = FarMemoryModel(traces)
+        config = ThresholdPolicyConfig(percentile_k=80, warmup_seconds=300)
+        a = model.evaluate(config)
+        b = model.evaluate(config)
+        assert a.total_cold_pages == b.total_cold_pages
+        assert a.promotion_rate_p98 == b.promotion_rate_p98
+
+    def test_matches_online_policy_semantics(self):
+        """The replayed threshold sequence equals what the online policy
+        would have produced given identical inputs."""
+        from repro.core.threshold_policy import ColdAgeThresholdPolicy
+
+        trace = make_trace(promo_ages=[300.0] * 50, n_entries=8)
+        config = ThresholdPolicyConfig(percentile_k=75, warmup_seconds=600)
+        result = _replay_one_job(trace, config, PromotionRateSlo())
+
+        policy = ColdAgeThresholdPolicy(
+            config, trace.entries[0].bins, PromotionRateSlo()
+        )
+        expected = []
+        for entry in trace.entries:
+            expected.append(policy.threshold())
+            policy.observe(entry.promotion_histogram,
+                           entry.working_set_pages, 300)
+        assert result.thresholds == expected

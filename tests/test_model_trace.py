@@ -1,0 +1,102 @@
+"""Trace entry schema and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceError
+from repro.core.histograms import AgeBins, AgeHistogram, default_age_bins
+from repro.model.trace import TRACE_PERIOD_SECONDS, JobTrace, TraceEntry
+
+
+def make_histograms(bins=None):
+    bins = bins if bins is not None else default_age_bins()
+    promo = AgeHistogram(bins)
+    promo.add_ages(np.array([150.0, 500.0]))
+    cold = AgeHistogram(bins)
+    cold.add_ages(np.array([150.0] * 10 + [5.0] * 40))
+    return promo, cold
+
+
+def make_entry(**overrides):
+    promo, cold = make_histograms()
+    fields = dict(
+        job_id="j",
+        machine_id="m0",
+        time=0,
+        working_set_pages=40,
+        promotion_histogram=promo,
+        cold_age_histogram=cold,
+        resident_pages=50,
+        cpu_cores=1.5,
+    )
+    fields.update(overrides)
+    return TraceEntry(**fields)
+
+
+class TestTraceEntry:
+    def test_period_constant(self):
+        assert TRACE_PERIOD_SECONDS == 300
+
+    def test_mismatched_grids_rejected(self):
+        promo, _ = make_histograms()
+        _, cold = make_histograms(AgeBins((120, 480)))
+        with pytest.raises(TraceError):
+            make_entry(promotion_histogram=promo, cold_age_histogram=cold)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(TraceError):
+            make_entry(working_set_pages=-1)
+
+    def test_dict_roundtrip_preserves_everything(self):
+        entry = make_entry()
+        restored = TraceEntry.from_dict(entry.to_dict())
+        assert restored.job_id == entry.job_id
+        assert restored.machine_id == entry.machine_id
+        assert restored.cpu_cores == entry.cpu_cores
+        np.testing.assert_array_equal(
+            restored.promotion_histogram.counts,
+            entry.promotion_histogram.counts,
+        )
+        np.testing.assert_array_equal(
+            restored.cold_age_histogram.counts,
+            entry.cold_age_histogram.counts,
+        )
+        assert (
+            restored.cold_age_histogram.young_count
+            == entry.cold_age_histogram.young_count
+        )
+
+    def test_from_dict_missing_field(self):
+        data = make_entry().to_dict()
+        del data["working_set_pages"]
+        with pytest.raises(TraceError, match="working_set_pages"):
+            TraceEntry.from_dict(data)
+
+    def test_from_dict_bad_histogram_width(self):
+        data = make_entry().to_dict()
+        data["promotion_counts"] = [1, 2]
+        with pytest.raises(TraceError):
+            TraceEntry.from_dict(data)
+
+    def test_bins_property(self):
+        assert make_entry().bins.min_threshold == 120
+
+
+class TestJobTraceOrdering:
+    def test_append_in_order(self):
+        trace = JobTrace("j")
+        trace.append(make_entry(time=0))
+        trace.append(make_entry(time=300))
+        trace.append(make_entry(time=300))  # equal times allowed
+        assert len(trace) == 3
+
+    def test_out_of_order_rejected(self):
+        trace = JobTrace("j")
+        trace.append(make_entry(time=300))
+        with pytest.raises(TraceError):
+            trace.append(make_entry(time=0))
+
+    def test_iteration(self):
+        trace = JobTrace("j")
+        trace.append(make_entry(time=0))
+        assert [e.time for e in trace] == [0]

@@ -1,0 +1,88 @@
+"""Model-vs-live validation machinery."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import AutotunerError
+from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.model import FarMemoryModel, ModelValidator
+from repro.model.validation import _spearman
+
+
+def config(k, s):
+    return ThresholdPolicyConfig(percentile_k=k, warmup_seconds=s)
+
+
+@pytest.fixture
+def validator(warm_fleet):
+    return ModelValidator(FarMemoryModel(warm_fleet.trace_db.traces()))
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert _spearman([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert _spearman([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_constant_inputs_are_zero(self):
+        assert _spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+class TestValidator:
+    def test_record_evaluates_model(self, validator):
+        outcome = validator.record(config(98, 600), live_coverage=0.15,
+                                   live_p98=0.2)
+        assert outcome.model_cold_pages >= 0
+        assert outcome.live_coverage == 0.15
+
+    def test_report_needs_three_configs(self, validator):
+        validator.record(config(98, 600), 0.1, 0.2)
+        validator.record(config(90, 600), 0.12, 0.3)
+        with pytest.raises(AutotunerError):
+            validator.report()
+
+    def test_report_correlations(self, validator):
+        # Feed live numbers that follow the model's own ordering: the
+        # correlations must then be positive.
+        configs = [config(99.9, 7200), config(98, 1800), config(80, 300)]
+        model_values = [
+            validator.model.evaluate(c).total_cold_pages for c in configs
+        ]
+        order = np.argsort(model_values)
+        live = np.empty(3)
+        live[order] = [0.05, 0.10, 0.20]
+        for c, cov in zip(configs, live):
+            p98 = validator.model.evaluate(c).promotion_rate_p98
+            validator.record(c, live_coverage=cov, live_p98=p98)
+        report = validator.report()
+        assert report.objective_rank_correlation == pytest.approx(1.0)
+        assert report.constraint_rank_correlation == pytest.approx(1.0)
+        assert report.model_ranks_usefully
+
+    def test_live_model_agreement_on_real_fleets(self, warm_fleet):
+        """End-to-end: the model's *ordering* of three very different
+        configurations matches the live simulator's ordering."""
+        from repro.cluster import quickfleet
+
+        validator = ModelValidator(
+            FarMemoryModel(warm_fleet.trace_db.traces())
+        )
+        candidates = [
+            config(99.9, 5400),   # very conservative
+            config(98.0, 1200),   # moderate
+            config(70.0, 120),    # aggressive
+        ]
+        for c in candidates:
+            live = quickfleet(
+                clusters=1, machines_per_cluster=2, jobs_per_machine=4,
+                seed=2024, policy_config=c,
+            )
+            live.run(3 * 3600)
+            validator.record(
+                c,
+                live_coverage=live.coverage(),
+                live_p98=live.promotion_rate_percentile(98.0),
+            )
+        report = validator.report()
+        assert report.objective_rank_correlation > 0

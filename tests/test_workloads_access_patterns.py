@@ -1,0 +1,177 @@
+"""Access-pattern generators, including steady-state coldness properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import DAY, HOUR
+from repro.workloads.access_patterns import (
+    DiurnalModulation,
+    HeterogeneousPoissonPattern,
+    PhasedPattern,
+    ScanPattern,
+    ZipfianPattern,
+    make_rates_for_cold_fraction,
+)
+
+
+class TestHeterogeneousPoisson:
+    def test_high_rate_pages_always_touched(self, rng):
+        rates = np.full(100, 10.0)  # 10 Hz
+        pattern = HeterogeneousPoissonPattern(rates)
+        reads, writes = pattern.step(0, 60, rng)
+        assert reads.size == 100
+
+    def test_zero_rate_pages_never_touched(self, rng):
+        pattern = HeterogeneousPoissonPattern(np.zeros(100))
+        reads, writes = pattern.step(0, 60, rng)
+        assert reads.size == 0
+
+    def test_writes_subset_of_reads(self, rng):
+        pattern = HeterogeneousPoissonPattern(
+            np.full(500, 1.0), write_fraction=0.5
+        )
+        reads, writes = pattern.step(0, 60, rng)
+        assert np.isin(writes, reads).all()
+        assert 0 < writes.size < reads.size
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeterogeneousPoissonPattern(np.array([-1.0]))
+
+
+class TestMakeRates:
+    @pytest.mark.parametrize("target", [0.1, 0.3, 0.5, 0.7])
+    def test_steady_state_cold_fraction_near_target(self, target, rng):
+        """The analytic split should land near the target coldness."""
+        rates = make_rates_for_cold_fraction(50_000, target, rng)
+        # Steady-state P(idle >= 120s) for a Poisson page = exp(-120*rate).
+        expected_cold = np.exp(-120.0 * rates).mean()
+        assert expected_cold == pytest.approx(target, abs=0.08)
+
+    def test_rates_positive_and_shuffled(self, rng):
+        rates = make_rates_for_cold_fraction(1000, 0.3, rng)
+        assert rates.size == 1000
+        assert (rates > 0).all()
+        # Hot pages (max rate) should not be contiguous after the shuffle.
+        hot = np.flatnonzero(rates == rates.max())
+        assert hot.size == 0 or hot.max() - hot.min() > hot.size
+
+
+class TestZipfian:
+    def test_head_hotter_than_tail(self, rng):
+        pattern = ZipfianPattern(1000, accesses_per_second=50, alpha=1.5)
+        head_hits = 0
+        tail_hits = 0
+        for t in range(20):
+            reads, _ = pattern.step(t * 60, 60, rng)
+            head_hits += np.count_nonzero(reads < 10)
+            tail_hits += np.count_nonzero(reads >= 990)
+        assert head_hits > tail_hits
+
+    def test_unique_indices(self, rng):
+        pattern = ZipfianPattern(100, accesses_per_second=100)
+        reads, _ = pattern.step(0, 60, rng)
+        assert np.unique(reads).size == reads.size
+
+    def test_zero_rate_interval(self, rng):
+        pattern = ZipfianPattern(100, accesses_per_second=1e-9)
+        reads, writes = pattern.step(0, 1, rng)
+        assert reads.size == 0 and writes.size == 0
+
+
+class TestScan:
+    def test_full_sweep_touches_everything(self, rng):
+        pattern = ScanPattern(1000, period_seconds=3600, sweep_seconds=600)
+        touched = []
+        for t in range(0, 600, 60):
+            reads, _ = pattern.step(t, 60, rng)
+            touched.append(reads)
+        all_touched = np.concatenate(touched)
+        assert np.unique(all_touched).size == 1000
+
+    def test_quiet_between_sweeps(self, rng):
+        pattern = ScanPattern(1000, period_seconds=3600, sweep_seconds=600)
+        reads, _ = pattern.step(1800, 60, rng)
+        assert reads.size == 0
+
+    def test_sweep_repeats_next_period(self, rng):
+        pattern = ScanPattern(100, period_seconds=600, sweep_seconds=60)
+        first, _ = pattern.step(0, 60, rng)
+        second, _ = pattern.step(600, 60, rng)
+        np.testing.assert_array_equal(first, second)
+
+    def test_sweep_longer_than_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScanPattern(100, period_seconds=60, sweep_seconds=120)
+
+
+class TestPhased:
+    def test_hot_window_moves_between_phases(self, rng):
+        pattern = PhasedPattern(10_000, hot_fraction=0.1,
+                                phase_seconds=HOUR, background_rate=0.0)
+        phase_a, _ = pattern.step(0, 60, rng)
+        phase_b, _ = pattern.step(HOUR, 60, rng)
+        overlap = np.intersect1d(phase_a, phase_b).size
+        assert overlap < phase_a.size  # window jumped
+
+    def test_stable_within_phase(self, rng):
+        pattern = PhasedPattern(10_000, hot_fraction=0.1,
+                                phase_seconds=HOUR, background_rate=0.0)
+        first, _ = pattern.step(0, 60, rng)
+        second, _ = pattern.step(60, 60, rng)
+        np.testing.assert_array_equal(first, second)
+
+    def test_hot_size(self, rng):
+        pattern = PhasedPattern(1000, hot_fraction=0.2, background_rate=0.0)
+        reads, _ = pattern.step(0, 60, rng)
+        assert reads.size == 200
+
+
+class TestDiurnal:
+    def test_activity_peaks_at_phase_zero(self):
+        inner = ZipfianPattern(100, accesses_per_second=10)
+        diurnal = DiurnalModulation(inner, amplitude=0.6)
+        assert diurnal.activity_level(0) == pytest.approx(1.0)
+        assert diurnal.activity_level(DAY // 2) == pytest.approx(0.4)
+
+    def test_night_thins_accesses(self, rng):
+        inner = HeterogeneousPoissonPattern(np.full(2000, 5.0))
+        diurnal = DiurnalModulation(inner, amplitude=0.8)
+        day_reads, _ = diurnal.step(0, 60, rng)
+        night_reads, _ = diurnal.step(DAY // 2, 60, rng)
+        assert night_reads.size < day_reads.size * 0.5
+
+    def test_writes_remain_subset(self, rng):
+        inner = HeterogeneousPoissonPattern(np.full(500, 2.0),
+                                            write_fraction=0.5)
+        diurnal = DiurnalModulation(inner, amplitude=0.7)
+        reads, writes = diurnal.step(DAY // 2, 60, rng)
+        assert np.isin(writes, reads).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_pages=st.integers(min_value=10, max_value=2000),
+    cold=st.floats(min_value=0.05, max_value=0.85),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_patterns_emit_valid_indices(n_pages, cold, seed):
+    """Property: every generator only emits indices within its page space."""
+    rng = np.random.default_rng(seed)
+    rates = make_rates_for_cold_fraction(n_pages, cold, rng)
+    patterns = [
+        HeterogeneousPoissonPattern(rates),
+        ZipfianPattern(n_pages, accesses_per_second=n_pages / 10),
+        ScanPattern(n_pages, period_seconds=600, sweep_seconds=300),
+        PhasedPattern(n_pages, hot_fraction=0.2),
+    ]
+    for pattern in patterns:
+        for t in (0, 60, 300):
+            reads, writes = pattern.step(t, 60, rng)
+            for indices in (reads, writes):
+                if indices.size:
+                    assert indices.min() >= 0
+                    assert indices.max() < n_pages

@@ -1,0 +1,107 @@
+"""Fleet job-mix generation: heterogeneity, determinism, Fig. 3 shape."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import SeedSequenceFactory
+from repro.workloads.content import CONTENT_PROFILES, profile_for
+from repro.workloads.job_generator import FleetMixGenerator, JobSpec
+
+
+@pytest.fixture
+def generator(seeds):
+    return FleetMixGenerator(seeds=seeds)
+
+
+class TestJobSpec:
+    def test_bytes_property(self):
+        spec = JobSpec(
+            job_id="j",
+            pages=1000,
+            cpu_cores=2.0,
+            priority=1,
+            content_profile=CONTENT_PROFILES["mixed"],
+            pattern_factory=lambda rng: None,
+        )
+        assert spec.bytes == 1000 * 4096
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            JobSpec(
+                job_id="j",
+                pages=0,
+                cpu_cores=1.0,
+                priority=0,
+                content_profile=CONTENT_PROFILES["mixed"],
+                pattern_factory=lambda rng: None,
+            )
+
+
+class TestFleetMix:
+    def test_unique_sequential_ids(self, generator):
+        specs = generator.generate(10)
+        assert len({s.job_id for s in specs}) == 10
+
+    def test_deterministic_for_seed(self):
+        a = FleetMixGenerator(seeds=SeedSequenceFactory(7)).generate(5)
+        b = FleetMixGenerator(seeds=SeedSequenceFactory(7)).generate(5)
+        assert [s.pages for s in a] == [s.pages for s in b]
+        assert [s.cold_fraction_target for s in a] == [
+            s.cold_fraction_target for s in b
+        ]
+
+    def test_sizes_within_bounds(self, generator):
+        specs = generator.generate(100)
+        assert all(
+            generator.min_pages <= s.pages <= generator.max_pages for s in specs
+        )
+
+    def test_cold_fraction_mean_near_paper(self, seeds):
+        generator = FleetMixGenerator(seeds=seeds, mean_cold_fraction=0.32)
+        targets = [s.cold_fraction_target for s in generator.generate(500)]
+        assert np.mean(targets) == pytest.approx(0.32, abs=0.04)
+
+    def test_cold_fraction_deciles_match_fig3(self, seeds):
+        """Fig. 3: top decile >= ~43% cold, bottom decile < ~9%."""
+        generator = FleetMixGenerator(seeds=seeds, mean_cold_fraction=0.32)
+        targets = [s.cold_fraction_target for s in generator.generate(1000)]
+        p10, p90 = np.percentile(targets, [10, 90])
+        assert p90 >= 0.43
+        assert p10 <= 0.15
+
+    def test_priorities_spread(self, generator):
+        priorities = {s.priority for s in generator.generate(100)}
+        assert priorities == {0, 1, 2}
+
+    def test_patterns_buildable(self, generator, rng):
+        for spec in generator.generate(10):
+            pattern = spec.pattern_factory(rng)
+            reads, writes = pattern.step(0, 60, rng)
+            if reads.size:
+                assert reads.max() < spec.pages
+
+
+class TestContentProfiles:
+    def test_profile_lookup(self):
+        assert profile_for("text").median_ratio == 4.0
+
+    def test_unknown_kind_lists_known(self):
+        with pytest.raises(KeyError, match="multimedia"):
+            profile_for("nope")
+
+    def test_multimedia_mostly_incompressible(self):
+        assert CONTENT_PROFILES["multimedia"].incompressible_fraction > 0.5
+
+    def test_fleet_mixture_lands_near_31_percent(self, seeds, rng):
+        """The job-kind mixture should produce ~31% incompressible cold
+        pages fleet-wide (Fig. 9a's excluded share)."""
+        from repro.common.units import ZSMALLOC_MAX_PAYLOAD
+
+        generator = FleetMixGenerator(seeds=seeds)
+        rejected = 0
+        total = 0
+        for spec in generator.generate(300):
+            payloads = spec.content_profile.sample_payload_bytes(200, rng)
+            rejected += int((payloads > ZSMALLOC_MAX_PAYLOAD).sum())
+            total += payloads.size
+        assert rejected / total == pytest.approx(0.31, abs=0.08)
