@@ -43,9 +43,28 @@ class SliWindow:
         return len(self._samples)
 
     def extend(self, samples: Iterable[SliSample]) -> None:
-        """Add samples (assumed time-ordered) and evict expired ones."""
+        """Add samples and evict expired ones.
+
+        Samples need not arrive time-ordered: agents upload per machine,
+        so a batch drained from several machines interleaves clocks.  The
+        window keeps itself sorted by sample time (stable, so same-time
+        samples keep arrival order) and evicts against the newest time
+        seen — out-of-order arrival can therefore never resurrect or
+        retain samples an in-order arrival would have evicted.
+        """
+        appended = False
+        out_of_order = False
         for sample in samples:
+            if self._samples and sample.time < self._samples[-1].time:
+                out_of_order = True
             self._samples.append(sample)
+            appended = True
+        if not appended and not self._samples:
+            return
+        if out_of_order:
+            self._samples = deque(
+                sorted(self._samples, key=lambda s: s.time)
+            )
         if self._samples:
             horizon = self._samples[-1].time - self.window_seconds
             while self._samples and self._samples[0].time < horizon:

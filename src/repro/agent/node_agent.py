@@ -36,8 +36,22 @@ from repro.core.threshold_policy import (
     ThresholdPolicyConfig,
 )
 from repro.kernel.machine import FarMemoryMode, Machine
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["SliSample", "NodeAgent"]
+
+#: Buckets for the normalized promotion-rate SLI histogram (%/min).  The
+#: SLO default is 0.2 %/min, so the grid is dense around it; the first
+#: bucket (le=0) isolates the fully-quiet minutes.
+PROMOTION_RATE_BUCKETS = (
+    0.0, 0.01, 0.025, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0, 2.0, 5.0, 10.0,
+)
+
+#: Buckets for the chosen cold-age thresholds (seconds); the paper's
+#: candidate grid spans 120 s to 8 h.
+THRESHOLD_BUCKETS = (
+    120, 240, 480, 900, 1800, 3600, 7200, 14400, 28800, 86400,
+)
 
 
 @dataclass(frozen=True)
@@ -80,6 +94,8 @@ class NodeAgent:
         control_period: seconds between control rounds (one minute).
         compaction_watermark: arena external-fragmentation fraction above
             which the agent triggers explicit compaction.
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
     def __init__(
@@ -89,6 +105,8 @@ class NodeAgent:
         slo: Optional[PromotionRateSlo] = None,
         control_period: int = MINUTE,
         compaction_watermark: float = 0.2,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         check_fraction(compaction_watermark, "compaction_watermark")
         self.machine = machine
@@ -102,6 +120,28 @@ class NodeAgent:
         self._jobs: Dict[str, _JobState] = {}
         self.sli_samples: List[SliSample] = []
         self.rounds = 0
+
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        machine_id = machine.machine_id
+        self._m_rounds = registry.counter(
+            "repro_agent_rounds_total",
+            "Completed node-agent control rounds.", ("machine",)
+        ).labels(machine=machine_id)
+        self._m_threshold_updates = registry.counter(
+            "repro_threshold_updates_total",
+            "Per-job cold-age threshold publications.", ("machine",)
+        ).labels(machine=machine_id)
+        self._h_threshold = registry.histogram(
+            "repro_threshold_seconds",
+            "Published cold-age thresholds (finite values only).",
+            buckets=THRESHOLD_BUCKETS,
+        )
+        self._h_promotion_rate = registry.histogram(
+            "repro_promotion_rate_pct_per_min",
+            "Normalized per-job promotion-rate SLI (% of WSS per minute).",
+            buckets=PROMOTION_RATE_BUCKETS,
+        )
 
     def set_policy_config(self, config: ThresholdPolicyConfig) -> None:
         """Deploy new tunables; per-job history carries over.
@@ -135,6 +175,14 @@ class NodeAgent:
         """One control round over every job on the machine."""
         if self.machine.config.mode is not FarMemoryMode.PROACTIVE:
             return
+        with self._tracer.span("agent.control", sim_time=now):
+            self._control_jobs(now)
+        self._maybe_compact()
+        self.machine.run_reclaim()
+        self.rounds += 1
+        self._m_rounds.inc()
+
+    def _control_jobs(self, now: int) -> None:
         for job_id, memcg in self.machine.memcgs.items():
             state = self._jobs.get(job_id)
             if state is None:
@@ -160,19 +208,23 @@ class NodeAgent:
             memcg.zswap_enabled = state.policy.warmed_up
             memcg.cold_age_threshold = threshold
             memcg.soft_limit_pages = wss
+            self._m_threshold_updates.inc()
+            if threshold != float("inf"):
+                self._h_threshold.observe(threshold)
 
             promotions = memcg.promoted_pages_total - state.last_promoted_total
             state.last_promoted_total = memcg.promoted_pages_total
             per_min = promotions * (MINUTE / self.control_period)
+            rate = normalized_promotion_rate(per_min, wss)
+            if wss > 0 and rate == rate and rate != float("inf"):
+                self._h_promotion_rate.observe(rate)
             self.sli_samples.append(
                 SliSample(
                     time=now,
                     job_id=job_id,
                     promotions=promotions,
                     working_set_pages=wss,
-                    normalized_rate_pct_per_min=normalized_promotion_rate(
-                        per_min, wss
-                    ),
+                    normalized_rate_pct_per_min=rate,
                     threshold=threshold,
                 )
             )
@@ -181,10 +233,6 @@ class NodeAgent:
         gone = set(self._jobs) - set(self.machine.memcgs)
         for job_id in gone:
             del self._jobs[job_id]
-
-        self._maybe_compact()
-        self.machine.run_reclaim()
-        self.rounds += 1
 
     def _maybe_compact(self) -> None:
         """Trigger explicit arena compaction past the fragmentation mark."""

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Protocol
 
+from repro.common.events import EventLog
 from repro.common.simtime import PeriodicSchedule
 from repro.core.histograms import AgeHistogram
 from repro.core.slo import PromotionRateSlo, working_set_pages
 from repro.kernel.machine import Machine
 from repro.model.trace import TRACE_PERIOD_SECONDS, TraceEntry
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["TraceSink", "TelemetryExporter"]
 
@@ -38,6 +40,12 @@ class TelemetryExporter:
             normalization); defaults to 1 core per job.
         period: export period in seconds (300 in the paper).
         slo: defines the working-set window.
+        events: optional event log; the exporter records a
+            ``telemetry.histogram_reset`` event whenever a job's period
+            histogram had to restart from the cumulative counts because
+            the bin thresholds changed mid-run.
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
     def __init__(
@@ -47,15 +55,36 @@ class TelemetryExporter:
         cpu_lookup: Optional[Callable[[str], float]] = None,
         period: int = TRACE_PERIOD_SECONDS,
         slo: Optional[PromotionRateSlo] = None,
+        events: Optional[EventLog] = None,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.machine = machine
         self.sink = sink
         self.cpu_lookup = cpu_lookup if cpu_lookup is not None else (lambda _: 1.0)
         self.period = int(period)
         self.slo = slo if slo is not None else PromotionRateSlo()
+        self.events = events
         self._schedule = PeriodicSchedule(self.period)
         self._last_promotion: Dict[str, AgeHistogram] = {}
         self.entries_exported = 0
+
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        machine_id = machine.machine_id
+        self._m_exports = registry.counter(
+            "repro_telemetry_exports_total",
+            "Completed 5-minute telemetry export rounds.", ("machine",)
+        ).labels(machine=machine_id)
+        self._m_entries = registry.counter(
+            "repro_telemetry_entries_total",
+            "Trace entries shipped to the trace database.", ("machine",)
+        ).labels(machine=machine_id)
+        self._m_resets = registry.counter(
+            "repro_telemetry_histogram_resets_total",
+            "Period histograms restarted after a bin-threshold change.",
+            ("machine",)
+        ).labels(machine=machine_id)
 
     def maybe_export(self, now: int) -> bool:
         """Export if the period boundary passed; returns True when it did."""
@@ -65,30 +94,48 @@ class TelemetryExporter:
         return True
 
     def export(self, now: int) -> None:
-        """Emit one trace entry per job on the machine."""
-        for job_id, memcg in self.machine.memcgs.items():
-            last = self._last_promotion.get(job_id)
-            if last is None or last.bins.thresholds != memcg.bins.thresholds:
-                period_hist = memcg.promotion_histogram.copy()
-            else:
-                period_hist = memcg.promotion_histogram.diff(last)
-            self._last_promotion[job_id] = memcg.promotion_histogram.copy()
+        """Emit one trace entry per job on the machine.
 
-            entry = TraceEntry(
-                job_id=job_id,
-                machine_id=self.machine.machine_id,
-                time=now - self.period,
-                working_set_pages=working_set_pages(
-                    memcg.cold_age_histogram, self.slo.min_cold_age_seconds
-                ),
-                promotion_histogram=period_hist,
-                cold_age_histogram=memcg.cold_age_histogram.copy(),
-                resident_pages=memcg.resident_pages,
-                cpu_cores=self.cpu_lookup(job_id),
-            )
-            self.sink.add(entry)
-            self.entries_exported += 1
+        When a job's bin thresholds changed since the previous export, the
+        previous cumulative snapshot is incomparable and the period
+        histogram restarts from the cumulative counts; that reset is
+        surfaced as a ``telemetry.histogram_reset`` event (and counter) so
+        downstream consumers can discount the affected period.
+        """
+        with self._tracer.span("telemetry.export", sim_time=now):
+            for job_id, memcg in self.machine.memcgs.items():
+                last = self._last_promotion.get(job_id)
+                if last is None or last.bins.thresholds != memcg.bins.thresholds:
+                    if last is not None:
+                        self._m_resets.inc()
+                        if self.events is not None:
+                            self.events.record(
+                                now, "telemetry.histogram_reset",
+                                job=job_id,
+                                machine=self.machine.machine_id,
+                            )
+                    period_hist = memcg.promotion_histogram.copy()
+                else:
+                    period_hist = memcg.promotion_histogram.diff(last)
+                self._last_promotion[job_id] = memcg.promotion_histogram.copy()
 
-        gone = set(self._last_promotion) - set(self.machine.memcgs)
-        for job_id in gone:
-            del self._last_promotion[job_id]
+                entry = TraceEntry(
+                    job_id=job_id,
+                    machine_id=self.machine.machine_id,
+                    time=now - self.period,
+                    working_set_pages=working_set_pages(
+                        memcg.cold_age_histogram, self.slo.min_cold_age_seconds
+                    ),
+                    promotion_histogram=period_hist,
+                    cold_age_histogram=memcg.cold_age_histogram.copy(),
+                    resident_pages=memcg.resident_pages,
+                    cpu_cores=self.cpu_lookup(job_id),
+                )
+                self.sink.add(entry)
+                self.entries_exported += 1
+                self._m_entries.inc()
+
+            gone = set(self._last_promotion) - set(self.machine.memcgs)
+            for job_id in gone:
+                del self._last_promotion[job_id]
+        self._m_exports.inc()

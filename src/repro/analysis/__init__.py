@@ -20,6 +20,8 @@ from repro.analysis.fleet_analysis import (
 from repro.analysis.sli import per_job_promotion_rates, slo_violation_fraction
 from repro.analysis.reporting import (
     render_cdf,
+    render_fleet_health,
+    render_flame_table,
     render_series,
     render_table,
     render_violins,
@@ -41,6 +43,8 @@ __all__ = [
     "per_machine_coverage_by_cluster",
     "percentile_summary",
     "render_cdf",
+    "render_fleet_health",
+    "render_flame_table",
     "render_series",
     "render_table",
     "render_violins",

@@ -12,8 +12,16 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.analysis.distributions import ViolinStats
+from repro.obs import Tracer, flame_table, subsystem_table
 
-__all__ = ["render_table", "render_cdf", "render_violins", "render_series"]
+__all__ = [
+    "render_table",
+    "render_cdf",
+    "render_violins",
+    "render_series",
+    "render_fleet_health",
+    "render_flame_table",
+]
 
 
 def render_table(
@@ -90,6 +98,78 @@ def render_series(
     """Render an (x, y) series as a two-column table."""
     rows = list(zip(x, y))
     return render_table([x_label, y_label], rows, title=title)
+
+
+def render_fleet_health(report: Dict[str, float]) -> str:
+    """Render a :meth:`WSC.fleet_health_report` dict as the health table.
+
+    The row set follows the paper's monitoring story: coverage and cold
+    fraction (§6.1), the promotion-rate SLI percentiles against the SLO
+    (Fig. 7), and the zswap quality numbers (§3.2, §6.3).
+    """
+    rows = [
+        ("coverage", f"{report['coverage']:.1%}"),
+        ("cold fraction @120s",
+         f"{report['cold_fraction_at_min_threshold']:.1%}"),
+        ("far memory", f"{report['far_memory_gib']:.2f} GiB"),
+        ("DRAM saved", f"{report['saved_gib']:.2f} GiB"),
+        ("compression ratio", f"{report['compression_ratio']:.2f}x"),
+        ("incompressible fraction",
+         f"{report['incompressible_fraction']:.1%}"),
+        ("promotion rate p50",
+         f"{report['promotion_rate_p50_pct_per_min']:.4f} %/min"),
+        ("promotion rate p90",
+         f"{report['promotion_rate_p90_pct_per_min']:.4f} %/min"),
+        ("promotion rate p98",
+         f"{report['promotion_rate_p98_pct_per_min']:.4f} %/min"),
+    ]
+    return render_table(["SLI", "value"], rows, title="Fleet health")
+
+
+def render_flame_table(tracer: Tracer, top: int = 12) -> str:
+    """Render the tracer's profile: per-subsystem, then the hottest spans.
+
+    Args:
+        tracer: the tracer the run was instrumented with.
+        top: how many individual spans to list under the subsystems.
+    """
+    subsystems = subsystem_table(tracer)
+    if not subsystems:
+        return "Profile: (no spans recorded)"
+    sub_rows = [
+        (
+            s.name,
+            s.calls,
+            f"{s.wall_seconds * 1e3:.1f}ms",
+            f"{s.self_seconds * 1e3:.1f}ms",
+        )
+        for s in subsystems
+    ]
+    parts = [
+        render_table(
+            ["subsystem", "calls", "wall", "self"],
+            sub_rows,
+            title="Profile by subsystem (wall clock)",
+        )
+    ]
+    span_rows = [
+        (
+            s.name,
+            s.calls,
+            f"{s.self_seconds * 1e3:.1f}ms",
+            f"{s.mean_seconds * 1e6:.0f}us",
+            f"{s.max_seconds * 1e6:.0f}us",
+        )
+        for s in flame_table(tracer)[:top]
+    ]
+    parts.append(
+        render_table(
+            ["span", "calls", "self", "mean", "max"],
+            span_rows,
+            title=f"Hottest spans (top {len(span_rows)})",
+        )
+    )
+    return "\n\n".join(parts)
 
 
 def _fmt(value: object) -> str:

@@ -23,6 +23,7 @@ from repro.common.validation import check_positive, require
 from repro.autotuner.gp import GaussianProcess
 from repro.autotuner.kernels import Matern52Kernel
 from repro.autotuner.search_space import SearchSpace
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["Observation", "GpBandit"]
 
@@ -55,6 +56,8 @@ class GpBandit:
         acquisition: ``"ucb"`` (upper confidence bound, the GP-Bandit
             default) or ``"ei"`` (expected improvement over the best
             feasible observation) — both feasibility-weighted.
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
     ACQUISITIONS = ("ucb", "ei")
@@ -67,6 +70,8 @@ class GpBandit:
         candidates_per_suggest: int = 2048,
         seed: int = 0,
         acquisition: str = "ucb",
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         check_positive(beta, "beta")
         check_positive(candidates_per_suggest, "candidates_per_suggest")
@@ -82,6 +87,17 @@ class GpBandit:
         self._rng = np.random.default_rng(seed)
         self.observations: List[Observation] = []
 
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._m_suggestions = registry.counter(
+            "repro_bandit_suggestions_total",
+            "Configurations proposed by the GP bandit."
+        )
+        self._m_observations = registry.counter(
+            "repro_bandit_observations_total",
+            "Completed trials fed back to the GP bandit."
+        )
+
     # ------------------------------------------------------------------
     # Observation bookkeeping
     # ------------------------------------------------------------------
@@ -95,6 +111,7 @@ class GpBandit:
         require(np.isfinite(objective), "objective must be finite")
         require(np.isfinite(constraint), "constraint must be finite")
         self.observations.append(Observation(point, objective, constraint))
+        self._m_observations.inc()
 
     @property
     def feasible_observations(self) -> List[Observation]:
@@ -124,23 +141,32 @@ class GpBandit:
         already-chosen batch members.
         """
         check_positive(n, "n")
-        if len(self.observations) < 2 * self.space.dim:
-            return list(self.space.sample(n, self._rng))
+        with self._tracer.span("gp_bandit.suggest", n=n):
+            if len(self.observations) < 2 * self.space.dim:
+                self._m_suggestions.inc(n)
+                return list(self.space.sample(n, self._rng))
 
-        objective_gp, constraint_gp = self._fit_models()
-        chosen: List[np.ndarray] = []
-        for _ in range(n):
-            candidates = self._rng.random(
-                (self.candidates_per_suggest, self.space.dim)
-            )
-            scores = self._acquisition(candidates, objective_gp, constraint_gp)
-            for prior in chosen:
-                distance = np.linalg.norm(candidates - prior, axis=1)
-                scores = np.where(distance < 0.05, -np.inf, scores)
-            chosen.append(candidates[int(np.argmax(scores))])
-        return chosen
+            objective_gp, constraint_gp = self._fit_models()
+            chosen: List[np.ndarray] = []
+            for _ in range(n):
+                candidates = self._rng.random(
+                    (self.candidates_per_suggest, self.space.dim)
+                )
+                scores = self._acquisition(
+                    candidates, objective_gp, constraint_gp
+                )
+                for prior in chosen:
+                    distance = np.linalg.norm(candidates - prior, axis=1)
+                    scores = np.where(distance < 0.05, -np.inf, scores)
+                chosen.append(candidates[int(np.argmax(scores))])
+            self._m_suggestions.inc(n)
+            return chosen
 
     def _fit_models(self) -> Tuple[GaussianProcess, GaussianProcess]:
+        with self._tracer.span("gp_bandit.fit"):
+            return self._fit_models_inner()
+
+    def _fit_models_inner(self) -> Tuple[GaussianProcess, GaussianProcess]:
         x = np.vstack([o.point for o in self.observations])
         y_obj = np.array([o.objective for o in self.observations])
         y_con = np.array([o.constraint for o in self.observations])

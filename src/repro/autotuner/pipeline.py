@@ -30,6 +30,7 @@ from repro.autotuner.search_space import (
     config_from_values,
     far_memory_search_space,
 )
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["Trial", "TuningResult", "AutotuningPipeline"]
 
@@ -99,6 +100,8 @@ class AutotuningPipeline:
         space: the parameter space; defaults to the paper's (K, S).
         batch_size: configurations evaluated per bandit iteration.
         seed: bandit candidate-sampling seed.
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
     def __init__(
@@ -107,15 +110,33 @@ class AutotuningPipeline:
         space: Optional[SearchSpace] = None,
         batch_size: int = 4,
         seed: int = 0,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         check_positive(batch_size, "batch_size")
         self.model = model
         self.space = space if space is not None else far_memory_search_space()
         self.batch_size = int(batch_size)
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
         self.bandit = GpBandit(
             self.space,
             constraint_limit=model.slo.target_pct_per_min,
             seed=seed,
+            registry=registry,
+            tracer=self._tracer,
+        )
+        self._m_trials = registry.counter(
+            "repro_autotuner_trials_total",
+            "Configurations evaluated by the fast far memory model."
+        )
+        self._m_feasible = registry.counter(
+            "repro_autotuner_feasible_trials_total",
+            "Evaluated configurations that met the promotion-rate SLO."
+        )
+        self._g_best = registry.gauge(
+            "repro_autotuner_best_objective_cold_pages",
+            "Best feasible objective (cold pages captured) so far."
         )
 
     def run(self, iterations: int = 8) -> TuningResult:
@@ -123,17 +144,26 @@ class AutotuningPipeline:
         check_positive(iterations, "iterations")
         result = TuningResult()
         for iteration in range(iterations):
-            points = self.bandit.suggest(self.batch_size)
-            for point in points:
-                values = self.space.from_unit(point)
-                config = config_from_values(values)
-                report = self.model.evaluate(config)
-                self.bandit.observe(
-                    point,
-                    objective=report.total_cold_pages,
-                    constraint=report.promotion_rate_p98,
-                )
-                result.trials.append(Trial(config, report, iteration))
+            with self._tracer.span("autotuner.iteration", iteration=iteration):
+                points = self.bandit.suggest(self.batch_size)
+                for point in points:
+                    values = self.space.from_unit(point)
+                    config = config_from_values(values)
+                    with self._tracer.span("autotuner.evaluate"):
+                        report = self.model.evaluate(config)
+                    self.bandit.observe(
+                        point,
+                        objective=report.total_cold_pages,
+                        constraint=report.promotion_rate_p98,
+                    )
+                    trial = Trial(config, report, iteration)
+                    result.trials.append(trial)
+                    self._m_trials.inc()
+                    if trial.feasible:
+                        self._m_feasible.inc()
+            best = self.bandit.best()
+            if best is not None:
+                self._g_best.set(best.objective)
 
         best_observation = self.bandit.best()
         if best_observation is not None:

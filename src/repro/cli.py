@@ -8,6 +8,8 @@ Commands:
 * ``figures`` — regenerate the paper's figure tables into a directory;
 * ``traces`` — run a fleet and dump its telemetry as JSON-lines for
   offline experimentation with the fast far memory model.
+* ``metrics`` — run an instrumented fleet and print the health report,
+  or the full metric exposition (``--format prom|json``).
 """
 
 from __future__ import annotations
@@ -24,6 +26,8 @@ from repro.analysis import (
     per_job_cold_fractions,
     per_job_promotion_rates,
     render_cdf,
+    render_fleet_health,
+    render_flame_table,
     render_series,
     render_table,
     render_violins,
@@ -33,11 +37,12 @@ from repro.analysis import (
 )
 from repro.autotuner import AutotuningPipeline
 from repro.cluster import quickfleet
-from repro.common.units import HOUR, MIB, PAGE_SIZE
+from repro.common.units import HOUR, MIB, MINUTE, PAGE_SIZE
 from repro.core import TcoModel, ThresholdPolicyConfig
 from repro.model import FarMemoryModel
+from repro.obs import MetricRegistry, Tracer, profile_to_registry
 
-__all__ = ["main"]
+__all__ = ["main", "metrics_entry"]
 
 
 def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
@@ -197,6 +202,50 @@ def cmd_traces(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run an instrumented fleet and emit its metrics.
+
+    ``--format table`` (the default) prints the human fleet-health report
+    plus the span profile; ``prom`` emits the Prometheus text exposition;
+    ``json`` emits one JSON object per metric (JSON-lines).
+    """
+    registry = MetricRegistry()
+    tracer = Tracer()
+    fleet = quickfleet(
+        clusters=args.clusters,
+        machines_per_cluster=args.machines,
+        jobs_per_machine=args.jobs,
+        seed=args.seed,
+        machine_dram_gib=args.dram_gib,
+        mean_cold_fraction=args.cold_target,
+        job_pages_range=((16 * MIB) // PAGE_SIZE, (64 * MIB) // PAGE_SIZE),
+        registry=registry,
+        tracer=tracer,
+    )
+    if args.format == "table":
+        print(f"Simulating {args.minutes:g} minutes on "
+              f"{len(fleet.machines)} machines...")
+    fleet.run(int(args.minutes * MINUTE))
+    report = fleet.fleet_health_report()
+    profile_to_registry(tracer, registry)
+
+    if args.format == "prom":
+        text = registry.expose_text()
+    elif args.format == "json":
+        text = registry.export_jsonl()
+    else:
+        text = "\n\n".join(
+            [render_fleet_health(report), render_flame_table(tracer)]
+        )
+
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"Wrote metrics to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -223,6 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fleet_arguments(p)
     p.add_argument("--output", default="traces.jsonl")
     p.set_defaults(func=cmd_traces)
+
+    p = sub.add_parser("metrics",
+                       help="run an instrumented fleet, emit its metrics")
+    _add_fleet_arguments(p)
+    p.add_argument("--minutes", type=float, default=60.0,
+                   help="simulated minutes (metrics runs are short; "
+                        "this replaces --hours)")
+    p.add_argument("--format", choices=("table", "prom", "json"),
+                   default="table",
+                   help="table = fleet health report; prom = Prometheus "
+                        "text exposition; json = JSON-lines snapshot")
+    p.add_argument("--output", default=None,
+                   help="write to this file instead of stdout")
+    p.set_defaults(func=cmd_metrics)
     return parser
 
 
@@ -230,6 +293,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     return args.func(args)
+
+
+def metrics_entry(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point: ``repro-metrics`` == ``repro metrics``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["metrics", *argv])
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from repro.cluster.job import RunningJob
 from repro.cluster.scheduler import BorgScheduler
 from repro.cluster.trace_db import TraceDatabase
 from repro.kernel.machine import Machine, MachineConfig
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 from repro.workloads.job_generator import JobSpec
 
 __all__ = ["Cluster"]
@@ -49,6 +50,12 @@ class Cluster:
         bins: candidate-threshold grid; defaults to the paper grid.
         overcommit: scheduler memory overcommit fraction.
         placement: scheduler strategy ("best_fit" or "spread").
+        registry: metrics registry threaded to every machine, agent and
+            exporter (defaults to the process-global one).  The cluster
+            also bridges its event log into the registry: every recorded
+            event increments ``repro_events_total{kind=...}``.
+        tracer: span tracer, likewise threaded down (defaults to the
+            process-global one).
     """
 
     def __init__(
@@ -63,6 +70,8 @@ class Cluster:
         bins: Optional[AgeBins] = None,
         overcommit: float = 0.0,
         placement: str = "best_fit",
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         check_positive(n_machines, "n_machines")
         self.name = name
@@ -75,6 +84,16 @@ class Cluster:
         self.trace_db = trace_db if trace_db is not None else TraceDatabase()
         self.events = EventLog(max_events=200_000)
         self.clock = Clock(tick_seconds=DEFAULT_TICK_SECONDS)
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+
+        events_counter = self.registry.counter(
+            "repro_events_total",
+            "Simulation events recorded, by event kind.", ("kind",)
+        )
+        self.events.subscribe(
+            "", lambda event: events_counter.labels(kind=event.kind).inc()
+        )
 
         self.machines: List[Machine] = [
             Machine(
@@ -83,6 +102,8 @@ class Cluster:
                 bins=self.bins,
                 seeds=seeds.fork("machine", index=i),
                 events=self.events,
+                registry=self.registry,
+                tracer=self.tracer,
             )
             for i in range(n_machines)
         ]
@@ -93,7 +114,8 @@ class Cluster:
             events=self.events,
         )
         self.agents: Dict[str, NodeAgent] = {
-            m.machine_id: NodeAgent(m, self.policy_config, self.slo)
+            m.machine_id: NodeAgent(m, self.policy_config, self.slo,
+                                    registry=self.registry, tracer=self.tracer)
             for m in self.machines
         }
         self.exporters: Dict[str, TelemetryExporter] = {
@@ -102,6 +124,9 @@ class Cluster:
                 self.trace_db,
                 cpu_lookup=self._cpu_of,
                 slo=self.slo,
+                events=self.events,
+                registry=self.registry,
+                tracer=self.tracer,
             )
             for m in self.machines
         }
@@ -214,25 +239,28 @@ class Cluster:
         """Advance one tick: jobs, daemons, agents, exporters, sampling."""
         now = self.clock.now
 
-        for job_id in [j for j, job in self.running.items() if job.expired(now)]:
-            self.finish(job_id)
-        self._replenish()
+        with self.tracer.span("cluster.tick", sim_time=now):
+            for job_id in [
+                j for j, job in self.running.items() if job.expired(now)
+            ]:
+                self.finish(job_id)
+            self._replenish()
 
-        for job in self.running.values():
-            job.step(now, self.clock.tick_seconds)
+            for job in self.running.values():
+                job.step(now, self.clock.tick_seconds)
 
-        for machine in self.machines:
-            machine.tick(now)
-            self._relieve_pressure(machine, now)
+            for machine in self.machines:
+                machine.tick(now)
+                self._relieve_pressure(machine, now)
 
-        for agent in self.agents.values():
-            agent.maybe_control(now)
-        for exporter in self.exporters.values():
-            exporter.maybe_export(now)
+            for agent in self.agents.values():
+                agent.maybe_control(now)
+            for exporter in self.exporters.values():
+                exporter.maybe_export(now)
 
-        if now >= self._next_coverage_sample:
-            self._sample_coverage(now)
-            self._next_coverage_sample = now + COVERAGE_SAMPLE_PERIOD
+            if now >= self._next_coverage_sample:
+                self._sample_coverage(now)
+                self._next_coverage_sample = now + COVERAGE_SAMPLE_PERIOD
 
         self.clock.advance()
 

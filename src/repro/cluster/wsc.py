@@ -22,6 +22,7 @@ from repro.core.threshold_policy import ThresholdPolicyConfig
 from repro.cluster.cluster import Cluster
 from repro.cluster.trace_db import TraceDatabase
 from repro.kernel.machine import FarMemoryMode, MachineConfig
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 from repro.workloads.job_generator import FleetMixGenerator
 
 __all__ = ["WSC", "quickfleet"]
@@ -33,14 +34,25 @@ class WSC:
     Args:
         clusters: member clusters (each already wired to ``trace_db``).
         trace_db: the fleet telemetry store.
+        registry: metrics registry the fleet-level gauges are published
+            to (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
-    def __init__(self, clusters: Sequence[Cluster], trace_db: TraceDatabase):
+    def __init__(
+        self,
+        clusters: Sequence[Cluster],
+        trace_db: TraceDatabase,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         if not clusters:
             raise ValueError("a WSC needs at least one cluster")
         self.clusters = list(clusters)
         self.trace_db = trace_db
         self.sli_history: List[SliSample] = []
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
 
     @property
     def machines(self) -> List:
@@ -118,6 +130,66 @@ class WSC:
             "saved_gib": sum(m.saved_bytes() for m in self.machines) / GIB,
         }
 
+    def fleet_health_report(self) -> Dict[str, float]:
+        """The fleet health SLIs the paper monitors, in one dict.
+
+        Extends :meth:`coverage_report` with the zswap quality numbers
+        (mean compression ratio, incompressible fraction — §3.2/§6.3) and
+        the promotion-rate SLI percentiles (Fig. 7).  Each derived number
+        is also published to the registry as a ``repro_fleet_*`` gauge so
+        it appears in the Prometheus exposition next to the raw counters.
+        """
+        compressed = rejected = payload = 0
+        for machine in self.machines:
+            for stats in machine.zswap.job_stats.values():
+                compressed += stats.pages_compressed
+                rejected += stats.pages_rejected
+                payload += stats.payload_bytes_stored
+        attempts = compressed + rejected
+        incompressible = rejected / attempts if attempts else 0.0
+        ratio = compressed * PAGE_SIZE / payload if payload else 0.0
+
+        report = dict(self.coverage_report())
+        report.update(
+            {
+                "promotion_rate_p50_pct_per_min": self.promotion_rate_percentile(50.0),
+                "promotion_rate_p90_pct_per_min": self.promotion_rate_percentile(90.0),
+                "incompressible_fraction": incompressible,
+                "compression_ratio": ratio,
+            }
+        )
+
+        gauges = {
+            "repro_fleet_coverage":
+                ("Fleet cold-memory coverage (far / cold).", "coverage"),
+            "repro_fleet_cold_fraction":
+                ("Fleet share of used memory cold at the minimum threshold.",
+                 "cold_fraction_at_min_threshold"),
+            "repro_fleet_compression_ratio":
+                ("Fleet mean zswap compression ratio.", "compression_ratio"),
+            "repro_fleet_incompressible_fraction":
+                ("Fraction of compression attempts rejected as "
+                 "incompressible.", "incompressible_fraction"),
+            "repro_fleet_promotion_rate_p50_pct_per_min":
+                ("Fleet p50 of the promotion-rate SLI.",
+                 "promotion_rate_p50_pct_per_min"),
+            "repro_fleet_promotion_rate_p90_pct_per_min":
+                ("Fleet p90 of the promotion-rate SLI.",
+                 "promotion_rate_p90_pct_per_min"),
+            "repro_fleet_promotion_rate_p98_pct_per_min":
+                ("Fleet p98 of the promotion-rate SLI.",
+                 "promotion_rate_p98_pct_per_min"),
+            "repro_fleet_far_memory_gib":
+                ("GiB currently stored compressed fleet-wide.",
+                 "far_memory_gib"),
+            "repro_fleet_saved_gib":
+                ("GiB of DRAM saved by compression fleet-wide.",
+                 "saved_gib"),
+        }
+        for name, (help_text, key) in gauges.items():
+            self.registry.gauge(name, help_text).set(report[key])
+        return report
+
 
 def quickfleet(
     clusters: int = 1,
@@ -132,6 +204,8 @@ def quickfleet(
     warmup_hours: float = 0.0,
     placement: str = "spread",
     churn_duration_range: Optional[tuple] = None,
+    registry: Optional[MetricRegistry] = None,
+    tracer: Optional[Tracer] = None,
 ) -> WSC:
     """Build a small, ready-to-run fleet with a calibrated job mix.
 
@@ -155,6 +229,10 @@ def quickfleet(
             When set, jobs have finite lives and the cluster keeps its
             population constant by admitting fresh jobs — the fleet churn
             that makes the warm-up parameter S meaningful.
+        registry: metrics registry threaded through every layer
+            (defaults to the process-global one).
+        tracer: span tracer, likewise threaded (defaults to the global
+            one).
 
     Returns:
         A :class:`WSC` with all jobs placed (and optionally warmed up).
@@ -185,13 +263,15 @@ def quickfleet(
             policy_config=policy_config,
             overcommit=0.0,
             placement=placement,
+            registry=registry,
+            tracer=tracer,
         )
         specs = generator.generate(machines_per_cluster * jobs_per_machine)
         cluster.submit_all(specs)
         if churn_duration_range is not None:
             cluster.enable_churn(generator.next_job, len(specs))
         built.append(cluster)
-    fleet = WSC(built, trace_db)
+    fleet = WSC(built, trace_db, registry=registry, tracer=tracer)
     if warmup_hours > 0:
         fleet.run(int(warmup_hours * HOUR))
     return fleet

@@ -9,7 +9,7 @@ drive assertions in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["Event", "EventLog"]
 
@@ -30,11 +30,14 @@ class Event:
 
 
 class EventLog:
-    """Append-only event sink with simple filtering.
+    """Append-only event sink with simple filtering and subscriptions.
 
-    A log may be created bounded (``max_events``) for long simulations; when
-    full, the oldest events are dropped and ``dropped_count`` records how
-    many.
+    A log may be created bounded (``max_events``) for long simulations;
+    when full, the oldest events are dropped from the *retained buffer*
+    and ``dropped_count`` records how many.  Dropping only affects later
+    reads (``__iter__``/``of_kind``/``between``): every event was already
+    delivered to subscribers at :meth:`record` time, so ``dropped_count``
+    measures lost history, never lost notifications.
     """
 
     def __init__(self, max_events: Optional[int] = None):
@@ -42,6 +45,7 @@ class EventLog:
             raise ValueError("max_events must be positive or None")
         self._events: List[Event] = []
         self._max_events = max_events
+        self._subscribers: List[Tuple[str, Callable[[Event], None]]] = []
         self.dropped_count = 0
 
     def __len__(self) -> int:
@@ -50,9 +54,38 @@ class EventLog:
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
+    def subscribe(
+        self, kind_prefix: str, callback: Callable[[Event], None]
+    ) -> Callable[[], None]:
+        """Invoke ``callback`` for every future event matching the prefix.
+
+        Matching follows :meth:`of_kind`: an event matches when its kind
+        equals ``kind_prefix`` or is nested under it (``"zswap"`` matches
+        ``"zswap.store"``).  The empty prefix matches everything.
+        Callbacks fire synchronously inside :meth:`record`, before the
+        bounded-buffer eviction, so subscribers see every event even when
+        the log is dropping history.
+
+        Returns:
+            A zero-argument function that unsubscribes the callback.
+        """
+        entry = (kind_prefix, callback)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
     def record(self, time: int, kind: str, **payload: Any) -> Event:
-        """Append and return a new event."""
+        """Append and return a new event (notifying subscribers first)."""
         event = Event(time=time, kind=kind, payload=payload)
+        for prefix, callback in self._subscribers:
+            if not prefix or kind == prefix or kind.startswith(prefix + "."):
+                callback(event)
         self._events.append(event)
         if self._max_events is not None and len(self._events) > self._max_events:
             overflow = len(self._events) - self._max_events

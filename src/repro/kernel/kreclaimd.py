@@ -15,6 +15,7 @@ from typing import Iterable, Optional
 from repro.common.validation import check_positive
 from repro.kernel.memcg import MemCg
 from repro.kernel.zswap import Zswap
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["Kreclaimd"]
 
@@ -26,15 +27,36 @@ class Kreclaimd:
         zswap: the machine's zswap instance.
         pages_per_run: optional cap on pages compressed per invocation,
             modelling the bounded slack-cycle budget; ``None`` = unbounded.
+        machine_id: label value for exported metrics ("" standalone).
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
-    def __init__(self, zswap: Zswap, pages_per_run: Optional[int] = None):
+    def __init__(
+        self,
+        zswap: Zswap,
+        pages_per_run: Optional[int] = None,
+        machine_id: str = "",
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         if pages_per_run is not None:
             check_positive(pages_per_run, "pages_per_run")
         self.zswap = zswap
         self.pages_per_run = pages_per_run
         self.runs = 0
         self.pages_reclaimed = 0
+
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._m_runs = registry.counter(
+            "repro_kreclaimd_runs_total",
+            "Completed kreclaimd reclaim passes.", ("machine",)
+        ).labels(machine=machine_id)
+        self._m_pages = registry.counter(
+            "repro_pages_reclaimed_total",
+            "Pages moved to far memory by proactive reclaim.", ("machine",)
+        ).labels(machine=machine_id)
 
     def run(self, memcgs: Iterable[MemCg]) -> int:
         """One reclaim pass; returns pages moved to far memory.
@@ -45,24 +67,27 @@ class Kreclaimd:
         """
         budget = self.pages_per_run
         moved = 0
-        for memcg in memcgs:
-            if not memcg.zswap_enabled:
-                continue
-            candidates = memcg.reclaim_candidates(memcg.cold_age_threshold)
-            if candidates.size == 0:
-                continue
-            # LRU walk order: inactive list first, oldest first.
-            candidates = memcg.reclaim_order(candidates)
-            if budget is not None:
-                if budget <= 0:
-                    break
-                candidates = candidates[:budget]
-            stored = self.zswap.compress(memcg, candidates)
-            moved += stored
-            if budget is not None:
-                # Attempted pages consume budget whether or not they stored:
-                # cycles were spent either way.
-                budget -= int(candidates.size)
+        with self._tracer.span("kreclaimd.run"):
+            for memcg in memcgs:
+                if not memcg.zswap_enabled:
+                    continue
+                candidates = memcg.reclaim_candidates(memcg.cold_age_threshold)
+                if candidates.size == 0:
+                    continue
+                # LRU walk order: inactive list first, oldest first.
+                candidates = memcg.reclaim_order(candidates)
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                    candidates = candidates[:budget]
+                stored = self.zswap.compress(memcg, candidates)
+                moved += stored
+                if budget is not None:
+                    # Attempted pages consume budget whether or not they
+                    # stored: cycles were spent either way.
+                    budget -= int(candidates.size)
         self.runs += 1
         self.pages_reclaimed += moved
+        self._m_runs.inc()
+        self._m_pages.inc(moved)
         return moved

@@ -10,12 +10,13 @@ logical core), and exposes scan counters for tests and monitoring.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.common.simtime import PeriodicSchedule
 from repro.common.units import KSTALED_SCAN_PERIOD
 from repro.common.validation import check_positive
 from repro.kernel.memcg import MemCg
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["Kstaled"]
 
@@ -30,15 +31,40 @@ class Kstaled:
 
     Args:
         scan_period: seconds between scans of each memcg (120 s).
+        machine_id: label value for exported metrics ("" standalone).
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
-    def __init__(self, scan_period: int = KSTALED_SCAN_PERIOD):
+    def __init__(
+        self,
+        scan_period: int = KSTALED_SCAN_PERIOD,
+        machine_id: str = "",
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         check_positive(scan_period, "scan_period")
         self.scan_period = int(scan_period)
         self._schedule = PeriodicSchedule(self.scan_period)
         self.scans_completed = 0
         self.pages_scanned = 0
         self.cpu_seconds = 0.0
+
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._m_pages = registry.counter(
+            "repro_pages_scanned_total",
+            "Pages examined by kstaled accessed-bit scans.", ("machine",)
+        ).labels(machine=machine_id)
+        self._m_scans = registry.counter(
+            "repro_kstaled_scans_total",
+            "Completed machine-wide kstaled scan rounds.", ("machine",)
+        ).labels(machine=machine_id)
+        self._m_cpu = registry.counter(
+            "repro_kstaled_cpu_seconds_total",
+            "Modelled kstaled CPU seconds (paper budget: <11% of a core).",
+            ("machine",)
+        ).labels(machine=machine_id)
 
     def maybe_scan(self, now: int, memcgs: Iterable[MemCg]) -> bool:
         """Run a scan if the period boundary has been crossed.
@@ -47,16 +73,22 @@ class Kstaled:
         """
         if not self._schedule.due(now):
             return False
-        self.scan(memcgs)
+        with self._tracer.span("kstaled.scan", sim_time=now):
+            self.scan(memcgs)
         return True
 
     def scan(self, memcgs: Iterable[MemCg]) -> None:
         """Unconditionally scan every memcg once."""
+        pages = 0
         for memcg in memcgs:
             memcg.scan_update()
-            self.pages_scanned += memcg.resident_pages
-            self.cpu_seconds += memcg.resident_pages * SCAN_SECONDS_PER_PAGE
+            pages += memcg.resident_pages
+        self.pages_scanned += pages
+        self.cpu_seconds += pages * SCAN_SECONDS_PER_PAGE
         self.scans_completed += 1
+        self._m_pages.inc(pages)
+        self._m_cpu.inc(pages * SCAN_SECONDS_PER_PAGE)
+        self._m_scans.inc()
 
     def utilization_of_core(self, elapsed_seconds: float) -> float:
         """Fraction of one logical core consumed so far."""

@@ -37,6 +37,7 @@ from repro.kernel.kstaled import Kstaled
 from repro.kernel.memcg import MemCg
 from repro.kernel.zsmalloc import ZsmallocArena
 from repro.kernel.zswap import Zswap, ZswapJobStats
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["FarMemoryMode", "MachineConfig", "Machine"]
 
@@ -95,6 +96,10 @@ class Machine:
         bins: fleet-wide candidate threshold grid.
         seeds: RNG factory (forked per job for payload sampling).
         events: optional shared event log.
+        registry: metrics registry, threaded through to the kernel daemons
+            with this machine's id as the ``machine`` label (defaults to
+            the process-global registry).
+        tracer: span tracer for the daemons (defaults to the global one).
     """
 
     def __init__(
@@ -104,26 +109,51 @@ class Machine:
         bins: Optional[AgeBins] = None,
         seeds: Optional[SeedSequenceFactory] = None,
         events: Optional[EventLog] = None,
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.machine_id = machine_id
         self.config = config
         self.bins = bins if bins is not None else default_age_bins()
         self._seeds = seeds if seeds is not None else SeedSequenceFactory(0)
         self.events = events if events is not None else EventLog(max_events=100_000)
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
 
         self.memcgs: Dict[str, MemCg] = {}
-        self.arena = ZsmallocArena()
+        self.arena = ZsmallocArena(machine_id=machine_id,
+                                   registry=self.registry,
+                                   tracer=self.tracer)
         self.zswap = Zswap(
             self.arena,
             config.latency_model,
             max_pool_bytes=int(
                 config.zswap_max_pool_fraction * config.dram_bytes
             ),
+            machine_id=machine_id,
+            registry=self.registry,
+            tracer=self.tracer,
         )
-        self.kstaled = Kstaled(config.scan_period)
-        self.kreclaimd = Kreclaimd(self.zswap, config.kreclaimd_pages_per_run)
+        self.kstaled = Kstaled(config.scan_period, machine_id=machine_id,
+                               registry=self.registry, tracer=self.tracer)
+        self.kreclaimd = Kreclaimd(self.zswap, config.kreclaimd_pages_per_run,
+                                   machine_id=machine_id,
+                                   registry=self.registry, tracer=self.tracer)
         self.direct_reclaim = DirectReclaim(self.zswap)
         self.now = 0
+
+        self._m_promoted = self.registry.counter(
+            "repro_pages_promoted_total",
+            "Far pages faulted back to DRAM (promotions).", ("machine",)
+        ).labels(machine=machine_id)
+        self._g_arena = self.registry.gauge(
+            "repro_arena_footprint_bytes",
+            "DRAM pinned by the zsmalloc arena.", ("machine",)
+        ).labels(machine=machine_id)
+        self._g_far = self.registry.gauge(
+            "repro_far_pages",
+            "Pages currently stored compressed.", ("machine",)
+        ).labels(machine=machine_id)
 
     # ------------------------------------------------------------------
     # Memory accounting
@@ -182,6 +212,7 @@ class Machine:
             scan_period=self.config.scan_period,
         )
         memcg.start_time = self.now
+        memcg.promoted_counter = self._m_promoted
         # Proactive mode: zswap is enabled per job after warm-up by the node
         # agent; reactive/off modes never run kreclaimd so the flag is moot.
         memcg.zswap_enabled = self.config.mode is FarMemoryMode.PROACTIVE
@@ -270,6 +301,8 @@ class Machine:
         require(now >= self.now, "time went backwards")
         self.now = now
         self.kstaled.maybe_scan(now, self.memcgs.values())
+        self._g_arena.set(self.arena.footprint_bytes)
+        self._g_far.set(self.far_pages)
 
     def run_reclaim(self) -> int:
         """One kreclaimd pass (proactive mode only); returns pages moved."""

@@ -113,6 +113,12 @@ class MemCg:
         self.rejected_pages_total = 0
         self.start_time: int = 0
 
+        #: Optional bound metric series (e.g. a machine-labelled
+        #: ``repro_pages_promoted_total`` counter); the owning machine
+        #: injects it at :meth:`Machine.add_job` time so memcgs stay
+        #: constructible without any observability context.
+        self.promoted_counter = None
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -241,6 +247,8 @@ class MemCg:
         self.promotion_histogram.add_ages(ages_seconds)
         self.age_scans[indices] = 0
         self.promoted_pages_total += int(indices.size)
+        if self.promoted_counter is not None:
+            self.promoted_counter.inc(int(indices.size))
 
     def map_huge(self, start: int, pages_per_huge: int = 512) -> None:
         """Back a 2 MiB-aligned range with one huge mapping.

@@ -18,13 +18,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.common.errors import SimulationError
 from repro.common.units import PAGE_SIZE
 from repro.common.validation import check_positive, require
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["ZsmallocArena", "ArenaStats"]
 
@@ -107,13 +108,36 @@ class ZsmallocArena:
 
     Payload sizes are mapped to size classes by rounding
     ``payload + metadata`` up to the next :data:`SIZE_CLASS_STEP` multiple.
+
+    Args:
+        step: size-class granularity in bytes.
+        machine_id: label value for exported metrics ("" standalone).
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
-    def __init__(self, step: int = SIZE_CLASS_STEP):
+    def __init__(
+        self,
+        step: int = SIZE_CLASS_STEP,
+        machine_id: str = "",
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         check_positive(step, "step")
         self._step = int(step)
         self._classes: Dict[int, _SizeClass] = {}
         self.compactions = 0
+
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._m_compactions = registry.counter(
+            "repro_arena_compactions_total",
+            "Explicit zsmalloc arena compactions.", ("machine",)
+        ).labels(machine=machine_id)
+        self._m_compaction_bytes = registry.counter(
+            "repro_arena_compaction_released_bytes_total",
+            "Bytes released by arena compaction.", ("machine",)
+        ).labels(machine=machine_id)
 
     def class_bytes_for(self, payload_bytes: int) -> int:
         """The size class a payload of this size lands in."""
@@ -172,8 +196,11 @@ class ZsmallocArena:
 
     def compact(self) -> int:
         """Explicit compaction (node-agent triggered); returns bytes freed."""
-        released = sum(cls.compact() for cls in self._classes.values())
+        with self._tracer.span("zsmalloc.compact"):
+            released = sum(cls.compact() for cls in self._classes.values())
         self.compactions += 1
+        self._m_compactions.inc()
+        self._m_compaction_bytes.inc(released)
         return released
 
     # ------------------------------------------------------------------

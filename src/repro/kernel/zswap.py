@@ -13,7 +13,7 @@ accounted per job, which is what Fig. 8 plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from repro.kernel.compression import (
 )
 from repro.kernel.memcg import MemCg, PageState
 from repro.kernel.zsmalloc import ZsmallocArena
+from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
 __all__ = ["Zswap", "ZswapJobStats"]
 
@@ -72,6 +73,9 @@ class Zswap:
         max_pool_bytes: optional cap on the arena footprint (upstream
             zswap's ``max_pool_percent``); once reached, further stores are
             refused until promotions or job exits drain the pool.
+        machine_id: label value for exported metrics ("" standalone).
+        registry: metrics registry (defaults to the process-global one).
+        tracer: span tracer (defaults to the process-global one).
     """
 
     def __init__(
@@ -80,6 +84,9 @@ class Zswap:
         latency_model: CompressionLatencyModel = DEFAULT_LATENCY_MODEL,
         max_payload_bytes: int = ZSMALLOC_MAX_PAYLOAD,
         max_pool_bytes: int = 0,
+        machine_id: str = "",
+        registry: Optional[MetricRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.arena = arena
         self.latency_model = latency_model
@@ -87,6 +94,37 @@ class Zswap:
         self.max_pool_bytes = int(max_pool_bytes)
         self.pool_limit_rejections = 0
         self.job_stats: Dict[str, ZswapJobStats] = {}
+
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        label = dict(machine=machine_id)
+        self._m_compressed = registry.counter(
+            "repro_pages_compressed_total",
+            "Pages successfully stored into the zswap arena.", ("machine",)
+        ).labels(**label)
+        self._m_rejected = registry.counter(
+            "repro_pages_rejected_total",
+            "Compression attempts over the incompressibility cutoff.",
+            ("machine",)
+        ).labels(**label)
+        self._m_stored_bytes = registry.counter(
+            "repro_zswap_stored_bytes_total",
+            "Compressed payload bytes written to the arena.", ("machine",)
+        ).labels(**label)
+        self._m_pool_rejections = registry.counter(
+            "repro_zswap_pool_limit_rejections_total",
+            "Store attempts refused by the pool-size cap.", ("machine",)
+        ).labels(**label)
+        self._m_compress_cpu = registry.counter(
+            "repro_compress_cpu_seconds_total",
+            "Modelled CPU seconds compressing (rejected tries included).",
+            ("machine",)
+        ).labels(**label)
+        self._m_decompress_cpu = registry.counter(
+            "repro_decompress_cpu_seconds_total",
+            "Modelled CPU seconds decompressing on promotion faults.",
+            ("machine",)
+        ).labels(**label)
 
     def pool_full(self) -> bool:
         """True when the pool cap is set and the arena has reached it."""
@@ -123,49 +161,58 @@ class Zswap:
             # cannot be stored (unlike the payload cutoff, this is known
             # before compressing).
             self.pool_limit_rejections += int(indices.size)
+            self._m_pool_rejections.inc(int(indices.size))
             return 0
 
-        payloads = memcg.payload_bytes[indices]
-        ok = payloads <= self.max_payload_bytes
-        rejected = indices[~ok]
-        accepted = indices[ok]
+        with self._tracer.span("zswap.compress"):
+            payloads = memcg.payload_bytes[indices]
+            ok = payloads <= self.max_payload_bytes
+            rejected = indices[~ok]
+            accepted = indices[ok]
 
-        if self.max_pool_bytes > 0 and accepted.size:
-            # Clamp the batch to the remaining pool room; pages past the
-            # cut are deferred (not compressed, no cycles, no state).
-            room = self.max_pool_bytes - self.arena.footprint_bytes
-            cumulative = np.cumsum(memcg.payload_bytes[accepted])
-            keep = cumulative <= room
-            self.pool_limit_rejections += int((~keep).sum())
-            accepted = accepted[keep]
+            if self.max_pool_bytes > 0 and accepted.size:
+                # Clamp the batch to the remaining pool room; pages past the
+                # cut are deferred (not compressed, no cycles, no state).
+                room = self.max_pool_bytes - self.arena.footprint_bytes
+                cumulative = np.cumsum(memcg.payload_bytes[accepted])
+                keep = cumulative <= room
+                deferred = int((~keep).sum())
+                self.pool_limit_rejections += deferred
+                self._m_pool_rejections.inc(deferred)
+                accepted = accepted[keep]
 
-        stats = self.stats_for(memcg.job_id)
-        stats.compress_seconds += self.latency_model.compress_seconds(
-            int(accepted.size + rejected.size)
-        )
-
-        if rejected.size:
-            memcg.incompressible[rejected] = True
-            stats.pages_rejected += int(rejected.size)
-            memcg.rejected_pages_total += int(rejected.size)
-
-        if accepted.size:
-            accepted_payloads = memcg.payload_bytes[accepted]
-            self.arena.store(accepted_payloads)
-            memcg.state[accepted] = PageState.FAR
-            # Swap-out unmaps the page; any pending PTE dirty state was
-            # captured in the payload that was just stored.  Swapping out
-            # part of a huge mapping splits it (Linux splits THPs before
-            # zswap sees them).
-            memcg.dirtied[accepted] = False
-            touched_groups = np.unique(
-                memcg.huge_group[accepted][memcg.huge_group[accepted] >= 0]
+            stats = self.stats_for(memcg.job_id)
+            compress_seconds = self.latency_model.compress_seconds(
+                int(accepted.size + rejected.size)
             )
-            for group in touched_groups:
-                memcg.split_huge(int(group))
-            stats.pages_compressed += int(accepted.size)
-            stats.payload_bytes_stored += int(accepted_payloads.sum())
-            memcg.compressed_pages_total += int(accepted.size)
+            stats.compress_seconds += compress_seconds
+            self._m_compress_cpu.inc(compress_seconds)
+
+            if rejected.size:
+                memcg.incompressible[rejected] = True
+                stats.pages_rejected += int(rejected.size)
+                memcg.rejected_pages_total += int(rejected.size)
+                self._m_rejected.inc(int(rejected.size))
+
+            if accepted.size:
+                accepted_payloads = memcg.payload_bytes[accepted]
+                self.arena.store(accepted_payloads)
+                memcg.state[accepted] = PageState.FAR
+                # Swap-out unmaps the page; any pending PTE dirty state was
+                # captured in the payload that was just stored.  Swapping out
+                # part of a huge mapping splits it (Linux splits THPs before
+                # zswap sees them).
+                memcg.dirtied[accepted] = False
+                touched_groups = np.unique(
+                    memcg.huge_group[accepted][memcg.huge_group[accepted] >= 0]
+                )
+                for group in touched_groups:
+                    memcg.split_huge(int(group))
+                stats.pages_compressed += int(accepted.size)
+                stats.payload_bytes_stored += int(accepted_payloads.sum())
+                memcg.compressed_pages_total += int(accepted.size)
+                self._m_compressed.inc(int(accepted.size))
+                self._m_stored_bytes.inc(int(accepted_payloads.sum()))
         return int(accepted.size)
 
     # ------------------------------------------------------------------
@@ -183,19 +230,23 @@ class Zswap:
         indices = np.asarray(indices)
         if indices.size == 0:
             return 0.0
-        payloads = memcg.payload_bytes[indices]
-        self.arena.release(payloads)
-        memcg.state[indices] = PageState.NEAR
-        memcg.record_promotions(indices)
+        with self._tracer.span("zswap.decompress"):
+            payloads = memcg.payload_bytes[indices]
+            self.arena.release(payloads)
+            memcg.state[indices] = PageState.NEAR
+            memcg.record_promotions(indices)
 
-        latencies = self.latency_model.decompress_seconds(payloads)
-        stats = self.stats_for(memcg.job_id)
-        stats.pages_decompressed += int(indices.size)
-        total = float(latencies.sum())
-        stats.decompress_seconds += total
-        room = ZswapJobStats.LATENCY_SAMPLE_CAP - len(stats.decompress_latencies)
-        if room > 0:
-            stats.decompress_latencies.extend(latencies[:room].tolist())
+            latencies = self.latency_model.decompress_seconds(payloads)
+            stats = self.stats_for(memcg.job_id)
+            stats.pages_decompressed += int(indices.size)
+            total = float(latencies.sum())
+            stats.decompress_seconds += total
+            self._m_decompress_cpu.inc(total)
+            room = ZswapJobStats.LATENCY_SAMPLE_CAP - len(
+                stats.decompress_latencies
+            )
+            if room > 0:
+                stats.decompress_latencies.extend(latencies[:room].tolist())
         return total
 
     # ------------------------------------------------------------------

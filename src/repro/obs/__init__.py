@@ -1,0 +1,57 @@
+"""Observability: metrics registry, span tracing, wall-clock profiling.
+
+The subsystem the paper's §5.2-5.3 "rigorous monitoring" implies but
+never details: a zero-dependency, injectable, off-able metrics and
+tracing layer the kernel daemons, node agent, telemetry exporter,
+autotuner, and fleet all report into.
+"""
+
+from repro.obs.metrics import (
+    CardinalityError,
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    SpanRecord,
+    SpanStats,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+from repro.obs.profiling import (
+    SubsystemStats,
+    flame_table,
+    profile_to_registry,
+    subsystem_table,
+)
+
+__all__ = [
+    "CardinalityError",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "SpanRecord",
+    "SpanStats",
+    "SubsystemStats",
+    "Tracer",
+    "flame_table",
+    "get_registry",
+    "get_tracer",
+    "profile_to_registry",
+    "set_registry",
+    "set_tracer",
+    "subsystem_table",
+]

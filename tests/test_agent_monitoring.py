@@ -39,6 +39,31 @@ class TestSliWindow:
         assert window.rates().size == 0
         assert window.percentile(98) == 0.0
 
+    def test_out_of_order_samples_are_sorted(self):
+        window = SliWindow(window_seconds=600)
+        # Two machines drained together: their clocks interleave.
+        window.extend([sample(120, 0.2), sample(0, 0.1), sample(60, 0.3)])
+        assert [s.time for s in window._samples] == [0, 60, 120]
+        assert len(window) == 3
+
+    def test_out_of_order_eviction_matches_in_order(self):
+        in_order = SliWindow(window_seconds=600)
+        shuffled = SliWindow(window_seconds=600)
+        samples = [sample(t, 0.1) for t in range(0, 1200, 60)]
+        in_order.extend(samples)
+        shuffled.extend(samples[10:] + samples[:10])
+        assert [s.time for s in shuffled._samples] == [
+            s.time for s in in_order._samples
+        ]
+
+    def test_late_sample_within_window_is_kept(self):
+        window = SliWindow(window_seconds=600)
+        window.extend([sample(1000, 0.1)])
+        window.extend([sample(700, 0.5)])  # late but inside the window
+        assert len(window) == 2
+        window.extend([sample(100, 0.9)])  # late and already expired
+        assert [s.time for s in window._samples] == [700, 1000]
+
 
 class TestSloMonitor:
     def test_healthy_under_slo(self):

@@ -5,10 +5,13 @@ import pytest
 
 from repro.agent.telemetry import TelemetryExporter
 from repro.cluster.trace_db import TraceDatabase
+from repro.common.events import EventLog
 from repro.common.rng import SeedSequenceFactory
+from repro.core.histograms import AgeBins, AgeHistogram
 from repro.kernel.compression import ContentProfile
 from repro.kernel.machine import Machine, MachineConfig
 from repro.model.trace import TRACE_PERIOD_SECONDS
+from repro.obs import MetricRegistry
 
 
 COMPRESSIBLE = ContentProfile(incompressible_fraction=0.0, min_ratio=1.5)
@@ -96,3 +99,47 @@ def test_counts_exported_entries():
     machine.allocate("b", 50)
     exporter.export(TRACE_PERIOD_SECONDS)
     assert exporter.entries_exported == 2
+
+
+def test_histogram_reset_event_on_bin_change():
+    machine = make_machine()
+    db = TraceDatabase()
+    events = EventLog()
+    registry = MetricRegistry()
+    exporter = TelemetryExporter(machine, db, events=events,
+                                 registry=registry)
+    memcg = machine.add_job("j", 100, COMPRESSIBLE)
+    machine.allocate("j", 100)
+    exporter.export(300)
+    assert len(events.of_kind("telemetry.histogram_reset")) == 0
+
+    # A mid-run grid change makes the cumulative snapshot incomparable.
+    new_bins = AgeBins(thresholds=(120, 600, 3600))
+    assert new_bins.thresholds != memcg.bins.thresholds
+    memcg.bins = new_bins
+    memcg.promotion_histogram = AgeHistogram(new_bins)
+    memcg.cold_age_histogram = AgeHistogram(new_bins)
+    exporter.export(600)
+
+    resets = events.of_kind("telemetry.histogram_reset")
+    assert len(resets) == 1
+    assert resets[0].payload == {"job": "j", "machine": "m0"}
+    assert resets[0].time == 600
+    assert registry.value("repro_telemetry_histogram_resets_total") == 1
+
+    # Stable bins afterwards: no further resets.
+    exporter.export(900)
+    assert len(events.of_kind("telemetry.histogram_reset")) == 1
+
+
+def test_first_export_is_not_a_reset():
+    machine = make_machine()
+    events = EventLog()
+    registry = MetricRegistry()
+    exporter = TelemetryExporter(machine, TraceDatabase(), events=events,
+                                 registry=registry)
+    machine.add_job("j", 50, COMPRESSIBLE)
+    machine.allocate("j", 50)
+    exporter.export(300)
+    assert len(events.of_kind("telemetry.histogram_reset")) == 0
+    assert registry.value("repro_telemetry_histogram_resets_total") == 0

@@ -31,6 +31,17 @@ class TestParser:
         args = build_parser().parse_args(["figures", "--output", "/tmp/x"])
         assert args.output == "/tmp/x"
 
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.minutes == 60.0
+        assert args.format == "table"
+        assert args.output is None
+        assert args.func.__name__ == "cmd_metrics"
+
+    def test_metrics_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--format", "xml"])
+
 
 class TestExecution:
     def test_quickstart_runs(self, capsys):
@@ -64,3 +75,76 @@ class TestExecution:
         written = {p.name for p in tmp_path.iterdir()}
         assert "fig1.txt" in written
         assert "fig3.txt" in written
+
+
+METRICS_ARGS = ["metrics", "--clusters", "1", "--machines", "2",
+                "--jobs", "2", "--minutes", "10", "--dram-gib", "2"]
+
+
+class TestMetricsCommand:
+    def test_table_report(self, capsys):
+        code = main(METRICS_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet health" in out
+        assert "compression ratio" in out
+        assert "incompressible fraction" in out
+        assert "promotion rate p98" in out
+        assert "Profile by subsystem" in out
+        assert "kstaled" in out
+
+    def test_prom_exposition_parses(self, capsys):
+        code = main(METRICS_ARGS + ["--format", "prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        names = set()
+        for line in out.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            names.add(name)
+            # Every sample line ends in a parseable float.
+            float(line.rsplit(" ", 1)[1])
+        for expected in (
+            "repro_pages_scanned_total",
+            "repro_pages_compressed_total",
+            "repro_pages_promoted_total",
+            "repro_fleet_incompressible_fraction",
+            "repro_fleet_compression_ratio",
+            "repro_fleet_promotion_rate_p98_pct_per_min",
+            "repro_threshold_seconds_bucket",
+            "repro_promotion_rate_pct_per_min_bucket",
+            "repro_span_self_seconds",
+        ):
+            assert expected in names, expected
+
+    def test_json_exposition_parses(self, capsys):
+        import json
+
+        code = main(METRICS_ARGS + ["--format", "json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line]
+        names = {r["name"] for r in records}
+        assert "repro_pages_scanned_total" in names
+        assert "repro_fleet_coverage" in names
+        histograms = [r for r in records if r["kind"] == "histogram"]
+        assert histograms
+        assert all(r["buckets"][-1]["le"] == "+Inf" for r in histograms)
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "metrics.prom"
+        code = main(METRICS_ARGS + ["--format", "prom",
+                                    "--output", str(out)])
+        assert code == 0
+        assert "# TYPE" in out.read_text()
+
+    def test_metrics_entry_console_script(self, capsys):
+        from repro.cli import metrics_entry
+
+        code = metrics_entry(
+            ["--clusters", "1", "--machines", "1", "--jobs", "2",
+             "--minutes", "5", "--dram-gib", "2"]
+        )
+        assert code == 0
+        assert "Fleet health" in capsys.readouterr().out

@@ -65,3 +65,46 @@ def test_events_are_frozen():
     event = Event(time=0, kind="x")
     with pytest.raises(AttributeError):
         event.time = 1
+
+
+def test_subscribe_prefix_matching():
+    log = EventLog()
+    seen = []
+    log.subscribe("zswap", seen.append)
+    log.record(0, "zswap.store")
+    log.record(1, "zswap")
+    log.record(2, "zswapper.other")  # raw-string prefix must NOT match
+    log.record(3, "scheduler.evict")
+    assert [e.kind for e in seen] == ["zswap.store", "zswap"]
+
+
+def test_subscribe_empty_prefix_matches_all():
+    log = EventLog()
+    seen = []
+    log.subscribe("", seen.append)
+    log.record(0, "a")
+    log.record(1, "b.c")
+    assert len(seen) == 2
+
+
+def test_unsubscribe_stops_delivery():
+    log = EventLog()
+    seen = []
+    unsubscribe = log.subscribe("", seen.append)
+    log.record(0, "a")
+    unsubscribe()
+    unsubscribe()  # idempotent
+    log.record(1, "b")
+    assert [e.kind for e in seen] == ["a"]
+
+
+def test_subscribers_see_events_a_bounded_log_drops():
+    log = EventLog(max_events=2)
+    seen = []
+    log.subscribe("tick", seen.append)
+    for t in range(5):
+        log.record(t, "tick")
+    # History lost the oldest three, notifications lost nothing.
+    assert len(log) == 2
+    assert log.dropped_count == 3
+    assert len(seen) == 5

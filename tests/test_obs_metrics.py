@@ -1,0 +1,207 @@
+"""Metrics registry: types, labels, cardinality, exposition."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CardinalityError,
+    MetricError,
+    MetricRegistry,
+    NULL_REGISTRY,
+    get_registry,
+    set_registry,
+)
+
+
+def test_counter_inc_and_fleet_value():
+    reg = MetricRegistry()
+    c = reg.counter("repro_pages_total", "Pages.", ("machine",))
+    c.labels(machine="m0").inc()
+    c.labels(machine="m0").inc(4)
+    c.labels(machine="m1").inc(10)
+    assert c.labels(machine="m0").value == 5
+    assert c.value == 15
+    assert reg.value("repro_pages_total") == 15
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricRegistry()
+    c = reg.counter("c_total")
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricRegistry()
+    g = reg.gauge("g")
+    g.set(7)
+    g.inc(3)
+    g.dec(4)
+    assert g.value == 6
+
+
+def test_registration_is_idempotent():
+    reg = MetricRegistry()
+    a = reg.counter("same_total", "Help.", ("machine",))
+    b = reg.counter("same_total", "Help.", ("machine",))
+    assert a is b
+
+
+def test_type_or_label_conflict_rejected():
+    reg = MetricRegistry()
+    reg.counter("m", "", ("machine",))
+    with pytest.raises(MetricError):
+        reg.gauge("m", "", ("machine",))
+    with pytest.raises(MetricError):
+        reg.counter("m", "", ("job",))
+
+
+def test_invalid_names_rejected():
+    reg = MetricRegistry()
+    with pytest.raises(MetricError):
+        reg.counter("0starts_with_digit")
+    with pytest.raises(MetricError):
+        reg.counter("ok", "", ("bad-label",))
+
+
+def test_wrong_label_set_rejected():
+    reg = MetricRegistry()
+    c = reg.counter("c", "", ("machine",))
+    with pytest.raises(MetricError):
+        c.labels(job="j0")
+
+
+def test_label_cardinality_budget():
+    reg = MetricRegistry(max_series_per_metric=3)
+    c = reg.counter("c", "", ("machine",))
+    for i in range(3):
+        c.labels(machine=f"m{i}").inc()
+    with pytest.raises(CardinalityError):
+        c.labels(machine="m-one-too-many")
+    # Existing series still usable after the budget trips.
+    c.labels(machine="m0").inc()
+    assert c.value == 4
+
+
+def test_histogram_percentile_interpolation():
+    reg = MetricRegistry()
+    h = reg.histogram("h", buckets=(1.0, 2.0, 4.0))
+    h.observe_many([0.5, 1.5, 3.0, 3.5])
+    assert h.count == 4
+    assert h.sum == pytest.approx(8.5)
+    # p50 -> target 2 of 4; second obs sits in the (1, 2] bucket.
+    assert 1.0 <= h.percentile(50.0) <= 2.0
+    # p100 lands in the last finite bucket.
+    assert h.percentile(100.0) == pytest.approx(4.0)
+    assert h.percentile(0.0) <= 1.0
+
+
+def test_histogram_overflow_clamps_to_top_bucket():
+    reg = MetricRegistry()
+    h = reg.histogram("h", buckets=(1.0, 2.0))
+    h.observe(100.0)
+    assert h.percentile(99.0) == pytest.approx(2.0)
+
+
+def test_histogram_merges_series_for_percentile():
+    reg = MetricRegistry()
+    h = reg.histogram("h", labelnames=("machine",), buckets=(1.0, 10.0))
+    h.labels(machine="m0").observe_many([0.5] * 9)
+    h.labels(machine="m1").observe(9.0)
+    assert h.count == 10
+    assert h.percentile(50.0) <= 1.0
+    assert h.percentile(99.0) > 1.0
+
+
+def test_histogram_rejects_bad_buckets():
+    reg = MetricRegistry()
+    with pytest.raises(MetricError):
+        reg.histogram("h1", buckets=())
+    with pytest.raises(MetricError):
+        reg.histogram("h2", buckets=(1.0, float("inf")))
+
+
+def test_exposition_golden():
+    """Lock the Prometheus text format byte for byte."""
+    reg = MetricRegistry()
+    c = reg.counter("repro_pages_scanned_total", "Pages scanned.",
+                    ("machine",))
+    c.labels(machine="m0").inc(3)
+    c.labels(machine="m1").inc(1)
+    reg.gauge("repro_fleet_coverage", "Coverage.").set(0.5)
+    h = reg.histogram("repro_rate", "Rate.", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(2.0)
+    expected = (
+        "# HELP repro_fleet_coverage Coverage.\n"
+        "# TYPE repro_fleet_coverage gauge\n"
+        "repro_fleet_coverage 0.5\n"
+        "# HELP repro_pages_scanned_total Pages scanned.\n"
+        "# TYPE repro_pages_scanned_total counter\n"
+        'repro_pages_scanned_total{machine="m0"} 3\n'
+        'repro_pages_scanned_total{machine="m1"} 1\n'
+        "# HELP repro_rate Rate.\n"
+        "# TYPE repro_rate histogram\n"
+        'repro_rate_bucket{le="0.1"} 1\n'
+        'repro_rate_bucket{le="1"} 2\n'
+        'repro_rate_bucket{le="+Inf"} 3\n'
+        "repro_rate_sum 2.55\n"
+        "repro_rate_count 3\n"
+    )
+    assert reg.expose_text() == expected
+
+
+def test_exposition_escapes_label_values():
+    reg = MetricRegistry()
+    reg.counter("c", "", ("j",)).labels(j='a"b\\c').inc()
+    text = reg.expose_text()
+    assert 'c{j="a\\"b\\\\c"} 1' in text
+
+
+def test_jsonl_snapshot_parses():
+    reg = MetricRegistry()
+    reg.counter("c_total", "", ("machine",)).labels(machine="m0").inc(2)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    lines = [
+        json.loads(line) for line in reg.export_jsonl().splitlines() if line
+    ]
+    by_name = {record["name"]: record for record in lines}
+    assert by_name["c_total"]["value"] == 2
+    assert by_name["c_total"]["labels"] == {"machine": "m0"}
+    hist = by_name["h"]
+    assert hist["count"] == 1
+    assert hist["buckets"][-1]["le"] == "+Inf"
+    assert sum(b["count"] for b in hist["buckets"][:-1]) == 1
+
+
+def test_disabled_registry_is_noop():
+    reg = MetricRegistry(enabled=False)
+    c = reg.counter("c_total", "Help.", ("machine",))
+    c.labels(machine="m0").inc(5)
+    reg.gauge("g").set(3)
+    reg.histogram("h").observe(1.0)
+    assert c.value == 0.0
+    assert reg.expose_text() == ""
+    assert reg.export_jsonl() == ""
+    assert reg.metrics() == []
+    assert NULL_REGISTRY.counter("x").value == 0.0
+
+
+def test_global_registry_swap():
+    fresh = MetricRegistry()
+    previous = set_registry(fresh)
+    try:
+        assert get_registry() is fresh
+    finally:
+        set_registry(previous)
+    assert get_registry() is previous
+
+
+def test_reset_clears_metrics():
+    reg = MetricRegistry()
+    reg.counter("c").inc()
+    reg.reset()
+    assert reg.get("c") is None
+    assert reg.expose_text() == ""

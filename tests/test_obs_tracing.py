@@ -1,0 +1,150 @@
+"""Span tracing and the profiling tables built on it."""
+
+import pytest
+
+from repro.obs import (
+    MetricRegistry,
+    NULL_TRACER,
+    Tracer,
+    flame_table,
+    get_tracer,
+    profile_to_registry,
+    set_tracer,
+    subsystem_table,
+)
+
+
+def busy(n: int = 2000) -> int:
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+
+
+def test_span_aggregates_stats():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("kstaled.scan"):
+            busy()
+    stats = tracer.stats()["kstaled.scan"]
+    assert stats.calls == 3
+    assert stats.wall_seconds > 0.0
+    assert stats.max_seconds <= stats.wall_seconds
+    assert stats.mean_seconds == pytest.approx(stats.wall_seconds / 3)
+
+
+def test_nested_spans_attribute_self_time():
+    tracer = Tracer()
+    with tracer.span("cluster.tick"):
+        with tracer.span("kstaled.scan"):
+            busy()
+        busy()
+    outer = tracer.stats()["cluster.tick"]
+    inner = tracer.stats()["kstaled.scan"]
+    assert outer.child_seconds == pytest.approx(inner.wall_seconds)
+    assert outer.self_seconds == pytest.approx(
+        outer.wall_seconds - inner.wall_seconds
+    )
+    # Self times sum exactly to top-level wall time.
+    assert tracer.total_seconds() == pytest.approx(outer.wall_seconds)
+
+
+def test_records_carry_sim_time_depth_and_attrs():
+    tracer = Tracer()
+    with tracer.span("agent.control", sim_time=300, job="j0"):
+        with tracer.span("zswap.compress", sim_time=300):
+            pass
+    records = tracer.records()
+    assert [r.name for r in records] == ["zswap.compress", "agent.control"]
+    assert records[0].depth == 1
+    assert records[1].depth == 0
+    assert records[1].sim_time == 300
+    assert records[1].attrs == {"job": "j0"}
+
+
+def test_record_ring_is_bounded_but_stats_are_not():
+    tracer = Tracer(max_records=4)
+    for i in range(10):
+        with tracer.span(f"s{i % 2}"):
+            pass
+    assert len(tracer.records()) == 4
+    assert tracer.stats()["s0"].calls == 5
+
+
+def test_disabled_tracer_is_noop():
+    tracer = Tracer(enabled=False)
+    with tracer.span("anything"):
+        pass
+    tracer.record("manual", 1.0)
+    assert tracer.stats() == {}
+    assert tracer.records() == []
+    with NULL_TRACER.span("x"):
+        pass
+    assert NULL_TRACER.stats() == {}
+
+
+def test_manual_record():
+    tracer = Tracer()
+    tracer.record("model.evaluate", 0.25, sim_time=600)
+    tracer.record("model.evaluate", 0.75)
+    stats = tracer.stats()["model.evaluate"]
+    assert stats.calls == 2
+    assert stats.wall_seconds == pytest.approx(1.0)
+    assert stats.max_seconds == pytest.approx(0.75)
+
+
+def test_reset_clears_everything():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    tracer.reset()
+    assert tracer.stats() == {}
+    assert tracer.records() == []
+
+
+def test_global_tracer_swap():
+    fresh = Tracer()
+    previous = set_tracer(fresh)
+    try:
+        assert get_tracer() is fresh
+    finally:
+        set_tracer(previous)
+    assert get_tracer() is previous
+
+
+def test_flame_table_sorted_by_self_time():
+    tracer = Tracer()
+    tracer.record("slow.op", 2.0)
+    tracer.record("fast.op", 0.5)
+    names = [s.name for s in flame_table(tracer)]
+    assert names == ["slow.op", "fast.op"]
+
+
+def test_subsystem_table_groups_by_prefix():
+    tracer = Tracer()
+    tracer.record("zswap.compress", 1.0)
+    tracer.record("zswap.decompress", 0.5)
+    tracer.record("kstaled.scan", 0.25)
+    table = {s.name: s for s in subsystem_table(tracer)}
+    assert table["zswap"].calls == 2
+    assert table["zswap"].self_seconds == pytest.approx(1.5)
+    assert table["kstaled"].self_seconds == pytest.approx(0.25)
+    # Self time adds up across subsystems.
+    assert sum(s.self_seconds for s in table.values()) == pytest.approx(
+        tracer.total_seconds()
+    )
+
+
+def test_profile_to_registry_exports_gauges():
+    tracer = Tracer()
+    with tracer.span("kstaled.scan"):
+        busy()
+    registry = MetricRegistry()
+    profile_to_registry(tracer, registry)
+    calls = registry.get("repro_span_calls")
+    assert calls.labels(span="kstaled.scan").value == 1
+    text = registry.expose_text()
+    assert 'repro_span_self_seconds{span="kstaled.scan"}' in text
+    # Re-export is idempotent (gauges are set, not incremented).
+    profile_to_registry(tracer, registry)
+    assert calls.labels(span="kstaled.scan").value == 1
