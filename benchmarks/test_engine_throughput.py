@@ -1,0 +1,45 @@
+"""Parallel-engine throughput: the ``repro bench --quick`` acceptance run.
+
+Asserts the parallel engine actually buys wall-clock time on hardware
+that can show it (4+ usable cores), and that it never pays for that
+speed with correctness — the equivalence bit must hold everywhere the
+benchmark runs.  ``BENCH_engine.json`` lands in ``results/`` next to the
+figure outputs; the top-level ``BENCH_fleet.json`` artifact comes from
+running ``python -m repro bench`` directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import default_worker_count, fork_available
+from repro.engine.bench import run_bench
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def bench_report(results_dir):
+    """One ``--quick``-sized bench run, persisted for inspection."""
+    report = run_bench(
+        hours=0.5, clusters=4, machines=1, jobs=2, seed=42, workers=4,
+        output=results_dir / "BENCH_engine.json",
+    )
+    print("\n" + json.dumps(report, indent=2))
+    return report
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_parallel_results_equivalent(bench_report):
+    assert bench_report["equivalent"]
+
+
+@pytest.mark.skipif(
+    not fork_available() or default_worker_count() < 4,
+    reason="speedup needs 4+ usable cores and fork support",
+)
+def test_parallel_speedup_on_multicore_host(bench_report):
+    assert bench_report["parallel"]["mode"] == "parallel"
+    assert bench_report["speedup"] >= 1.5

@@ -123,7 +123,10 @@ class NodeAgent:
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
-        machine_id = machine.machine_id
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: MetricRegistry) -> None:
+        machine_id = self.machine.machine_id
         self._m_rounds = registry.counter(
             "repro_agent_rounds_total",
             "Completed node-agent control rounds.", ("machine",)
@@ -142,6 +145,12 @@ class NodeAgent:
             "Normalized per-job promotion-rate SLI (% of WSS per minute).",
             buckets=PROMOTION_RATE_BUCKETS,
         )
+
+    def rebind_observability(self, registry: MetricRegistry,
+                             tracer: Tracer) -> None:
+        """Re-point metric handles and tracer after a cross-process move."""
+        self._tracer = tracer
+        self._bind_metrics(registry)
 
     def set_policy_config(self, config: ThresholdPolicyConfig) -> None:
         """Deploy new tunables; per-job history carries over.

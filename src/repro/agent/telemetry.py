@@ -22,6 +22,12 @@ from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 __all__ = ["TraceSink", "TelemetryExporter"]
 
 
+def _default_cpu_lookup(_job_id: str) -> float:
+    """Fallback CPU lookup: one core per job (module-level so exporters
+    stay picklable when no lookup is injected)."""
+    return 1.0
+
+
 class TraceSink(Protocol):
     """Anything that accepts exported trace entries."""
 
@@ -61,7 +67,9 @@ class TelemetryExporter:
     ):
         self.machine = machine
         self.sink = sink
-        self.cpu_lookup = cpu_lookup if cpu_lookup is not None else (lambda _: 1.0)
+        self.cpu_lookup = (
+            cpu_lookup if cpu_lookup is not None else _default_cpu_lookup
+        )
         self.period = int(period)
         self.slo = slo if slo is not None else PromotionRateSlo()
         self.events = events
@@ -71,7 +79,10 @@ class TelemetryExporter:
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
-        machine_id = machine.machine_id
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: MetricRegistry) -> None:
+        machine_id = self.machine.machine_id
         self._m_exports = registry.counter(
             "repro_telemetry_exports_total",
             "Completed 5-minute telemetry export rounds.", ("machine",)
@@ -85,6 +96,12 @@ class TelemetryExporter:
             "Period histograms restarted after a bin-threshold change.",
             ("machine",)
         ).labels(machine=machine_id)
+
+    def rebind_observability(self, registry: MetricRegistry,
+                             tracer: Tracer) -> None:
+        """Re-point metric handles and tracer after a cross-process move."""
+        self._tracer = tracer
+        self._bind_metrics(registry)
 
     def maybe_export(self, now: int) -> bool:
         """Export if the period boundary passed; returns True when it did."""

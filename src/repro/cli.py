@@ -10,6 +10,8 @@ Commands:
   offline experimentation with the fast far memory model.
 * ``metrics`` — run an instrumented fleet and print the health report,
   or the full metric exposition (``--format prom|json``).
+* ``bench`` — time the same fleet serially and under the parallel
+  engine; write the throughput comparison to ``BENCH_fleet.json``.
 """
 
 from __future__ import annotations
@@ -246,6 +248,45 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Serial-vs-parallel fleet throughput comparison (BENCH_fleet.json)."""
+    from repro.engine.bench import run_bench
+
+    kwargs = dict(
+        hours=args.hours,
+        clusters=args.clusters,
+        machines=args.machines,
+        jobs=args.jobs,
+        seed=args.seed,
+        workers=args.workers,
+        barrier_seconds=args.barrier_seconds,
+    )
+    if args.quick:
+        kwargs.update(hours=0.5, clusters=4, machines=1, jobs=2)
+    print(f"Benchmarking {kwargs['clusters']} clusters x "
+          f"{kwargs['machines']} machines for {kwargs['hours']:g} "
+          f"simulated hours (serial, then parallel)...")
+    report = run_bench(output=args.output, **kwargs)
+    print(render_table(
+        ["", "wall s", "ticks/s", "pages scanned/s"],
+        [
+            ("serial", f"{report['serial']['wall_seconds']:.2f}",
+             f"{report['serial']['ticks_per_second']:.1f}",
+             f"{report['serial']['pages_scanned_per_second']:.0f}"),
+            (f"parallel x{report['parallel']['workers']}",
+             f"{report['parallel']['wall_seconds']:.2f}",
+             f"{report['parallel']['ticks_per_second']:.1f}",
+             f"{report['parallel']['pages_scanned_per_second']:.0f}"),
+        ],
+        title=f"Fleet throughput (speedup {report['speedup']:.2f}x, "
+              f"equivalent={report['equivalent']})",
+    ))
+    if report["parallel"]["fallback_reason"]:
+        print(f"note: ran serially — {report['parallel']['fallback_reason']}")
+    print(f"Wrote {args.output}")
+    return 0 if report["equivalent"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -286,6 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="write to this file instead of stdout")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser("bench",
+                       help="serial vs parallel fleet throughput")
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--machines", type=int, default=2,
+                   help="machines per cluster")
+    p.add_argument("--jobs", type=int, default=3, help="jobs per machine")
+    p.add_argument("--hours", type=float, default=2.0,
+                   help="simulated hours per run")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallel workers (default: min(4, cpus))")
+    p.add_argument("--barrier-seconds", type=int, default=60,
+                   help="engine barrier interval in simulated seconds")
+    p.add_argument("--quick", action="store_true",
+                   help="small fast configuration (CI smoke run)")
+    p.add_argument("--output", default="BENCH_fleet.json")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

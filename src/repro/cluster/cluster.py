@@ -87,13 +87,7 @@ class Cluster:
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
 
-        events_counter = self.registry.counter(
-            "repro_events_total",
-            "Simulation events recorded, by event kind.", ("kind",)
-        )
-        self.events.subscribe(
-            "", lambda event: events_counter.labels(kind=event.kind).inc()
-        )
+        self._wire_event_bridge()
 
         self.machines: List[Machine] = [
             Machine(
@@ -135,6 +129,43 @@ class Cluster:
         self._next_coverage_sample = 0
         self._job_source = None
         self._target_population = 0
+
+    def _wire_event_bridge(self) -> None:
+        """Bridge the event log into the registry (events -> counter).
+
+        The subscription closure is process-local (EventLog drops
+        subscribers on pickle), so this is called both at construction and
+        from :meth:`rebind_runtime` after a cross-process move.
+        """
+        events_counter = self.registry.counter(
+            "repro_events_total",
+            "Simulation events recorded, by event kind.", ("kind",)
+        )
+        self.events.subscribe(
+            "", lambda event: events_counter.labels(kind=event.kind).inc()
+        )
+
+    def rebind_runtime(self, registry: MetricRegistry, tracer: Tracer,
+                       trace_db: TraceDatabase) -> None:
+        """Re-attach a cluster that crossed a process boundary.
+
+        An unpickled cluster carries its own forked registry/tracer copies,
+        an empty event-subscriber list, and a private trace database.  The
+        parallel engine calls this after swapping worker clusters back into
+        the parent fleet so every metric handle, span, subscription, and
+        telemetry sink points at the parent's live objects again.
+        """
+        self.registry = registry
+        self.tracer = tracer
+        self.trace_db = trace_db
+        self._wire_event_bridge()
+        for machine in self.machines:
+            machine.rebind_observability(registry, tracer)
+        for agent in self.agents.values():
+            agent.rebind_observability(registry, tracer)
+        for exporter in self.exporters.values():
+            exporter.rebind_observability(registry, tracer)
+            exporter.sink = trace_db
 
     # ------------------------------------------------------------------
     # Job lifecycle

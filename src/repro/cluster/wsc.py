@@ -48,31 +48,68 @@ class WSC:
     ):
         if not clusters:
             raise ValueError("a WSC needs at least one cluster")
-        self.clusters = list(clusters)
+        self._clusters = list(clusters)
+        self._machines_cache: Optional[List] = None
         self.trace_db = trace_db
         self.sli_history: List[SliSample] = []
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
 
     @property
+    def clusters(self) -> List[Cluster]:
+        """Member clusters.  Assigning a new list invalidates the machine
+        cache; mutating the list in place requires calling
+        :meth:`invalidate_caches` by hand."""
+        return self._clusters
+
+    @clusters.setter
+    def clusters(self, clusters: Sequence[Cluster]) -> None:
+        if not clusters:
+            raise ValueError("a WSC needs at least one cluster")
+        self._clusters = list(clusters)
+        self.invalidate_caches()
+
+    def invalidate_caches(self) -> None:
+        """Drop cached aggregates derived from the cluster list."""
+        self._machines_cache = None
+
+    @property
     def machines(self) -> List:
-        """Every machine in the fleet."""
-        return [m for c in self.clusters for m in c.machines]
+        """Every machine in the fleet (cached; see :attr:`clusters`)."""
+        if self._machines_cache is None:
+            self._machines_cache = [
+                m for c in self._clusters for m in c.machines
+            ]
+        return self._machines_cache
 
     @property
     def now(self) -> int:
         """Fleet time (clusters share a logical clock)."""
-        return self.clusters[0].clock.now
+        return self._clusters[0].clock.now
 
-    def run(self, seconds: int, collect_sli: bool = True) -> None:
-        """Advance every cluster by ``seconds``, in lockstep ticks."""
+    def run(self, seconds: int, collect_sli: bool = True,
+            engine=None) -> None:
+        """Advance every cluster by ``seconds``, in lockstep ticks.
+
+        Args:
+            seconds: simulated seconds to advance.
+            collect_sli: drain per-cluster SLI samples into
+                :attr:`sli_history` each tick.
+            engine: optional :class:`repro.engine.FleetEngine` bound to
+                this fleet; when given, execution is delegated to it
+                (parallel across worker processes where possible) with
+                results guaranteed identical to the serial path.
+        """
         check_positive(seconds, "seconds")
+        if engine is not None:
+            engine.run(seconds, collect_sli=collect_sli)
+            return
         end = self.now + seconds
         while self.now < end:
-            for cluster in self.clusters:
+            for cluster in self._clusters:
                 cluster.tick()
             if collect_sli:
-                for cluster in self.clusters:
+                for cluster in self._clusters:
                     self.sli_history.extend(cluster.drain_sli_samples())
 
     def deploy_policy(self, config: ThresholdPolicyConfig) -> None:
@@ -269,7 +306,19 @@ def quickfleet(
         specs = generator.generate(machines_per_cluster * jobs_per_machine)
         cluster.submit_all(specs)
         if churn_duration_range is not None:
-            cluster.enable_churn(generator.next_job, len(specs))
+            # Each cluster gets its own churn generator so replacement-job
+            # draws depend only on that cluster's history, never on how
+            # clusters interleave — the property that lets the parallel
+            # engine shard clusters across workers (repro.engine).
+            churn_generator = FleetMixGenerator(
+                seeds=seeds.fork("churn", index=c),
+                mean_cold_fraction=mean_cold_fraction,
+                min_pages=job_pages_range[0],
+                max_pages=job_pages_range[1],
+                duration_range=churn_duration_range,
+                name_prefix=f"churn-c{c:02d}",
+            )
+            cluster.enable_churn(churn_generator.next_job, len(specs))
         built.append(cluster)
     fleet = WSC(built, trace_db, registry=registry, tracer=tracer)
     if warmup_hours > 0:

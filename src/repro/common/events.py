@@ -54,6 +54,17 @@ class EventLog:
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle without subscribers (callbacks are process-local closures).
+
+        The parallel engine ships whole clusters between processes; the
+        owner is expected to re-subscribe its bridges after unpickling
+        (see ``Cluster.rebind_runtime``).
+        """
+        state = self.__dict__.copy()
+        state["_subscribers"] = []
+        return state
+
     def subscribe(
         self, kind_prefix: str, callback: Callable[[Event], None]
     ) -> Callable[[], None]:

@@ -1,0 +1,36 @@
+"""Parallel fleet execution (the simulator's scale-out layer).
+
+The serial :meth:`repro.cluster.wsc.WSC.run` loop walks every cluster on
+one core; fleet-scale experiments (Fig. 5-7, TCO sweeps) are wall-clock
+bound by that single thread.  This package shards clusters across a
+fork-based worker pool while preserving the simulator's determinism
+contract: a parallel run with the same seeds produces bit-identical
+coverage reports and SLI histories to the serial run.
+
+* :class:`FleetEngine` — the parallel executor (worker pool, barrier per
+  simulated minute, delta merge of SLI samples / trace entries / metric
+  registries back into the parent).
+* :func:`plan_shards` — deterministic LPT assignment of clusters to
+  workers.
+* :mod:`repro.engine.bench` — the ``repro bench`` serial-vs-parallel
+  throughput harness behind ``BENCH_fleet.json``.
+"""
+
+from repro.engine.parallel import (
+    EngineError,
+    EngineStats,
+    FleetEngine,
+    default_worker_count,
+    fork_available,
+)
+from repro.engine.sharding import ShardPlan, plan_shards
+
+__all__ = [
+    "EngineError",
+    "EngineStats",
+    "FleetEngine",
+    "ShardPlan",
+    "default_worker_count",
+    "fork_available",
+    "plan_shards",
+]

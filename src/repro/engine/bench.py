@@ -1,0 +1,133 @@
+"""The ``repro bench`` throughput harness behind ``BENCH_fleet.json``.
+
+Times the same fleet workload twice — once through the serial
+:meth:`WSC.run` loop, once through :class:`FleetEngine` — and reports
+throughput (ticks/sec, simulated pages scanned per wall-clock second),
+the parallel speedup, and whether the two runs produced identical
+results.  ``docs/performance.md`` explains how to read the output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.cluster.wsc import quickfleet
+from repro.common.units import HOUR, MIB, PAGE_SIZE
+from repro.common.validation import check_positive
+from repro.engine.parallel import FleetEngine, default_worker_count
+from repro.obs import MetricRegistry, Tracer
+
+__all__ = ["run_bench"]
+
+
+def _build_fleet(clusters: int, machines: int, jobs: int, seed: int):
+    return quickfleet(
+        clusters=clusters,
+        machines_per_cluster=machines,
+        jobs_per_machine=jobs,
+        seed=seed,
+        machine_dram_gib=8.0,
+        mean_cold_fraction=0.20,
+        job_pages_range=((16 * MIB) // PAGE_SIZE, (64 * MIB) // PAGE_SIZE),
+        churn_duration_range=(2 * HOUR, 12 * HOUR),
+        registry=MetricRegistry(),
+        tracer=Tracer(),
+    )
+
+
+def _pages_scanned(fleet) -> float:
+    total = 0.0
+    for (name, _labels), value in fleet.registry.baseline().items():
+        if name == "repro_pages_scanned_total":
+            total += value
+    return total
+
+
+def run_bench(
+    hours: float = 2.0,
+    clusters: int = 4,
+    machines: int = 2,
+    jobs: int = 3,
+    seed: int = 42,
+    workers: Optional[int] = None,
+    barrier_seconds: int = 60,
+    output: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """Run the serial-vs-parallel throughput comparison.
+
+    Args:
+        hours: simulated hours per run.
+        clusters / machines / jobs: fleet shape (machines and jobs are
+            per-cluster and per-machine respectively).
+        seed: root seed; both runs use it, which is what makes the
+            equivalence check meaningful.
+        workers: parallel worker count (default: usable CPUs capped at 4,
+            matching the acceptance target's 4-worker configuration).
+        barrier_seconds: engine barrier interval.
+        output: when given, the report is also written there as JSON
+            (conventionally ``BENCH_fleet.json``).
+
+    Returns:
+        The report dict: fleet shape, per-mode wall seconds / ticks/sec /
+        pages-scanned/sec, ``speedup``, and ``equivalent`` (identical
+        coverage reports and SLI histories).
+    """
+    check_positive(hours, "hours")
+    if workers is None:
+        workers = min(4, default_worker_count())
+
+    seconds = int(hours * HOUR)
+
+    serial_fleet = _build_fleet(clusters, machines, jobs, seed)
+    start = time.perf_counter()
+    serial_fleet.run(seconds)
+    serial_wall = time.perf_counter() - start
+
+    parallel_fleet = _build_fleet(clusters, machines, jobs, seed)
+    engine = FleetEngine(parallel_fleet, workers=workers,
+                         barrier_seconds=barrier_seconds)
+    start = time.perf_counter()
+    stats = engine.run(seconds)
+    parallel_wall = time.perf_counter() - start
+
+    equivalent = (
+        serial_fleet.coverage_report() == parallel_fleet.coverage_report()
+        and serial_fleet.sli_history == parallel_fleet.sli_history
+    )
+    pages = _pages_scanned(serial_fleet)
+    report = {
+        "fleet": {
+            "clusters": clusters,
+            "machines_per_cluster": machines,
+            "jobs_per_machine": jobs,
+            "simulated_hours": hours,
+            "seed": seed,
+        },
+        "host_cpus": default_worker_count(),
+        "barrier_seconds": barrier_seconds,
+        "ticks": stats.ticks,
+        "serial": {
+            "wall_seconds": round(serial_wall, 3),
+            "ticks_per_second": round(stats.ticks / serial_wall, 2),
+            "pages_scanned_per_second": round(pages / serial_wall, 0),
+        },
+        "parallel": {
+            "mode": stats.mode,
+            "workers": stats.workers,
+            "barriers": stats.barriers,
+            "fallback_reason": stats.fallback_reason,
+            "wall_seconds": round(parallel_wall, 3),
+            "ticks_per_second": round(stats.ticks / parallel_wall, 2),
+            "pages_scanned_per_second": round(pages / parallel_wall, 0),
+        },
+        "speedup": round(serial_wall / parallel_wall, 3),
+        "equivalent": equivalent,
+    }
+    if output is not None:
+        Path(output).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    return report

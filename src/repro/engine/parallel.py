@@ -1,0 +1,353 @@
+"""The parallel fleet engine: sharded cluster ticks with exact merge.
+
+Design (and why it is deterministic):
+
+* **Fork, not spawn.**  Workers are forked per :meth:`FleetEngine.run`
+  call, so each worker inherits a copy-on-write image of the fleet —
+  including every in-flight numpy RNG state and the process hash salt
+  that :meth:`Cluster._job_index` depends on.  A cluster therefore draws
+  exactly the random stream it would have drawn serially; the per-cluster
+  ``SeedSequenceFactory`` forks (``seeds.fork("cluster", index=c)``) make
+  those streams independent of shard assignment by construction.
+
+* **Barrier per simulated minute.**  Workers tick their clusters through
+  a barrier chunk (default: one 60 s tick), then ship the interval's
+  deltas — SLI samples tagged ``(tick, cluster)``, new trace entries,
+  and a metric-registry delta — to the parent, which folds them in before
+  releasing the next chunk.
+
+* **Exact SLI order.**  The serial loop drains samples per tick in
+  cluster order; workers tag each drained batch with its (tick, cluster
+  index) so the parent reconstructs precisely that interleaving, making
+  ``WSC.sli_history`` bit-identical to a serial run.
+
+* **State reunification.**  At the end of the run each worker pickles its
+  clusters back to the parent, which swaps them into the fleet and calls
+  :meth:`Cluster.rebind_runtime` so metric handles, tracer spans, event
+  subscriptions, and telemetry sinks all point at the parent's live
+  objects again.  The fleet can keep running serially (or under a new
+  engine) afterwards.
+
+Trace-entry ordering across *different* jobs is canonicalized by
+``(time, job_id)`` rather than by serial append order; per-job traces —
+the unit every consumer reads — are byte-identical to serial.
+
+The engine falls back to the serial loop (same results, one process)
+when parallelism cannot help or would break determinism: a single
+cluster, one worker, no ``fork`` support, or clusters sharing a mutable
+churn job source.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.validation import check_positive, require
+from repro.engine.sharding import ShardPlan, plan_shards
+
+__all__ = [
+    "EngineError",
+    "EngineStats",
+    "FleetEngine",
+    "default_worker_count",
+    "fork_available",
+]
+
+
+class EngineError(ReproError):
+    """The parallel engine failed (worker crash or protocol violation)."""
+
+
+def fork_available() -> bool:
+    """True when this platform supports fork-based multiprocessing."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def default_worker_count() -> int:
+    """Usable CPU count (affinity-aware where the OS exposes it)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """What one :meth:`FleetEngine.run` call actually did.
+
+    Attributes:
+        mode: ``"parallel"`` or ``"serial"`` (the fallback path).
+        workers: worker processes used (1 for serial).
+        ticks: simulated ticks executed.
+        barriers: barrier synchronizations performed (0 for serial).
+        fallback_reason: why the serial path ran, if it did.
+    """
+
+    mode: str
+    workers: int
+    ticks: int
+    barriers: int
+    fallback_reason: Optional[str] = None
+
+
+def _worker_main(conn, fleet, cluster_indices: Tuple[int, ...]) -> None:
+    """Worker loop: tick owned clusters between barriers, ship deltas."""
+    clusters = fleet.clusters
+    registry = fleet.registry
+    trace_db = fleet.trace_db
+    tracer = fleet.tracer
+    # The fork copied the parent's span history; reset so the stats this
+    # worker reports at finalize are purely its own (a delta by design).
+    tracer.reset()
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "advance":
+                _, ticks, collect_sli = msg
+                trace_mark = trace_db.mark()
+                metric_base = registry.baseline()
+                sli_batches: List[Tuple[int, int, list]] = []
+                for tick_seq in range(ticks):
+                    for ci in cluster_indices:
+                        clusters[ci].tick()
+                    if collect_sli:
+                        for ci in cluster_indices:
+                            samples = clusters[ci].drain_sli_samples()
+                            if samples:
+                                sli_batches.append((tick_seq, ci, samples))
+                conn.send((
+                    "ok",
+                    sli_batches,
+                    trace_db.entries_since(trace_mark),
+                    registry.delta(metric_base),
+                ))
+            elif cmd == "finalize":
+                # Detach the shared sinks before pickling: the parent
+                # re-attaches its own via Cluster.rebind_runtime, and the
+                # fleet-wide trace database would otherwise be duplicated
+                # into every returned cluster.
+                from repro.cluster.trace_db import TraceDatabase
+
+                empty_db = TraceDatabase()
+                owned = [clusters[ci] for ci in cluster_indices]
+                for cluster in owned:
+                    cluster.trace_db = empty_db
+                    for exporter in cluster.exporters.values():
+                        exporter.sink = empty_db
+                conn.send(("clusters", owned, tracer.stats()))
+            elif cmd == "exit":
+                break
+            else:  # pragma: no cover - protocol misuse
+                conn.send(("error", f"unknown command {cmd!r}"))
+                break
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        pass
+    except Exception:  # surface worker crashes to the parent
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class FleetEngine:
+    """Parallel executor for one :class:`repro.cluster.wsc.WSC` fleet.
+
+    Args:
+        fleet: the fleet to drive.  The engine mutates it in place; after
+            :meth:`run` returns, the fleet holds the advanced state exactly
+            as if :meth:`WSC.run` had run serially.
+        workers: worker processes (default: usable CPUs, clamped to the
+            cluster count).
+        barrier_seconds: simulated seconds per barrier chunk; the default
+            of 60 synchronizes every simulated minute.
+    """
+
+    def __init__(self, fleet, workers: Optional[int] = None,
+                 barrier_seconds: int = 60):
+        check_positive(barrier_seconds, "barrier_seconds")
+        self.fleet = fleet
+        if workers is None:
+            workers = default_worker_count()
+        check_positive(workers, "workers")
+        self.workers = min(int(workers), len(fleet.clusters))
+        self.barrier_seconds = int(barrier_seconds)
+        self.last_stats: Optional[EngineStats] = None
+
+    # ------------------------------------------------------------------
+    # Parallelizability
+    # ------------------------------------------------------------------
+
+    def parallelizable(self) -> Tuple[bool, Optional[str]]:
+        """Whether a run would take the parallel path, and if not, why."""
+        if len(self.fleet.clusters) < 2:
+            return False, "fewer than 2 clusters"
+        if self.workers < 2:
+            return False, "fewer than 2 workers"
+        if not fork_available():
+            return False, "platform lacks fork start method"
+        if self._has_shared_churn_source():
+            return False, "clusters share a mutable churn job source"
+        return True, None
+
+    def _has_shared_churn_source(self) -> bool:
+        """Detect one mutable job generator feeding several clusters.
+
+        Cluster churn draws specs from ``cluster._job_source`` (usually a
+        bound ``FleetMixGenerator.next_job``).  A generator shared by two
+        clusters sequences its draws by global tick interleaving, which a
+        sharded run cannot reproduce — so such fleets run serially.
+        """
+        owners = []
+        for cluster in self.fleet.clusters:
+            source = getattr(cluster, "_job_source", None)
+            if source is None:
+                continue
+            owners.append(id(getattr(source, "__self__", source)))
+        return len(owners) != len(set(owners))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, seconds: int, collect_sli: bool = True) -> EngineStats:
+        """Advance the fleet by ``seconds``; returns what was executed."""
+        check_positive(seconds, "seconds")
+        tick_seconds = self.fleet.clusters[0].clock.tick_seconds
+        total_ticks = math.ceil(seconds / tick_seconds)
+        ok, reason = self.parallelizable()
+        if not ok:
+            self._run_serial(total_ticks, collect_sli)
+            self.last_stats = EngineStats(
+                mode="serial", workers=1, ticks=total_ticks, barriers=0,
+                fallback_reason=reason,
+            )
+            return self.last_stats
+
+        barrier_ticks = max(1, self.barrier_seconds // tick_seconds)
+        shards = plan_shards(
+            [len(c.machines) for c in self.fleet.clusters], self.workers
+        )
+        barriers = self._run_parallel(
+            shards, total_ticks, barrier_ticks, collect_sli
+        )
+        self.last_stats = EngineStats(
+            mode="parallel", workers=len(shards), ticks=total_ticks,
+            barriers=barriers,
+        )
+        return self.last_stats
+
+    def _run_serial(self, total_ticks: int, collect_sli: bool) -> None:
+        """The exact serial loop (shared fallback path)."""
+        fleet = self.fleet
+        for _ in range(total_ticks):
+            for cluster in fleet.clusters:
+                cluster.tick()
+            if collect_sli:
+                for cluster in fleet.clusters:
+                    fleet.sli_history.extend(cluster.drain_sli_samples())
+
+    def _run_parallel(self, shards: Sequence[ShardPlan], total_ticks: int,
+                      barrier_ticks: int, collect_sli: bool) -> int:
+        fleet = self.fleet
+        ctx = mp.get_context("fork")
+        conns = []
+        procs = []
+        try:
+            for shard in shards:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, fleet, shard.cluster_indices),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+
+            barriers = 0
+            remaining = total_ticks
+            while remaining > 0:
+                chunk = min(barrier_ticks, remaining)
+                for conn in conns:
+                    conn.send(("advance", chunk, collect_sli))
+                self._merge_barrier(conns, collect_sli)
+                remaining -= chunk
+                barriers += 1
+
+            self._finalize(shards, conns)
+            for conn in conns:
+                conn.send(("exit",))
+            for proc in procs:
+                proc.join(timeout=30)
+            return barriers
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+
+    def _recv(self, conn):
+        try:
+            reply = conn.recv()
+        except EOFError as exc:
+            raise EngineError(
+                "engine worker died mid-run (see stderr for its traceback)"
+            ) from exc
+        if reply[0] == "error":
+            raise EngineError(f"engine worker failed:\n{reply[1]}")
+        return reply
+
+    def _merge_barrier(self, conns, collect_sli: bool) -> None:
+        """Fold one barrier interval's deltas back into the parent fleet."""
+        fleet = self.fleet
+        sli_batches: List[Tuple[int, int, list]] = []
+        trace_entries = []
+        for conn in conns:
+            _, batches, entries, metric_delta = self._recv(conn)
+            sli_batches.extend(batches)
+            trace_entries.extend(entries)
+            fleet.registry.merge(metric_delta)
+        if collect_sli:
+            # Reconstruct the serial drain order: per tick, cluster order.
+            sli_batches.sort(key=lambda batch: (batch[0], batch[1]))
+            for _, _, samples in sli_batches:
+                fleet.sli_history.extend(samples)
+        # Canonical cross-job order; per-job order is already serial-exact
+        # because every job lives on exactly one shard.
+        trace_entries.sort(key=lambda e: (e.time, e.job_id))
+        for entry in trace_entries:
+            fleet.trace_db.add(entry)
+
+    def _finalize(self, shards: Sequence[ShardPlan], conns) -> None:
+        """Swap worker cluster state into the parent and re-wire it."""
+        fleet = self.fleet
+        for conn in conns:
+            conn.send(("finalize",))
+        new_clusters = list(fleet.clusters)
+        swapped = []
+        for shard, conn in zip(shards, conns):
+            _, shard_clusters, span_stats = self._recv(conn)
+            require(
+                len(shard_clusters) == len(shard.cluster_indices),
+                "worker returned wrong cluster count",
+            )
+            for ci, cluster in zip(shard.cluster_indices, shard_clusters):
+                new_clusters[ci] = cluster
+                swapped.append(cluster)
+            fleet.tracer.merge(span_stats)
+        fleet.clusters = new_clusters  # setter invalidates machine cache
+        for cluster in swapped:
+            cluster.rebind_runtime(fleet.registry, fleet.tracer,
+                                   fleet.trace_db)

@@ -1,0 +1,70 @@
+"""Deterministic cluster-to-worker shard planning.
+
+Clusters are the unit of parallelism: during :meth:`WSC.run` they are
+fully independent (the only cross-cluster objects — the trace database
+and the fleet metric registry — are append-only sinks the engine merges
+explicitly).  Shards are built with the classic longest-processing-time
+greedy: heaviest cluster first onto the lightest shard, which is within
+4/3 of optimal makespan and, unlike round-robin, stays balanced when
+cluster sizes are skewed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.common.validation import check_positive, require
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One worker's share of the fleet.
+
+    Attributes:
+        cluster_indices: indices into the fleet's cluster list, ascending
+            (workers tick their clusters in global cluster order so the
+            serial drain order can be reconstructed exactly).
+        weight: summed weight of the assigned clusters.
+    """
+
+    cluster_indices: Tuple[int, ...]
+    weight: float
+
+
+def plan_shards(
+    weights: Sequence[float], workers: int
+) -> List[ShardPlan]:
+    """Partition clusters into at most ``workers`` balanced shards.
+
+    Args:
+        weights: per-cluster work estimate (e.g. machine count); index i
+            is cluster i.
+        workers: maximum shard count; empty shards are dropped, so the
+            result has ``min(workers, len(weights))`` entries.
+
+    Returns:
+        Shard plans sorted by their smallest cluster index, each with
+        ascending ``cluster_indices`` — a deterministic function of the
+        inputs.
+    """
+    check_positive(workers, "workers")
+    require(len(weights) > 0, "cannot shard zero clusters")
+    n_shards = min(int(workers), len(weights))
+    buckets: List[List[int]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    # Heaviest first; ties broken by cluster index for determinism.
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for i in order:
+        lightest = min(range(n_shards), key=lambda s: (loads[s], s))
+        buckets[lightest].append(i)
+        loads[lightest] += float(weights[i])
+    plans = [
+        ShardPlan(cluster_indices=tuple(sorted(bucket)), weight=load)
+        for bucket, load in zip(buckets, loads)
+        if bucket
+    ]
+    plans.sort(key=lambda p: p.cluster_indices[0])
+    return plans

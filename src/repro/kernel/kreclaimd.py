@@ -44,19 +44,29 @@ class Kreclaimd:
             check_positive(pages_per_run, "pages_per_run")
         self.zswap = zswap
         self.pages_per_run = pages_per_run
+        self.machine_id = machine_id
         self.runs = 0
         self.pages_reclaimed = 0
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: MetricRegistry) -> None:
         self._m_runs = registry.counter(
             "repro_kreclaimd_runs_total",
             "Completed kreclaimd reclaim passes.", ("machine",)
-        ).labels(machine=machine_id)
+        ).labels(machine=self.machine_id)
         self._m_pages = registry.counter(
             "repro_pages_reclaimed_total",
             "Pages moved to far memory by proactive reclaim.", ("machine",)
-        ).labels(machine=machine_id)
+        ).labels(machine=self.machine_id)
+
+    def rebind_observability(self, registry: MetricRegistry,
+                             tracer: Tracer) -> None:
+        """Re-point metric handles and tracer after a cross-process move."""
+        self._tracer = tracer
+        self._bind_metrics(registry)
 
     def run(self, memcgs: Iterable[MemCg]) -> int:
         """One reclaim pass; returns pages moved to far memory.

@@ -45,6 +45,7 @@ class Kstaled:
     ):
         check_positive(scan_period, "scan_period")
         self.scan_period = int(scan_period)
+        self.machine_id = machine_id
         self._schedule = PeriodicSchedule(self.scan_period)
         self.scans_completed = 0
         self.pages_scanned = 0
@@ -52,6 +53,10 @@ class Kstaled:
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: MetricRegistry) -> None:
+        machine_id = self.machine_id
         self._m_pages = registry.counter(
             "repro_pages_scanned_total",
             "Pages examined by kstaled accessed-bit scans.", ("machine",)
@@ -65,6 +70,12 @@ class Kstaled:
             "Modelled kstaled CPU seconds (paper budget: <11% of a core).",
             ("machine",)
         ).labels(machine=machine_id)
+
+    def rebind_observability(self, registry: MetricRegistry,
+                             tracer: Tracer) -> None:
+        """Re-point metric handles and tracer after a cross-process move."""
+        self._tracer = tracer
+        self._bind_metrics(registry)
 
     def maybe_scan(self, now: int, memcgs: Iterable[MemCg]) -> bool:
         """Run a scan if the period boundary has been crossed.

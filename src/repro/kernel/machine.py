@@ -141,7 +141,10 @@ class Machine:
                                    registry=self.registry, tracer=self.tracer)
         self.direct_reclaim = DirectReclaim(self.zswap)
         self.now = 0
+        self._bind_metrics()
 
+    def _bind_metrics(self) -> None:
+        machine_id = self.machine_id
         self._m_promoted = self.registry.counter(
             "repro_pages_promoted_total",
             "Far pages faulted back to DRAM (promotions).", ("machine",)
@@ -154,6 +157,25 @@ class Machine:
             "repro_far_pages",
             "Pages currently stored compressed.", ("machine",)
         ).labels(machine=machine_id)
+
+    def rebind_observability(self, registry: MetricRegistry,
+                             tracer: Tracer) -> None:
+        """Re-point this machine (and its daemons) at a new registry/tracer.
+
+        The parallel engine ships clusters across processes by pickle;
+        unpickled machines carry their own forked registry copies, so the
+        parent re-binds every metric handle to its live registry and
+        re-injects the machine-labelled promotion counter into each memcg.
+        """
+        self.registry = registry
+        self.tracer = tracer
+        self._bind_metrics()
+        for memcg in self.memcgs.values():
+            memcg.promoted_counter = self._m_promoted
+        self.arena.rebind_observability(registry, tracer)
+        self.zswap.rebind_observability(registry, tracer)
+        self.kstaled.rebind_observability(registry, tracer)
+        self.kreclaimd.rebind_observability(registry, tracer)
 
     # ------------------------------------------------------------------
     # Memory accounting

@@ -39,6 +39,13 @@ from repro.kernel.compression import ContentProfile
 
 __all__ = ["PageState", "MemCg"]
 
+#: Sentinel in the per-slot histogram-bin cache: slot contributes nothing
+#: to the cold-age snapshot (not resident at the last scan).
+_HIST_NO_PAGE = -2
+#: Sentinel for the young bucket (age below the first candidate threshold);
+#: matches the -1 that :meth:`AgeBins.bin_of_age` returns.
+_HIST_YOUNG = -1
+
 
 class PageState(enum.IntEnum):
     """Tier a page currently occupies."""
@@ -97,10 +104,27 @@ class MemCg:
         self.huge_group = np.full(n, -1, dtype=np.int64)
 
         #: Kernel-exported histograms (§5.1): the cold-age histogram is a
-        #: snapshot rebuilt each scan; the promotion histogram accumulates
+        #: snapshot updated each scan; the promotion histogram accumulates
         #: from job start and is diffed by the node agent.
         self.cold_age_histogram = AgeHistogram(bins)
         self.promotion_histogram = AgeHistogram(bins)
+        #: Per-slot bin each page contributed to the cold-age snapshot at
+        #: the last scan (``_HIST_NO_PAGE`` = nothing, ``_HIST_YOUNG`` =
+        #: the young bucket).  Lets the scan update only the bins of pages
+        #: whose bucket changed instead of rebuilding the histogram.
+        self._hist_bin = np.full(n, _HIST_NO_PAGE, dtype=np.int16)
+        #: Age (in scans) -> histogram bin lookup table; ages saturate at
+        #: ``MAX_PAGE_AGE_SCANS`` so the table covers every reachable age.
+        self._bin_lut = bins.bin_of_age(
+            np.arange(MAX_PAGE_AGE_SCANS + 1, dtype=np.int64) * self.scan_period
+        ).astype(np.int16)
+
+        #: Cached static reclaim-eligibility mask (resident & NEAR &
+        #: evictable & compressible); every mutator of those arrays calls
+        #: :meth:`invalidate_reclaim_cache`.  Code that writes the state
+        #: arrays directly (tests, experiments) must do the same.
+        self._reclaim_mask = np.zeros(n, dtype=bool)
+        self._reclaim_mask_valid = False
 
         #: Node-agent-controlled knobs.
         self.cold_age_threshold: float = DISABLED
@@ -194,6 +218,7 @@ class MemCg:
         self.payload_bytes[idx] = self.content_profile.sample_payload_bytes(
             n_pages, self._rng
         )
+        self.invalidate_reclaim_cache()
         return idx
 
     def release(self, indices: np.ndarray) -> np.ndarray:
@@ -210,6 +235,7 @@ class MemCg:
         self.resident[indices] = False
         self.accessed[indices] = False
         self.state[indices] = PageState.NEAR
+        self.invalidate_reclaim_cache()
         return far
 
     def touch(self, indices: np.ndarray, write: bool = False) -> np.ndarray:
@@ -303,14 +329,50 @@ class MemCg:
     def mlock(self, indices: np.ndarray) -> None:
         """Pin pages: they leave the LRU and are never compressed."""
         self.unevictable[np.asarray(indices)] = True
+        self.invalidate_reclaim_cache()
 
     def munlock(self, indices: np.ndarray) -> None:
         """Unpin previously mlocked pages."""
         self.unevictable[np.asarray(indices)] = False
+        self.invalidate_reclaim_cache()
+
+    # ------------------------------------------------------------------
+    # Tier transitions (zswap hooks)
+    # ------------------------------------------------------------------
+
+    def mark_far(self, indices: np.ndarray) -> None:
+        """Move pages to the FAR tier (zswap stored them).
+
+        Swap-out unmaps the page; any pending PTE dirty state was captured
+        in the payload that was just stored, so the dirty bit clears.
+        """
+        self.state[indices] = PageState.FAR
+        self.dirtied[indices] = False
+        self.invalidate_reclaim_cache()
+
+    def mark_near(self, indices: np.ndarray) -> None:
+        """Move pages back to the NEAR tier (zswap decompressed them)."""
+        self.state[indices] = PageState.NEAR
+        self.invalidate_reclaim_cache()
+
+    def mark_incompressible(self, indices: np.ndarray) -> None:
+        """Flag pages whose compression attempt was rejected."""
+        self.incompressible[indices] = True
+        self.invalidate_reclaim_cache()
 
     # ------------------------------------------------------------------
     # Reclaim candidacy
     # ------------------------------------------------------------------
+
+    def invalidate_reclaim_cache(self) -> None:
+        """Mark the cached reclaim-eligibility mask stale.
+
+        Every method that touches ``resident``/``state``/``unevictable``/
+        ``incompressible`` calls this; code writing those arrays directly
+        must call it too, or :meth:`reclaim_candidates` may serve stale
+        results.
+        """
+        self._reclaim_mask_valid = False
 
     def reclaim_candidates(self, threshold_seconds: float) -> np.ndarray:
         """Slots eligible for compression under the given threshold.
@@ -319,18 +381,23 @@ class MemCg:
         and idle for at least the threshold.  Mirrors kreclaimd's LRU walk:
         unevictable/mlocked pages are skipped, as are pages whose previous
         compression attempt was rejected.
+
+        The threshold-independent part of the mask only changes when pages
+        allocate, free, change tier, or get (un)pinned, so it is cached
+        under a dirty flag and combined with the age test per call.
         """
         if not np.isfinite(threshold_seconds):
             return np.zeros(0, dtype=np.int64)
         threshold_scans = int(np.ceil(threshold_seconds / self.scan_period))
-        mask = (
-            self.resident
-            & (self.state == PageState.NEAR)
-            & ~self.unevictable
-            & ~self.incompressible
-            & (self.age_scans >= threshold_scans)
+        if not self._reclaim_mask_valid:
+            np.logical_and(self.resident, self.state == PageState.NEAR,
+                           out=self._reclaim_mask)
+            self._reclaim_mask &= ~self.unevictable
+            self._reclaim_mask &= ~self.incompressible
+            self._reclaim_mask_valid = True
+        return np.flatnonzero(
+            self._reclaim_mask & (self.age_scans >= threshold_scans)
         )
-        return np.flatnonzero(mask)
 
     def reclaim_order(self, candidates: np.ndarray) -> np.ndarray:
         """Order candidates the way kreclaimd walks the LRU.
@@ -386,12 +453,57 @@ class MemCg:
             self.payload_bytes[dirty] = self.content_profile.sample_payload_bytes(
                 n_dirty, self._rng
             )
+            self.invalidate_reclaim_cache()
         self.dirtied[res] = False
 
-        self._rebuild_cold_histogram()
+        self._update_cold_histogram()
+
+    def _update_cold_histogram(self) -> None:
+        """Fold age changes into the cold-age snapshot incrementally.
+
+        Each slot's contribution at the previous scan is cached in
+        ``_hist_bin``; only slots whose bin changed are subtracted and
+        re-added.  A memcg where nothing moved (no touches, every page at
+        the saturated age, no churn) exits without touching the histogram
+        at all — the idle-job fast path.  The result is always identical
+        to :meth:`_rebuild_cold_histogram`.
+        """
+        new_bins = np.full(self.capacity_pages, _HIST_NO_PAGE, dtype=np.int16)
+        res = self.resident
+        ages = np.minimum(self.age_scans[res], MAX_PAGE_AGE_SCANS)
+        new_bins[res] = self._bin_lut[ages]
+        changed = new_bins != self._hist_bin
+        if not changed.any():
+            return
+        old = self._hist_bin[changed]
+        new = new_bins[changed]
+        hist = self.cold_age_histogram
+        old_binned = old[old >= 0]
+        if old_binned.size:
+            hist.counts -= np.bincount(old_binned, minlength=len(self.bins))
+        hist.young_count -= int((old == _HIST_YOUNG).sum())
+        new_binned = new[new >= 0]
+        if new_binned.size:
+            hist.counts += np.bincount(new_binned, minlength=len(self.bins))
+        hist.young_count += int((new == _HIST_YOUNG).sum())
+        self._hist_bin = new_bins
 
     def _rebuild_cold_histogram(self) -> None:
-        """Snapshot page ages into the cold-age histogram."""
+        """Snapshot page ages into the cold-age histogram from scratch.
+
+        Kept as the ground-truth (and cache-reseeding) path; the scan uses
+        the incremental :meth:`_update_cold_histogram`.
+        """
         self.cold_age_histogram.clear()
-        ages_seconds = self.age_scans[self.resident] * self.scan_period
-        self.cold_age_histogram.add_ages(ages_seconds)
+        res = self.resident
+        ages = np.minimum(self.age_scans[res], MAX_PAGE_AGE_SCANS)
+        self._hist_bin = np.full(self.capacity_pages, _HIST_NO_PAGE,
+                                 dtype=np.int16)
+        self._hist_bin[res] = self._bin_lut[ages]
+        binned = self._hist_bin[res]
+        self.cold_age_histogram.young_count = int((binned == _HIST_YOUNG).sum())
+        valid = binned[binned >= 0]
+        if valid.size:
+            self.cold_age_histogram.counts += np.bincount(
+                valid, minlength=len(self.bins)
+            )

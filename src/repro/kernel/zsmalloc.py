@@ -126,18 +126,28 @@ class ZsmallocArena:
         check_positive(step, "step")
         self._step = int(step)
         self._classes: Dict[int, _SizeClass] = {}
+        self.machine_id = machine_id
         self.compactions = 0
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: MetricRegistry) -> None:
         self._m_compactions = registry.counter(
             "repro_arena_compactions_total",
             "Explicit zsmalloc arena compactions.", ("machine",)
-        ).labels(machine=machine_id)
+        ).labels(machine=self.machine_id)
         self._m_compaction_bytes = registry.counter(
             "repro_arena_compaction_released_bytes_total",
             "Bytes released by arena compaction.", ("machine",)
-        ).labels(machine=machine_id)
+        ).labels(machine=self.machine_id)
+
+    def rebind_observability(self, registry: MetricRegistry,
+                             tracer: Tracer) -> None:
+        """Re-point metric handles and tracer after a cross-process move."""
+        self._tracer = tracer
+        self._bind_metrics(registry)
 
     def class_bytes_for(self, payload_bytes: int) -> int:
         """The size class a payload of this size lands in."""

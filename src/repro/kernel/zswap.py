@@ -22,7 +22,7 @@ from repro.kernel.compression import (
     DEFAULT_LATENCY_MODEL,
     CompressionLatencyModel,
 )
-from repro.kernel.memcg import MemCg, PageState
+from repro.kernel.memcg import MemCg
 from repro.kernel.zsmalloc import ZsmallocArena
 from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
 
@@ -92,12 +92,16 @@ class Zswap:
         self.latency_model = latency_model
         self.max_payload_bytes = int(max_payload_bytes)
         self.max_pool_bytes = int(max_pool_bytes)
+        self.machine_id = machine_id
         self.pool_limit_rejections = 0
         self.job_stats: Dict[str, ZswapJobStats] = {}
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
-        label = dict(machine=machine_id)
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: MetricRegistry) -> None:
+        label = dict(machine=self.machine_id)
         self._m_compressed = registry.counter(
             "repro_pages_compressed_total",
             "Pages successfully stored into the zswap arena.", ("machine",)
@@ -125,6 +129,12 @@ class Zswap:
             "Modelled CPU seconds decompressing on promotion faults.",
             ("machine",)
         ).labels(**label)
+
+    def rebind_observability(self, registry: MetricRegistry,
+                             tracer: Tracer) -> None:
+        """Re-point metric handles and tracer after a cross-process move."""
+        self._tracer = tracer
+        self._bind_metrics(registry)
 
     def pool_full(self) -> bool:
         """True when the pool cap is set and the arena has reached it."""
@@ -189,7 +199,7 @@ class Zswap:
             self._m_compress_cpu.inc(compress_seconds)
 
             if rejected.size:
-                memcg.incompressible[rejected] = True
+                memcg.mark_incompressible(rejected)
                 stats.pages_rejected += int(rejected.size)
                 memcg.rejected_pages_total += int(rejected.size)
                 self._m_rejected.inc(int(rejected.size))
@@ -197,12 +207,9 @@ class Zswap:
             if accepted.size:
                 accepted_payloads = memcg.payload_bytes[accepted]
                 self.arena.store(accepted_payloads)
-                memcg.state[accepted] = PageState.FAR
-                # Swap-out unmaps the page; any pending PTE dirty state was
-                # captured in the payload that was just stored.  Swapping out
-                # part of a huge mapping splits it (Linux splits THPs before
-                # zswap sees them).
-                memcg.dirtied[accepted] = False
+                memcg.mark_far(accepted)
+                # Swapping out part of a huge mapping splits it (Linux
+                # splits THPs before zswap sees them).
                 touched_groups = np.unique(
                     memcg.huge_group[accepted][memcg.huge_group[accepted] >= 0]
                 )
@@ -233,7 +240,7 @@ class Zswap:
         with self._tracer.span("zswap.decompress"):
             payloads = memcg.payload_bytes[indices]
             self.arena.release(payloads)
-            memcg.state[indices] = PageState.NEAR
+            memcg.mark_near(indices)
             memcg.record_promotions(indices)
 
             latencies = self.latency_model.decompress_seconds(payloads)

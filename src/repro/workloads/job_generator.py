@@ -31,10 +31,60 @@ from repro.workloads.access_patterns import (
 )
 from repro.workloads.content import CONTENT_PROFILES
 
-__all__ = ["JobSpec", "FleetMixGenerator"]
+__all__ = ["JobSpec", "GeneratedPatternFactory", "FleetMixGenerator"]
 
 #: Factory signature: given an RNG, build this job's access pattern.
 PatternFactory = Callable[[np.random.Generator], AccessPattern]
+
+
+@dataclass(frozen=True)
+class GeneratedPatternFactory:
+    """Picklable access-pattern factory for generated jobs.
+
+    :class:`FleetMixGenerator` pre-draws the style and modulation
+    parameters and captures them here instead of in a closure, so job
+    specs (and the clusters holding them) survive a trip through pickle —
+    a requirement of the parallel fleet engine.
+
+    Attributes:
+        style: "poisson", "zipf", or "phased".
+        pages: the job's footprint in pages.
+        cold: the cold-fraction target the pattern is tuned for.
+        diurnal: whether to wrap the pattern in diurnal modulation.
+        amplitude: diurnal modulation amplitude.
+        phase_seconds: diurnal phase offset.
+    """
+
+    style: str
+    pages: int
+    cold: float
+    diurnal: bool
+    amplitude: float
+    phase_seconds: int
+
+    def __call__(self, pattern_rng: np.random.Generator) -> AccessPattern:
+        if self.style == "zipf":
+            # Zipf head covering ~(1-cold) of pages needs alpha tuned to
+            # the cold target; steeper alpha = smaller effective head.
+            alpha = 1.0 + self.cold
+            inner: AccessPattern = ZipfianPattern(
+                self.pages, accesses_per_second=self.pages / 200.0, alpha=alpha
+            )
+        elif self.style == "phased":
+            inner = PhasedPattern(
+                self.pages,
+                hot_fraction=max(0.02, 1.0 - self.cold - 0.2),
+                phase_seconds=int(pattern_rng.integers(1 * HOUR, 6 * HOUR)),
+            )
+        else:
+            rates = make_rates_for_cold_fraction(
+                self.pages, self.cold, pattern_rng
+            )
+            inner = HeterogeneousPoissonPattern(rates)
+        if self.diurnal:
+            return DiurnalModulation(inner, amplitude=self.amplitude,
+                                     phase_seconds=self.phase_seconds)
+        return inner
 
 
 @dataclass
@@ -92,6 +142,9 @@ class FleetMixGenerator:
         duration_range: optional (low, high) seconds; when set, jobs get
             log-uniform finite lifetimes (fleet churn), otherwise they run
             forever.
+        name_prefix: job-id prefix (``"job"`` → ``job-00000`` …).  Give
+            every generator feeding one fleet a distinct prefix so ids
+            stay fleet-unique.
     """
 
     seeds: SeedSequenceFactory
@@ -101,6 +154,7 @@ class FleetMixGenerator:
     max_pages: int = (8 * GIB) // PAGE_SIZE
     diurnal_fraction: float = 0.6
     duration_range: Optional[tuple] = None
+    name_prefix: str = "job"
     _counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
@@ -137,7 +191,7 @@ class FleetMixGenerator:
                 math.exp(rng.uniform(math.log(low), math.log(high)))
             )
         return JobSpec(
-            job_id=f"job-{index:05d}",
+            job_id=f"{self.name_prefix}-{index:05d}",
             pages=pages,
             cpu_cores=cpu,
             priority=priority,
@@ -161,31 +215,15 @@ class FleetMixGenerator:
     def _make_pattern_factory(
         self, pages: int, cold: float, rng: np.random.Generator
     ) -> PatternFactory:
-        style = rng.choice(["poisson", "zipf", "phased"], p=[0.8, 0.1, 0.1])
-        diurnal = rng.random() < self.diurnal_fraction
+        style = str(rng.choice(["poisson", "zipf", "phased"], p=[0.8, 0.1, 0.1]))
+        diurnal = bool(rng.random() < self.diurnal_fraction)
         amplitude = float(rng.uniform(0.3, 0.7))
         phase = int(rng.integers(0, DAY))
-
-        def factory(pattern_rng: np.random.Generator) -> AccessPattern:
-            if style == "zipf":
-                # Zipf head covering ~(1-cold) of pages needs alpha tuned to
-                # the cold target; steeper alpha = smaller effective head.
-                alpha = 1.0 + cold
-                inner: AccessPattern = ZipfianPattern(
-                    pages, accesses_per_second=pages / 200.0, alpha=alpha
-                )
-            elif style == "phased":
-                inner = PhasedPattern(
-                    pages,
-                    hot_fraction=max(0.02, 1.0 - cold - 0.2),
-                    phase_seconds=int(pattern_rng.integers(1 * HOUR, 6 * HOUR)),
-                )
-            else:
-                rates = make_rates_for_cold_fraction(pages, cold, pattern_rng)
-                inner = HeterogeneousPoissonPattern(rates)
-            if diurnal:
-                return DiurnalModulation(inner, amplitude=amplitude,
-                                         phase_seconds=phase)
-            return inner
-
-        return factory
+        return GeneratedPatternFactory(
+            style=style,
+            pages=pages,
+            cold=cold,
+            diurnal=diurnal,
+            amplitude=amplitude,
+            phase_seconds=phase,
+        )

@@ -42,6 +42,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["metrics", "--format", "xml"])
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.clusters == 4
+        assert args.workers is None
+        assert args.barrier_seconds == 60
+        assert args.output == "BENCH_fleet.json"
+        assert not args.quick
+        assert args.func.__name__ == "cmd_bench"
+
+    def test_bench_quick_flag_and_workers(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--workers", "2", "--output", "/tmp/b.json"]
+        )
+        assert args.quick
+        assert args.workers == 2
+        assert args.output == "/tmp/b.json"
+
 
 class TestExecution:
     def test_quickstart_runs(self, capsys):
@@ -65,6 +82,21 @@ class TestExecution:
         from repro.cluster.trace_db import TraceDatabase
 
         assert len(TraceDatabase.load_jsonl(out)) > 0
+
+    def test_bench_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--clusters", "2", "--machines", "1", "--jobs", "2",
+             "--hours", "0.25", "--workers", "2", "--output", str(out)]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["equivalent"]
+        assert report["serial"]["ticks_per_second"] > 0
+        assert report["parallel"]["ticks_per_second"] > 0
+        assert "speedup" in capsys.readouterr().out.lower()
 
     def test_figures_writes_directory(self, tmp_path, capsys):
         code = main(

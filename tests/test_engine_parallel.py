@@ -1,0 +1,265 @@
+"""The parallel fleet engine: sharding, delta merge, serial equivalence."""
+
+import pickle
+
+import pytest
+
+from repro.cluster import quickfleet
+from repro.common.errors import ConfigurationError
+from repro.common.units import HOUR
+from repro.engine import (
+    FleetEngine,
+    ShardPlan,
+    fork_available,
+    plan_shards,
+)
+from repro.obs import MetricRegistry, Tracer
+
+
+def _churn_fleet(seed=7, clusters=3):
+    """A small churning fleet with private observability objects."""
+    return quickfleet(
+        clusters=clusters,
+        machines_per_cluster=2,
+        jobs_per_machine=3,
+        seed=seed,
+        churn_duration_range=(1800, 7200),
+        registry=MetricRegistry(),
+        tracer=Tracer(),
+    )
+
+
+class TestShardPlanning:
+    def test_balanced_lpt_assignment(self):
+        plans = plan_shards([8, 1, 1, 1, 1, 4], workers=2)
+        assert len(plans) == 2
+        # LPT: the size-8 cluster alone, the rest together (8 vs 8).
+        weights = sorted(p.weight for p in plans)
+        assert weights == [8.0, 8.0]
+
+    def test_indices_ascending_and_plans_ordered(self):
+        plans = plan_shards([3, 5, 2, 5, 1], workers=3)
+        for plan in plans:
+            assert list(plan.cluster_indices) == sorted(plan.cluster_indices)
+        firsts = [p.cluster_indices[0] for p in plans]
+        assert firsts == sorted(firsts)
+
+    def test_every_cluster_assigned_exactly_once(self):
+        plans = plan_shards([2, 2, 2, 2, 2, 2, 2], workers=3)
+        assigned = [i for p in plans for i in p.cluster_indices]
+        assert sorted(assigned) == list(range(7))
+
+    def test_more_workers_than_clusters_drops_empty_shards(self):
+        plans = plan_shards([1, 1], workers=8)
+        assert len(plans) == 2
+
+    def test_deterministic(self):
+        a = plan_shards([5, 3, 3, 2, 8], workers=3)
+        b = plan_shards([5, 3, 3, 2, 8], workers=3)
+        assert a == b
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards([], workers=2)
+        with pytest.raises(ConfigurationError):
+            plan_shards([1, 2], workers=0)
+
+
+class TestRegistryDeltaMerge:
+    def test_counter_delta_ships_increment_only(self):
+        reg = MetricRegistry()
+        c = reg.counter("repro_pages_total", "Pages.", ("machine",))
+        c.labels(machine="m0").inc(5)
+        base = reg.baseline()
+        c.labels(machine="m0").inc(3)
+        c.labels(machine="m1").inc(2)
+        delta = reg.delta(base)
+        by_label = {
+            tuple(sorted(r["labels"].items())): r["value"] for r in delta
+        }
+        assert by_label[(("machine", "m0"),)] == 3
+        assert by_label[(("machine", "m1"),)] == 2
+
+    def test_merge_reconstructs_totals(self):
+        parent = MetricRegistry()
+        parent.counter(
+            "repro_pages_total", "Pages.", ("machine",)
+        ).labels(machine="m0").inc(5)
+
+        shard = MetricRegistry()
+        c = shard.counter("repro_pages_total", "Pages.", ("machine",))
+        c.labels(machine="m0").inc(5)  # fork-time copy
+        base = shard.baseline()
+        c.labels(machine="m0").inc(7)
+        parent.merge(shard.delta(base))
+        assert parent.value("repro_pages_total") == 12
+
+    def test_merge_histogram_buckets_and_sum(self):
+        parent = MetricRegistry()
+        shard = MetricRegistry()
+        h = shard.histogram("repro_lat_seconds", "Latency.",
+                            buckets=(0.1, 1.0))
+        base = shard.baseline()
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        parent.merge(shard.delta(base))
+        merged = parent.histogram("repro_lat_seconds")
+        assert merged.count == 3
+        assert merged.sum == pytest.approx(5.55)
+
+    def test_merge_gauge_takes_absolute_value(self):
+        parent = MetricRegistry()
+        parent.gauge("repro_g").set(1.0)
+        shard = MetricRegistry()
+        base = shard.baseline()
+        shard.gauge("repro_g").set(42.0)
+        parent.merge(shard.delta(base))
+        assert parent.gauge("repro_g").value == 42.0
+
+    def test_unchanged_series_not_shipped(self):
+        reg = MetricRegistry()
+        reg.counter("repro_c_total").inc(4)
+        reg.gauge("repro_g").set(2.0)
+        base = reg.baseline()
+        assert reg.delta(base) == []
+
+
+class TestTracerMerge:
+    def test_span_stats_fold_in(self):
+        parent = Tracer()
+        with parent.span("cluster.tick"):
+            pass
+        shard = Tracer()
+        for _ in range(3):
+            with shard.span("cluster.tick"):
+                pass
+        with shard.span("kstaled.scan"):
+            pass
+        parent.merge(shard.stats())
+        stats = parent.stats()
+        assert stats["cluster.tick"].calls == 4
+        assert stats["kstaled.scan"].calls == 1
+
+
+class TestFallbacks:
+    def test_single_cluster_runs_serially(self):
+        fleet = _churn_fleet(clusters=1)
+        engine = FleetEngine(fleet, workers=4)
+        stats = engine.run(600)
+        assert stats.mode == "serial"
+        assert stats.fallback_reason == "fewer than 2 clusters"
+
+    def test_single_worker_runs_serially(self):
+        fleet = _churn_fleet()
+        stats = FleetEngine(fleet, workers=1).run(600)
+        assert stats.mode == "serial"
+
+    def test_shared_churn_source_detected(self):
+        fleet = _churn_fleet()
+        # Rewire every cluster to one shared generator method, the
+        # configuration the engine must refuse to shard.
+        source = fleet.clusters[0]._job_source
+        for cluster in fleet.clusters:
+            cluster._job_source = source
+        engine = FleetEngine(fleet, workers=2)
+        ok, reason = engine.parallelizable()
+        assert not ok
+        assert "churn" in reason
+
+    def test_serial_fallback_matches_wsc_run(self):
+        a = _churn_fleet()
+        b = _churn_fleet()
+        a.run(1 * HOUR)
+        stats = FleetEngine(b, workers=1).run(1 * HOUR)
+        assert stats.mode == "serial"
+        assert a.coverage_report() == b.coverage_report()
+        assert a.sli_history == b.sli_history
+
+
+class TestClusterPickling:
+    def test_cluster_roundtrips_through_pickle(self):
+        fleet = _churn_fleet()
+        fleet.run(600)
+        cluster = fleet.clusters[0]
+        clone = pickle.loads(pickle.dumps(cluster))
+        assert clone.name == cluster.name
+        assert set(clone.running) == set(cluster.running)
+        # Event subscribers are dropped by EventLog.__getstate__ (they
+        # close over unpicklable runtime objects) and re-wired on rebind.
+        assert clone.events._subscribers == []
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+class TestParallelEquivalence:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        """One serial and one engine-driven run of the same fleet."""
+        serial = _churn_fleet()
+        parallel = _churn_fleet()
+        serial.run(2 * HOUR)
+        engine = FleetEngine(parallel, workers=2)
+        stats = engine.run(2 * HOUR)
+        return serial, parallel, stats
+
+    def test_parallel_path_taken(self, pair):
+        _, _, stats = pair
+        assert stats.mode == "parallel"
+        assert stats.workers == 2
+        assert stats.barriers == stats.ticks  # 60 s barrier, 60 s tick
+
+    def test_coverage_reports_identical(self, pair):
+        serial, parallel, _ = pair
+        assert serial.coverage_report() == parallel.coverage_report()
+
+    def test_sli_histories_identical(self, pair):
+        serial, parallel, _ = pair
+        assert len(serial.sli_history) > 0
+        assert serial.sli_history == parallel.sli_history
+
+    def test_traces_identical_per_job(self, pair):
+        serial, parallel, _ = pair
+        assert serial.trace_db.job_ids == parallel.trace_db.job_ids
+        for job_id in serial.trace_db.job_ids:
+            a = [e.to_dict()
+                 for e in serial.trace_db.trace_for(job_id).entries]
+            b = [e.to_dict()
+                 for e in parallel.trace_db.trace_for(job_id).entries]
+            assert a == b
+
+    def test_integer_counters_identical(self, pair):
+        serial, parallel, _ = pair
+        pick = lambda fleet: {
+            key: value
+            for key, value in fleet.registry.baseline().items()
+            if key[0] in ("repro_pages_scanned_total",
+                          "repro_pages_promoted_total",
+                          "repro_pages_compressed_total")
+        }
+        a, b = pick(serial), pick(parallel)
+        assert a and a == b
+
+    def test_tracer_span_calls_identical(self, pair):
+        serial, parallel, _ = pair
+        a = {k: v.calls for k, v in serial.tracer.stats().items()}
+        b = {k: v.calls for k, v in parallel.tracer.stats().items()}
+        assert a and a == b
+
+    def test_fleet_continues_identically_after_engine_run(self, pair):
+        serial, parallel, _ = pair
+        serial.run(30 * 60)
+        parallel.run(30 * 60)  # plain serial WSC.run on rebound state
+        assert serial.coverage_report() == parallel.coverage_report()
+        assert serial.sli_history == parallel.sli_history
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+def test_wsc_run_delegates_to_engine():
+    serial = _churn_fleet(seed=11)
+    parallel = _churn_fleet(seed=11)
+    serial.run(1 * HOUR)
+    engine = FleetEngine(parallel, workers=2)
+    parallel.run(1 * HOUR, engine=engine)
+    assert engine.last_stats is not None
+    assert engine.last_stats.mode == "parallel"
+    assert serial.coverage_report() == parallel.coverage_report()
