@@ -36,7 +36,13 @@ from repro.core.threshold_policy import (
     ThresholdPolicyConfig,
 )
 from repro.kernel.machine import FarMemoryMode, Machine
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["SliSample", "NodeAgent"]
 
@@ -128,20 +134,20 @@ class NodeAgent:
     def _bind_metrics(self, registry: MetricRegistry) -> None:
         machine_id = self.machine.machine_id
         self._m_rounds = registry.counter(
-            "repro_agent_rounds_total",
+            MetricName.AGENT_ROUNDS_TOTAL,
             "Completed node-agent control rounds.", ("machine",)
         ).labels(machine=machine_id)
         self._m_threshold_updates = registry.counter(
-            "repro_threshold_updates_total",
+            MetricName.THRESHOLD_UPDATES_TOTAL,
             "Per-job cold-age threshold publications.", ("machine",)
         ).labels(machine=machine_id)
         self._h_threshold = registry.histogram(
-            "repro_threshold_seconds",
+            MetricName.THRESHOLD_SECONDS,
             "Published cold-age thresholds (finite values only).",
             buckets=THRESHOLD_BUCKETS,
         )
         self._h_promotion_rate = registry.histogram(
-            "repro_promotion_rate_pct_per_min",
+            MetricName.PROMOTION_RATE_PCT_PER_MIN,
             "Normalized per-job promotion-rate SLI (% of WSS per minute).",
             buckets=PROMOTION_RATE_BUCKETS,
         )

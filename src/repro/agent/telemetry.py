@@ -11,13 +11,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Protocol
 
-from repro.common.events import EventLog
+from repro.common.events import EventKind, EventLog
 from repro.common.simtime import PeriodicSchedule
 from repro.core.histograms import AgeHistogram
 from repro.core.slo import PromotionRateSlo, working_set_pages
 from repro.kernel.machine import Machine
 from repro.model.trace import TRACE_PERIOD_SECONDS, TraceEntry
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["TraceSink", "TelemetryExporter"]
 
@@ -84,15 +90,15 @@ class TelemetryExporter:
     def _bind_metrics(self, registry: MetricRegistry) -> None:
         machine_id = self.machine.machine_id
         self._m_exports = registry.counter(
-            "repro_telemetry_exports_total",
+            MetricName.TELEMETRY_EXPORTS_TOTAL,
             "Completed 5-minute telemetry export rounds.", ("machine",)
         ).labels(machine=machine_id)
         self._m_entries = registry.counter(
-            "repro_telemetry_entries_total",
+            MetricName.TELEMETRY_ENTRIES_TOTAL,
             "Trace entries shipped to the trace database.", ("machine",)
         ).labels(machine=machine_id)
         self._m_resets = registry.counter(
-            "repro_telemetry_histogram_resets_total",
+            MetricName.TELEMETRY_HISTOGRAM_RESETS_TOTAL,
             "Period histograms restarted after a bin-threshold change.",
             ("machine",)
         ).labels(machine=machine_id)
@@ -127,7 +133,7 @@ class TelemetryExporter:
                         self._m_resets.inc()
                         if self.events is not None:
                             self.events.record(
-                                now, "telemetry.histogram_reset",
+                                now, EventKind.TELEMETRY_HISTOGRAM_RESET,
                                 job=job_id,
                                 machine=self.machine.machine_id,
                             )

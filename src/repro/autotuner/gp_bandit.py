@@ -23,7 +23,13 @@ from repro.common.validation import check_positive, require
 from repro.autotuner.gp import GaussianProcess
 from repro.autotuner.kernels import Matern52Kernel
 from repro.autotuner.search_space import SearchSpace
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["Observation", "GpBandit"]
 
@@ -90,11 +96,11 @@ class GpBandit:
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
         self._m_suggestions = registry.counter(
-            "repro_bandit_suggestions_total",
+            MetricName.BANDIT_SUGGESTIONS_TOTAL,
             "Configurations proposed by the GP bandit."
         )
         self._m_observations = registry.counter(
-            "repro_bandit_observations_total",
+            MetricName.BANDIT_OBSERVATIONS_TOTAL,
             "Completed trials fed back to the GP bandit."
         )
 

@@ -30,7 +30,13 @@ from repro.autotuner.search_space import (
     config_from_values,
     far_memory_search_space,
 )
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["Trial", "TuningResult", "AutotuningPipeline"]
 
@@ -127,15 +133,15 @@ class AutotuningPipeline:
             tracer=self._tracer,
         )
         self._m_trials = registry.counter(
-            "repro_autotuner_trials_total",
+            MetricName.AUTOTUNER_TRIALS_TOTAL,
             "Configurations evaluated by the fast far memory model."
         )
         self._m_feasible = registry.counter(
-            "repro_autotuner_feasible_trials_total",
+            MetricName.AUTOTUNER_FEASIBLE_TRIALS_TOTAL,
             "Evaluated configurations that met the promotion-rate SLO."
         )
         self._g_best = registry.gauge(
-            "repro_autotuner_best_objective_cold_pages",
+            MetricName.AUTOTUNER_BEST_OBJECTIVE_COLD_PAGES,
             "Best feasible objective (cold pages captured) so far."
         )
 

@@ -1,0 +1,83 @@
+"""repro.checks: determinism & invariant analysis for the simulator.
+
+Two halves:
+
+* **Static** — an AST lint engine (``repro lint``) with simulator-
+  specific rules: DET001 wall-clock reads, DET002 unseeded randomness,
+  DET003 order-sensitive accumulation from unordered iteration, FORK001
+  pickle-safety at the fork boundary, ACC001 float equality in
+  accounting code, OBS001 metric/event name drift.  See
+  ``docs/static_analysis.md`` for the rule catalogue and the
+  ``# repro: noqa[RULE]`` / baseline workflows.
+* **Runtime** — :mod:`repro.checks.invariants`, accounting identities
+  asserted inside the hot paths when ``REPRO_CHECKS=1``.
+"""
+
+from repro.checks.core import (
+    Finding,
+    LintEngine,
+    LintError,
+    RULES,
+    Rule,
+    RuleVisitor,
+    iter_python_files,
+    register,
+)
+from repro.checks.invariants import (
+    InvariantViolation,
+    check_machine_accounting,
+    check_memcg_histogram,
+    check_merge_delta,
+    invariants_enabled,
+    set_invariants_enabled,
+)
+
+# Rule modules self-register on import.
+from repro.checks import (  # noqa: F401  (imported for registration)
+    rules_accounting,
+    rules_determinism,
+    rules_fork,
+    rules_obs,
+)
+
+from repro.checks.reporters import (
+    filter_baseline,
+    load_baseline,
+    render_json,
+    render_text,
+    save_baseline,
+)
+from repro.checks.runner import (
+    LintResult,
+    check_docs_drift,
+    default_lint_paths,
+    run_external_tools,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "LintEngine",
+    "LintError",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "RuleVisitor",
+    "check_docs_drift",
+    "check_machine_accounting",
+    "check_memcg_histogram",
+    "check_merge_delta",
+    "default_lint_paths",
+    "filter_baseline",
+    "invariants_enabled",
+    "iter_python_files",
+    "load_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "run_external_tools",
+    "run_lint",
+    "save_baseline",
+    "set_invariants_enabled",
+]

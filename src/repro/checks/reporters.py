@@ -1,0 +1,93 @@
+"""Finding reporters and the baseline workflow.
+
+Two output formats:
+
+* **text** — ``path:line:col: RULE message`` per finding, a summary
+  line, and a per-rule tally (human / CI-log consumption);
+* **json** — a stable document with the engine version, rule catalogue,
+  and findings (machine consumption, e.g. code-review bots).
+
+The baseline workflow makes adoption incremental: ``repro lint
+--update-baseline`` snapshots today's findings to
+``checks_baseline.json``; later runs with ``--baseline`` report only
+*new* findings.  Keys are ``path::rule::message`` — line numbers drift
+as files are edited, so they are deliberately not part of the identity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from repro.checks.core import RULES, Finding, LintError
+
+__all__ = [
+    "filter_baseline",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "save_baseline",
+]
+
+#: Bumped when the JSON document shape changes.
+REPORT_FORMAT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.render() for f in findings]
+    if not findings:
+        lines.append("repro lint: clean (0 findings)")
+        return "\n".join(lines)
+    tally: Dict[str, int] = {}
+    for finding in findings:
+        tally[finding.rule] = tally.get(finding.rule, 0) + 1
+    lines.append("")
+    lines.append(
+        f"repro lint: {len(findings)} finding(s) in "
+        f"{len({f.path for f in findings})} file(s)"
+    )
+    for rule_id in sorted(tally):
+        title = RULES[rule_id].title if rule_id in RULES else "parse failure"
+        lines.append(f"  {rule_id:<8} {tally[rule_id]:>4}  {title}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (stable key order, trailing newline free)."""
+    document = {
+        "version": REPORT_FORMAT_VERSION,
+        "rules": {
+            rule_id: RULES[rule_id].title for rule_id in sorted(RULES)
+        },
+        "count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def save_baseline(findings: Sequence[Finding], path: Path) -> None:
+    """Snapshot findings as a baseline file (sorted, deduplicated keys)."""
+    keys = sorted({f.baseline_key() for f in findings})
+    document = {"version": REPORT_FORMAT_VERSION, "suppressed": keys}
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Read a baseline file back into a set of finding keys."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    suppressed = document.get("suppressed")
+    if not isinstance(suppressed, list):
+        raise LintError(f"baseline {path} has no 'suppressed' list")
+    return set(suppressed)
+
+
+def filter_baseline(
+    findings: Sequence[Finding], baseline: Set[str]
+) -> List[Finding]:
+    """Findings not covered by the baseline (i.e. new since snapshot)."""
+    return [f for f in findings if f.baseline_key() not in baseline]

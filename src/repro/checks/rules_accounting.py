@@ -1,0 +1,70 @@
+"""ACC001: float equality in accounting / analysis code.
+
+The paper's accounting identities (promotion-rate SLO at P98, cold-age
+histograms, bytes-per-page compression ratios) are computed in floating
+point; ``==``/``!=`` between floats in ``core/`` and ``analysis/``
+silently turns a rounding wobble into a policy flip.  Compare against a
+tolerance (``math.isclose``/``numpy.isclose``) or restructure to
+integers.
+
+Comparisons against the integer-valued literals ``0.0``/``1.0`` used as
+sentinels are still flagged — the handful of deliberate exact-zero
+checks in the codebase live outside this rule's path scope or carry a
+``# repro: noqa[ACC001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.core import Rule, RuleVisitor, register
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Syntactically float-valued: a float literal, ``float(...)``, or an
+    arithmetic expression containing a true division."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    if isinstance(node, ast.BinOp):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return False
+
+
+class _FloatEqualityVisitor(RuleVisitor):
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_floatish(left) or _is_floatish(right):
+                kind = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    node,
+                    f"float `{kind}` comparison in accounting code; use "
+                    f"math.isclose / numpy.isclose or integer arithmetic",
+                )
+                break
+        self.generic_visit(node)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """ACC001: exact float equality where tolerance is required."""
+
+    id = "ACC001"
+    title = "exact float equality in accounting code"
+    path_fragments = ("repro/core/", "repro/analysis/", "fixtures/lint/")
+    visitor_class = _FloatEqualityVisitor

@@ -1,0 +1,108 @@
+"""FORK001: pickle-safety for classes shipped across the fork boundary.
+
+The parallel engine (``engine/parallel.py``) ships whole cluster shards
+to worker processes and merges deltas back.  Anything reachable from a
+shard must survive ``pickle.dumps``: a lambda, an open file handle, a
+lock, or a live generator stored on ``self`` in ``__init__`` will blow
+up at dispatch time — but only when the run is parallel, which is
+exactly when it is hardest to debug.  This rule flags those attribute
+assignments statically.
+
+A class that defines ``__getstate__`` or ``__reduce__`` (or
+``__reduce_ex__``/``__getnewargs__``) has opted into managing its own
+pickling and is skipped — e.g. :class:`repro.common.events.EventLog`
+drops its subscriber callbacks that way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.checks.core import Rule, RuleVisitor, register
+
+__all__ = ["ForkSafetyRule"]
+
+#: Defining any of these means the class controls its own pickling.
+_PICKLE_HOOKS = frozenset(
+    {"__getstate__", "__reduce__", "__reduce_ex__", "__getnewargs__"}
+)
+
+#: Constructors whose instances cannot cross a fork/pickle boundary.
+_UNPICKLABLE_CTORS = {
+    "open": "open file handle",
+    "threading.Lock": "threading lock",
+    "threading.RLock": "threading lock",
+    "threading.Condition": "threading condition",
+    "threading.Event": "threading event",
+    "threading.Semaphore": "threading semaphore",
+    "threading.BoundedSemaphore": "threading semaphore",
+    "multiprocessing.Lock": "multiprocessing lock",
+    "multiprocessing.RLock": "multiprocessing lock",
+    "multiprocessing.Queue": "multiprocessing queue",
+}
+
+
+class _ForkSafetyVisitor(RuleVisitor):
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        defined = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if defined & _PICKLE_HOOKS:
+            return  # class manages its own pickling; don't descend
+        for stmt in node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+                self._check_init(node.name, stmt)
+        # nested classes still need checking
+        for stmt in node.body:
+            if isinstance(stmt, ast.ClassDef):
+                self.visit_ClassDef(stmt)
+
+    def _check_init(self, class_name: str, init: ast.FunctionDef) -> None:
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            if not any(self._is_self_attr(t) for t in targets):
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            hazard = self._hazard(value)
+            if hazard is not None:
+                self.report(
+                    stmt,
+                    f"{class_name}.__init__ stores a {hazard} on self; it "
+                    f"cannot cross the fork/pickle boundary — hold a "
+                    f"picklable description instead, or define __getstate__",
+                )
+
+    @staticmethod
+    def _is_self_attr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    def _hazard(self, value: ast.AST) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "lambda"
+        if isinstance(value, ast.GeneratorExp):
+            return "live generator"
+        if isinstance(value, ast.Call):
+            name = self.dotted_name(value.func)
+            if name is not None and name in _UNPICKLABLE_CTORS:
+                return _UNPICKLABLE_CTORS[name]
+        return None
+
+
+@register
+class ForkSafetyRule(Rule):
+    """FORK001: unpicklable state stored on self in __init__."""
+
+    id = "FORK001"
+    title = "unpicklable attribute on a fork-boundary class"
+    visitor_class = _ForkSafetyVisitor

@@ -1,0 +1,101 @@
+"""OBS001: metric and event names must come from the central registries.
+
+Dashboards, the Prometheus-style exposition format, and the analysis
+notebooks all key on metric/event names as strings.  A typo'd literal
+(``"repro_pages_scaned_total"``) creates a *new* series that nothing
+reads, while the real one silently flatlines.  The fix is a single
+source of truth: :class:`repro.obs.metrics.MetricName` and
+:class:`repro.common.events.EventKind`.  This rule flags any string
+literal that *looks like* a metric name (``repro_*`` passed to
+``.counter/.gauge/.histogram``) or an event kind (dotted lowercase
+passed to ``.record``) but is absent from the corresponding registry.
+
+Literals that exactly equal a registered name are accepted — the
+contract is "names cannot drift", not "never write a string" — but
+using the constants keeps call sites greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from repro.checks.core import Rule, RuleVisitor, register
+from repro.common.events import KNOWN_EVENT_KINDS
+from repro.obs.metrics import KNOWN_METRIC_NAMES
+
+__all__ = ["MetricNameRule"]
+
+#: Registration methods whose first argument is a metric name.
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Event kinds are dotted lowercase identifiers ("scheduler.evict").
+_EVENT_KIND_RE = re.compile(r"^[a-z][a-z0-9_]*\.[a-z][a-z0-9_.]*$")
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class _MetricNameVisitor(RuleVisitor):
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method in _METRIC_METHODS:
+                self._check_metric(node)
+            elif method == "record":
+                self._check_event(node)
+        self.generic_visit(node)
+
+    def _check_metric(self, node: ast.Call) -> None:
+        name_node: Optional[ast.AST] = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "name":
+                name_node = kw.value
+        if name_node is None:
+            return
+        name = _literal_str(name_node)
+        if name is None or not name.startswith("repro_"):
+            return
+        if name not in KNOWN_METRIC_NAMES:
+            self.report(
+                name_node,
+                f"metric name {name!r} is not in "
+                f"repro.obs.metrics.MetricName; add the constant there "
+                f"and reference it (prevents dashboard/name drift)",
+            )
+
+    def _check_event(self, node: ast.Call) -> None:
+        # EventLog.record(time, kind, **payload): kind is 2nd positional.
+        kind_node: Optional[ast.AST] = (
+            node.args[1] if len(node.args) >= 2 else None
+        )
+        for kw in node.keywords:
+            if kw.arg == "kind":
+                kind_node = kw.value
+        if kind_node is None:
+            return
+        kind = _literal_str(kind_node)
+        if kind is None or not _EVENT_KIND_RE.match(kind):
+            return
+        if kind not in KNOWN_EVENT_KINDS:
+            self.report(
+                kind_node,
+                f"event kind {kind!r} is not in "
+                f"repro.common.events.EventKind; add the constant there "
+                f"and reference it (prevents analysis/name drift)",
+            )
+
+
+@register
+class MetricNameRule(Rule):
+    """OBS001: metric/event name literals must match the registry."""
+
+    id = "OBS001"
+    title = "metric or event name absent from the central registry"
+    #: The registries themselves define the names.
+    allowlist = ("repro/obs/metrics.py", "repro/common/events.py")
+    visitor_class = _MetricNameVisitor

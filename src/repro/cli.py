@@ -287,6 +287,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report["equivalent"] else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repro.checks static-analysis suite (``repro lint``)."""
+    from repro.checks import LintError, run_external_tools, run_lint
+
+    paths = [Path(p) for p in args.paths] or None
+    try:
+        result = run_lint(
+            paths,
+            rules=args.rule or None,
+            output_format=args.format,
+            baseline=Path(args.baseline) if args.baseline else None,
+            update_baseline=(
+                Path(args.update_baseline) if args.update_baseline else None
+            ),
+        )
+    except LintError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.report)
+    for note in result.notes:
+        print(f"note: {note}", file=sys.stderr)
+    exit_code = result.exit_code
+    if args.ci:
+        from repro.checks.runner import default_lint_paths
+
+        tool_lines = run_external_tools(
+            [Path(p) for p in args.paths] or default_lint_paths()
+        )
+        for line in tool_lines:
+            print(line, file=sys.stderr)
+        if any("FAILED" in line for line in tool_lines):
+            exit_code = max(exit_code, 1)
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -345,6 +380,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fast configuration (CI smoke run)")
     p.add_argument("--output", default="BENCH_fleet.json")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the determinism/invariant static-analysis suite",
+        description="Run repro.checks (reprolint) over the source tree. "
+                    "Exit 0 when clean, 1 on findings, 2 on usage errors. "
+                    "See docs/static_analysis.md for the rule catalogue.",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint "
+                        "(default: the installed repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--rule", action="append", metavar="RULE",
+                   help="run only this rule id (repeatable)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="report only findings absent from this baseline")
+    p.add_argument("--update-baseline", default=None, metavar="FILE",
+                   help="snapshot current findings to FILE and exit clean")
+    p.add_argument("--ci", action="store_true",
+                   help="also run ruff and mypy when installed "
+                        "(skipped gracefully when absent)")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.agent.node_agent import NodeAgent, SliSample
 from repro.agent.telemetry import TelemetryExporter
 from repro.common.errors import OutOfMemoryError, SchedulingError
-from repro.common.events import EventLog
+from repro.common.events import EventKind, EventLog
 from repro.common.rng import SeedSequenceFactory
 from repro.common.simtime import DEFAULT_TICK_SECONDS, Clock
 from repro.common.units import MIN_COLD_AGE_THRESHOLD
@@ -27,7 +27,13 @@ from repro.cluster.job import RunningJob
 from repro.cluster.scheduler import BorgScheduler
 from repro.cluster.trace_db import TraceDatabase
 from repro.kernel.machine import Machine, MachineConfig
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 from repro.workloads.job_generator import JobSpec
 
 __all__ = ["Cluster"]
@@ -138,7 +144,7 @@ class Cluster:
         from :meth:`rebind_runtime` after a cross-process move.
         """
         events_counter = self.registry.counter(
-            "repro_events_total",
+            MetricName.EVENTS_TOTAL,
             "Simulation events recorded, by event kind.", ("kind",)
         )
         self.events.subscribe(
@@ -215,7 +221,7 @@ class Cluster:
                 placed.append(self.submit(spec))
             except SchedulingError:
                 self.events.record(
-                    self.clock.now, "cluster.admission_reject", job=spec.job_id
+                    self.clock.now, EventKind.CLUSTER_ADMISSION_REJECT, job=spec.job_id
                 )
         return placed
 
@@ -248,7 +254,7 @@ class Cluster:
                 self.submit(spec)
             except SchedulingError:
                 self.events.record(
-                    self.clock.now, "cluster.replenish_reject",
+                    self.clock.now, EventKind.CLUSTER_REPLENISH_REJECT,
                     job=spec.job_id,
                 )
                 break
@@ -319,7 +325,7 @@ class Cluster:
             raise SchedulingError(f"unknown machine {machine_id}")
         victims = self.scheduler.jobs_on(machine_id)
         self.scheduler.mark_offline(machine_id)
-        self.events.record(self.clock.now, "cluster.machine_failure",
+        self.events.record(self.clock.now, EventKind.CLUSTER_MACHINE_FAILURE,
                            machine=machine_id, jobs=len(victims))
         unplaced: List[str] = []
         for job_id in victims:
@@ -353,7 +359,7 @@ class Cluster:
     def repair_machine(self, machine_id: str) -> None:
         """Bring a failed machine back into the placement pool."""
         self.scheduler.mark_online(machine_id)
-        self.events.record(self.clock.now, "cluster.machine_repaired",
+        self.events.record(self.clock.now, EventKind.CLUSTER_MACHINE_REPAIRED,
                            machine=machine_id)
 
     def _relieve_pressure(self, machine: Machine, now: int) -> None:

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import SchedulingError
-from repro.common.events import EventLog
+from repro.common.events import EventKind, EventLog
 from repro.common.validation import check_non_negative
 from repro.kernel.machine import Machine
 from repro.workloads.job_generator import JobSpec
@@ -147,7 +147,7 @@ class BorgScheduler:
         self.committed[best_id] += spec.bytes
         self.placements[spec.job_id] = best_id
         self._specs[spec.job_id] = spec
-        self.events.record(now, "scheduler.place", job=spec.job_id,
+        self.events.record(now, EventKind.SCHEDULER_PLACE, job=spec.job_id,
                            machine=best_id)
         return Placement(spec.job_id, best_id)
 
@@ -158,7 +158,7 @@ class BorgScheduler:
             raise SchedulingError(f"job {job_id} is not placed")
         spec = self._specs.pop(job_id)
         self.committed[machine_id] -= spec.bytes
-        self.events.record(now, "scheduler.remove", job=job_id,
+        self.events.record(now, EventKind.SCHEDULER_REMOVE, job=job_id,
                            machine=machine_id)
 
     def evict_for_pressure(self, machine_id: str, now: int = 0) -> Optional[str]:
@@ -179,7 +179,7 @@ class BorgScheduler:
         self.remove(victim, now)
         self.eviction_slo.record(victim, now)
         self.evictions_total += 1
-        self.events.record(now, "scheduler.evict", job=victim,
+        self.events.record(now, EventKind.SCHEDULER_EVICT, job=victim,
                            machine=machine_id)
         return victim
 

@@ -22,7 +22,13 @@ from repro.core.threshold_policy import ThresholdPolicyConfig
 from repro.cluster.cluster import Cluster
 from repro.cluster.trace_db import TraceDatabase
 from repro.kernel.machine import FarMemoryMode, MachineConfig
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 from repro.workloads.job_generator import FleetMixGenerator
 
 __all__ = ["WSC", "quickfleet"]
@@ -197,29 +203,29 @@ class WSC:
         )
 
         gauges = {
-            "repro_fleet_coverage":
+            MetricName.FLEET_COVERAGE:
                 ("Fleet cold-memory coverage (far / cold).", "coverage"),
-            "repro_fleet_cold_fraction":
+            MetricName.FLEET_COLD_FRACTION:
                 ("Fleet share of used memory cold at the minimum threshold.",
                  "cold_fraction_at_min_threshold"),
-            "repro_fleet_compression_ratio":
+            MetricName.FLEET_COMPRESSION_RATIO:
                 ("Fleet mean zswap compression ratio.", "compression_ratio"),
-            "repro_fleet_incompressible_fraction":
+            MetricName.FLEET_INCOMPRESSIBLE_FRACTION:
                 ("Fraction of compression attempts rejected as "
                  "incompressible.", "incompressible_fraction"),
-            "repro_fleet_promotion_rate_p50_pct_per_min":
+            MetricName.FLEET_PROMOTION_RATE_P50_PCT_PER_MIN:
                 ("Fleet p50 of the promotion-rate SLI.",
                  "promotion_rate_p50_pct_per_min"),
-            "repro_fleet_promotion_rate_p90_pct_per_min":
+            MetricName.FLEET_PROMOTION_RATE_P90_PCT_PER_MIN:
                 ("Fleet p90 of the promotion-rate SLI.",
                  "promotion_rate_p90_pct_per_min"),
-            "repro_fleet_promotion_rate_p98_pct_per_min":
+            MetricName.FLEET_PROMOTION_RATE_P98_PCT_PER_MIN:
                 ("Fleet p98 of the promotion-rate SLI.",
                  "promotion_rate_p98_pct_per_min"),
-            "repro_fleet_far_memory_gib":
+            MetricName.FLEET_FAR_MEMORY_GIB:
                 ("GiB currently stored compressed fleet-wide.",
                  "far_memory_gib"),
-            "repro_fleet_saved_gib":
+            MetricName.FLEET_SAVED_GIB:
                 ("GiB of DRAM saved by compression fleet-wide.",
                  "saved_gib"),
         }

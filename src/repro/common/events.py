@@ -11,7 +11,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Event", "EventLog"]
+__all__ = ["Event", "EventKind", "EventLog", "KNOWN_EVENT_KINDS"]
+
+
+class EventKind:
+    """Canonical event-kind names (the OBS001 source of truth).
+
+    Every ``EventLog.record`` call site must use one of these constants
+    (or a literal equal to one of them — ``repro lint`` flags anything
+    else), so the set of kinds in flight can never drift from what
+    analysis code, docs, and the ``repro_events_total`` bridge expect.
+    """
+
+    MACHINE_JOB_ADDED = "machine.job_added"
+    MACHINE_JOB_REMOVED = "machine.job_removed"
+    MACHINE_DIRECT_RECLAIM = "machine.direct_reclaim"
+    CLUSTER_MACHINE_FAILURE = "cluster.machine_failure"
+    CLUSTER_MACHINE_REPAIRED = "cluster.machine_repaired"
+    CLUSTER_ADMISSION_REJECT = "cluster.admission_reject"
+    CLUSTER_REPLENISH_REJECT = "cluster.replenish_reject"
+    SCHEDULER_PLACE = "scheduler.place"
+    SCHEDULER_REMOVE = "scheduler.remove"
+    SCHEDULER_EVICT = "scheduler.evict"
+    TELEMETRY_HISTOGRAM_RESET = "telemetry.histogram_reset"
+
+
+#: Every kind an event may be recorded under (frozen view of
+#: :class:`EventKind`, consumed by the OBS001 lint rule).
+KNOWN_EVENT_KINDS = frozenset(
+    value
+    for name, value in vars(EventKind).items()
+    if not name.startswith("_") and isinstance(value, str)
+)
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,7 @@ from repro.cluster.wsc import quickfleet
 from repro.common.units import HOUR, MIB, PAGE_SIZE
 from repro.common.validation import check_positive
 from repro.engine.parallel import FleetEngine, default_worker_count
-from repro.obs import MetricRegistry, Tracer
+from repro.obs import MetricName, MetricRegistry, Tracer
 
 __all__ = ["run_bench"]
 
@@ -41,7 +41,7 @@ def _build_fleet(clusters: int, machines: int, jobs: int, seed: int):
 def _pages_scanned(fleet) -> float:
     total = 0.0
     for (name, _labels), value in fleet.registry.baseline().items():
-        if name == "repro_pages_scanned_total":
+        if name == MetricName.PAGES_SCANNED_TOTAL:
             total += value
     return total
 

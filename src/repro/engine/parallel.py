@@ -47,6 +47,7 @@ import traceback
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.checks.invariants import check_merge_delta, invariants_enabled
 from repro.common.errors import ReproError
 from repro.common.validation import check_positive, require
 from repro.engine.sharding import ShardPlan, plan_shards
@@ -318,6 +319,8 @@ class FleetEngine:
             _, batches, entries, metric_delta = self._recv(conn)
             sli_batches.extend(batches)
             trace_entries.extend(entries)
+            if invariants_enabled():
+                check_merge_delta(metric_delta)
             fleet.registry.merge(metric_delta)
         if collect_sli:
             # Reconstruct the serial drain order: per tick, cluster order.

@@ -15,7 +15,13 @@ from typing import Iterable, Optional
 from repro.common.validation import check_positive
 from repro.kernel.memcg import MemCg
 from repro.kernel.zswap import Zswap
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["Kreclaimd"]
 
@@ -54,11 +60,11 @@ class Kreclaimd:
 
     def _bind_metrics(self, registry: MetricRegistry) -> None:
         self._m_runs = registry.counter(
-            "repro_kreclaimd_runs_total",
+            MetricName.KRECLAIMD_RUNS_TOTAL,
             "Completed kreclaimd reclaim passes.", ("machine",)
         ).labels(machine=self.machine_id)
         self._m_pages = registry.counter(
-            "repro_pages_reclaimed_total",
+            MetricName.PAGES_RECLAIMED_TOTAL,
             "Pages moved to far memory by proactive reclaim.", ("machine",)
         ).labels(machine=self.machine_id)
 

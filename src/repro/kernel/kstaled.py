@@ -16,7 +16,13 @@ from repro.common.simtime import PeriodicSchedule
 from repro.common.units import KSTALED_SCAN_PERIOD
 from repro.common.validation import check_positive
 from repro.kernel.memcg import MemCg
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["Kstaled"]
 
@@ -58,15 +64,15 @@ class Kstaled:
     def _bind_metrics(self, registry: MetricRegistry) -> None:
         machine_id = self.machine_id
         self._m_pages = registry.counter(
-            "repro_pages_scanned_total",
+            MetricName.PAGES_SCANNED_TOTAL,
             "Pages examined by kstaled accessed-bit scans.", ("machine",)
         ).labels(machine=machine_id)
         self._m_scans = registry.counter(
-            "repro_kstaled_scans_total",
+            MetricName.KSTALED_SCANS_TOTAL,
             "Completed machine-wide kstaled scan rounds.", ("machine",)
         ).labels(machine=machine_id)
         self._m_cpu = registry.counter(
-            "repro_kstaled_cpu_seconds_total",
+            MetricName.KSTALED_CPU_SECONDS_TOTAL,
             "Modelled kstaled CPU seconds (paper budget: <11% of a core).",
             ("machine",)
         ).labels(machine=machine_id)

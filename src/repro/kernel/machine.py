@@ -20,8 +20,9 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.checks.invariants import check_machine_accounting, invariants_enabled
 from repro.common.errors import OutOfMemoryError, SimulationError
-from repro.common.events import EventLog
+from repro.common.events import EventKind, EventLog
 from repro.common.rng import SeedSequenceFactory
 from repro.common.units import KSTALED_SCAN_PERIOD, PAGE_SIZE
 from repro.common.validation import check_positive, require
@@ -37,7 +38,13 @@ from repro.kernel.kstaled import Kstaled
 from repro.kernel.memcg import MemCg
 from repro.kernel.zsmalloc import ZsmallocArena
 from repro.kernel.zswap import Zswap, ZswapJobStats
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["FarMemoryMode", "MachineConfig", "Machine"]
 
@@ -146,15 +153,15 @@ class Machine:
     def _bind_metrics(self) -> None:
         machine_id = self.machine_id
         self._m_promoted = self.registry.counter(
-            "repro_pages_promoted_total",
+            MetricName.PAGES_PROMOTED_TOTAL,
             "Far pages faulted back to DRAM (promotions).", ("machine",)
         ).labels(machine=machine_id)
         self._g_arena = self.registry.gauge(
-            "repro_arena_footprint_bytes",
+            MetricName.ARENA_FOOTPRINT_BYTES,
             "DRAM pinned by the zsmalloc arena.", ("machine",)
         ).labels(machine=machine_id)
         self._g_far = self.registry.gauge(
-            "repro_far_pages",
+            MetricName.FAR_PAGES,
             "Pages currently stored compressed.", ("machine",)
         ).labels(machine=machine_id)
 
@@ -239,7 +246,7 @@ class Machine:
         # agent; reactive/off modes never run kreclaimd so the flag is moot.
         memcg.zswap_enabled = self.config.mode is FarMemoryMode.PROACTIVE
         self.memcgs[job_id] = memcg
-        self.events.record(self.now, "machine.job_added", job=job_id,
+        self.events.record(self.now, EventKind.MACHINE_JOB_ADDED, job=job_id,
                            machine=self.machine_id)
         return memcg
 
@@ -250,7 +257,7 @@ class Machine:
             raise SimulationError(f"job {job_id} not on machine {self.machine_id}")
         far = np.flatnonzero(memcg.far_mask())
         self.zswap.evict_job(memcg, far)
-        self.events.record(self.now, "machine.job_removed", job=job_id,
+        self.events.record(self.now, EventKind.MACHINE_JOB_REMOVED, job=job_id,
                            machine=self.machine_id)
         return self.zswap.stats_for(job_id)
 
@@ -282,7 +289,7 @@ class Machine:
                 self.memcgs.values(), shortfall
             )
             self.events.record(
-                self.now, "machine.direct_reclaim", job=job_id,
+                self.now, EventKind.MACHINE_DIRECT_RECLAIM, job=job_id,
                 freed_bytes=freed, stall_seconds=stall,
             )
         if self.free_bytes < needed:
@@ -325,6 +332,8 @@ class Machine:
         self.kstaled.maybe_scan(now, self.memcgs.values())
         self._g_arena.set(self.arena.footprint_bytes)
         self._g_far.set(self.far_pages)
+        if invariants_enabled():
+            check_machine_accounting(self)
 
     def run_reclaim(self) -> int:
         """One kreclaimd pass (proactive mode only); returns pages moved."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 import numpy as np
 
+from repro.checks.invariants import check_memcg_histogram, invariants_enabled
 from repro.common.errors import SimulationError
 from repro.common.units import (
     KSTALED_SCAN_PERIOD,
@@ -457,6 +458,8 @@ class MemCg:
         self.dirtied[res] = False
 
         self._update_cold_histogram()
+        if invariants_enabled():
+            check_memcg_histogram(self)
 
     def _update_cold_histogram(self) -> None:
         """Fold age changes into the cold-age snapshot incrementally.

@@ -25,7 +25,13 @@ import numpy as np
 from repro.common.errors import SimulationError
 from repro.common.units import PAGE_SIZE
 from repro.common.validation import check_positive, require
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["ZsmallocArena", "ArenaStats"]
 
@@ -135,11 +141,11 @@ class ZsmallocArena:
 
     def _bind_metrics(self, registry: MetricRegistry) -> None:
         self._m_compactions = registry.counter(
-            "repro_arena_compactions_total",
+            MetricName.ARENA_COMPACTIONS_TOTAL,
             "Explicit zsmalloc arena compactions.", ("machine",)
         ).labels(machine=self.machine_id)
         self._m_compaction_bytes = registry.counter(
-            "repro_arena_compaction_released_bytes_total",
+            MetricName.ARENA_COMPACTION_RELEASED_BYTES_TOTAL,
             "Bytes released by arena compaction.", ("machine",)
         ).labels(machine=self.machine_id)
 

@@ -24,7 +24,13 @@ from repro.kernel.compression import (
 )
 from repro.kernel.memcg import MemCg
 from repro.kernel.zsmalloc import ZsmallocArena
-from repro.obs import MetricRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricName,
+    MetricRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+)
 
 __all__ = ["Zswap", "ZswapJobStats"]
 
@@ -103,29 +109,29 @@ class Zswap:
     def _bind_metrics(self, registry: MetricRegistry) -> None:
         label = dict(machine=self.machine_id)
         self._m_compressed = registry.counter(
-            "repro_pages_compressed_total",
+            MetricName.PAGES_COMPRESSED_TOTAL,
             "Pages successfully stored into the zswap arena.", ("machine",)
         ).labels(**label)
         self._m_rejected = registry.counter(
-            "repro_pages_rejected_total",
+            MetricName.PAGES_REJECTED_TOTAL,
             "Compression attempts over the incompressibility cutoff.",
             ("machine",)
         ).labels(**label)
         self._m_stored_bytes = registry.counter(
-            "repro_zswap_stored_bytes_total",
+            MetricName.ZSWAP_STORED_BYTES_TOTAL,
             "Compressed payload bytes written to the arena.", ("machine",)
         ).labels(**label)
         self._m_pool_rejections = registry.counter(
-            "repro_zswap_pool_limit_rejections_total",
+            MetricName.ZSWAP_POOL_LIMIT_REJECTIONS_TOTAL,
             "Store attempts refused by the pool-size cap.", ("machine",)
         ).labels(**label)
         self._m_compress_cpu = registry.counter(
-            "repro_compress_cpu_seconds_total",
+            MetricName.COMPRESS_CPU_SECONDS_TOTAL,
             "Modelled CPU seconds compressing (rejected tries included).",
             ("machine",)
         ).labels(**label)
         self._m_decompress_cpu = registry.counter(
-            "repro_decompress_cpu_seconds_total",
+            MetricName.DECOMPRESS_CPU_SECONDS_TOTAL,
             "Modelled CPU seconds decompressing on promotion faults.",
             ("machine",)
         ).labels(**label)

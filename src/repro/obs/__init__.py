@@ -12,7 +12,9 @@ from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Gauge,
     Histogram,
+    KNOWN_METRIC_NAMES,
     MetricError,
+    MetricName,
     MetricRegistry,
     NULL_REGISTRY,
     get_registry,
@@ -39,7 +41,9 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "KNOWN_METRIC_NAMES",
     "MetricError",
+    "MetricName",
     "MetricRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",

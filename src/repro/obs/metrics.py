@@ -41,12 +41,98 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricName",
     "MetricRegistry",
     "NULL_REGISTRY",
+    "KNOWN_METRIC_NAMES",
     "get_registry",
     "set_registry",
     "DEFAULT_BUCKETS",
 ]
+
+
+class MetricName:
+    """Canonical metric names (the OBS001 source of truth).
+
+    Every ``counter()``/``gauge()``/``histogram()`` registration must use
+    one of these constants (or a literal equal to one — ``repro lint``
+    flags anything else), so exposition names cannot drift from what
+    dashboards, ``docs/observability.md``, and tests expect.
+    """
+
+    # Kernel (per machine; paper §5.1)
+    PAGES_SCANNED_TOTAL = "repro_pages_scanned_total"
+    KSTALED_SCANS_TOTAL = "repro_kstaled_scans_total"
+    KSTALED_CPU_SECONDS_TOTAL = "repro_kstaled_cpu_seconds_total"
+    KRECLAIMD_RUNS_TOTAL = "repro_kreclaimd_runs_total"
+    PAGES_RECLAIMED_TOTAL = "repro_pages_reclaimed_total"
+    PAGES_COMPRESSED_TOTAL = "repro_pages_compressed_total"
+    PAGES_REJECTED_TOTAL = "repro_pages_rejected_total"
+    PAGES_PROMOTED_TOTAL = "repro_pages_promoted_total"
+    ZSWAP_STORED_BYTES_TOTAL = "repro_zswap_stored_bytes_total"
+    ZSWAP_POOL_LIMIT_REJECTIONS_TOTAL = (
+        "repro_zswap_pool_limit_rejections_total"
+    )
+    COMPRESS_CPU_SECONDS_TOTAL = "repro_compress_cpu_seconds_total"
+    DECOMPRESS_CPU_SECONDS_TOTAL = "repro_decompress_cpu_seconds_total"
+    ARENA_COMPACTIONS_TOTAL = "repro_arena_compactions_total"
+    ARENA_COMPACTION_RELEASED_BYTES_TOTAL = (
+        "repro_arena_compaction_released_bytes_total"
+    )
+    ARENA_FOOTPRINT_BYTES = "repro_arena_footprint_bytes"
+    FAR_PAGES = "repro_far_pages"
+
+    # Node agent & telemetry (paper §5.2)
+    AGENT_ROUNDS_TOTAL = "repro_agent_rounds_total"
+    THRESHOLD_UPDATES_TOTAL = "repro_threshold_updates_total"
+    THRESHOLD_SECONDS = "repro_threshold_seconds"
+    PROMOTION_RATE_PCT_PER_MIN = "repro_promotion_rate_pct_per_min"
+    TELEMETRY_EXPORTS_TOTAL = "repro_telemetry_exports_total"
+    TELEMETRY_ENTRIES_TOTAL = "repro_telemetry_entries_total"
+    TELEMETRY_HISTOGRAM_RESETS_TOTAL = (
+        "repro_telemetry_histogram_resets_total"
+    )
+
+    # Autotuner (paper §5.3)
+    BANDIT_SUGGESTIONS_TOTAL = "repro_bandit_suggestions_total"
+    BANDIT_OBSERVATIONS_TOTAL = "repro_bandit_observations_total"
+    AUTOTUNER_TRIALS_TOTAL = "repro_autotuner_trials_total"
+    AUTOTUNER_FEASIBLE_TRIALS_TOTAL = "repro_autotuner_feasible_trials_total"
+    AUTOTUNER_BEST_OBJECTIVE_COLD_PAGES = (
+        "repro_autotuner_best_objective_cold_pages"
+    )
+
+    # Cluster & fleet
+    EVENTS_TOTAL = "repro_events_total"
+    FLEET_COVERAGE = "repro_fleet_coverage"
+    FLEET_COLD_FRACTION = "repro_fleet_cold_fraction"
+    FLEET_COMPRESSION_RATIO = "repro_fleet_compression_ratio"
+    FLEET_INCOMPRESSIBLE_FRACTION = "repro_fleet_incompressible_fraction"
+    FLEET_PROMOTION_RATE_P50_PCT_PER_MIN = (
+        "repro_fleet_promotion_rate_p50_pct_per_min"
+    )
+    FLEET_PROMOTION_RATE_P90_PCT_PER_MIN = (
+        "repro_fleet_promotion_rate_p90_pct_per_min"
+    )
+    FLEET_PROMOTION_RATE_P98_PCT_PER_MIN = (
+        "repro_fleet_promotion_rate_p98_pct_per_min"
+    )
+    FLEET_FAR_MEMORY_GIB = "repro_fleet_far_memory_gib"
+    FLEET_SAVED_GIB = "repro_fleet_saved_gib"
+
+    # Span profile (obs.profiling)
+    SPAN_CALLS = "repro_span_calls"
+    SPAN_WALL_SECONDS = "repro_span_wall_seconds"
+    SPAN_SELF_SECONDS = "repro_span_self_seconds"
+
+
+#: Every registerable metric name (frozen view of :class:`MetricName`,
+#: consumed by the OBS001 lint rule and the doc-drift check).
+KNOWN_METRIC_NAMES = frozenset(
+    value
+    for name, value in vars(MetricName).items()
+    if not name.startswith("_") and isinstance(value, str)
+)
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.obs.metrics import MetricRegistry
+from repro.obs.metrics import MetricName, MetricRegistry
 from repro.obs.tracing import SpanStats, Tracer
 
 __all__ = [
@@ -87,14 +87,14 @@ def profile_to_registry(tracer: Tracer, registry: MetricRegistry) -> None:
     * ``repro_span_self_seconds{span=...}``
     """
     calls = registry.gauge(
-        "repro_span_calls", "Completed spans per span name.", ("span",)
+        MetricName.SPAN_CALLS, "Completed spans per span name.", ("span",)
     )
     wall = registry.gauge(
-        "repro_span_wall_seconds",
+        MetricName.SPAN_WALL_SECONDS,
         "Inclusive wall-clock seconds per span name.", ("span",)
     )
     self_time = registry.gauge(
-        "repro_span_self_seconds",
+        MetricName.SPAN_SELF_SECONDS,
         "Self (exclusive) wall-clock seconds per span name.", ("span",)
     )
     for stats in tracer.stats().values():

@@ -6,6 +6,15 @@ import numpy as np
 import pytest
 
 from repro.common.rng import SeedSequenceFactory
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    # Registered here as well as in pyproject.toml so the marker exists
+    # even when the suite runs from an sdist without the project config.
+    config.addinivalue_line(
+        "markers",
+        "lint: static-analysis gate tests (deselect with '-m \"not lint\"')",
+    )
 from repro.core.histograms import AgeBins, default_age_bins
 from repro.kernel.compression import ContentProfile
 from repro.kernel.machine import Machine, MachineConfig

@@ -1,0 +1,9 @@
+"""ACC001 positive fixture: exact float equality in accounting code."""
+
+
+def at_slo(rate, pages, total):
+    if rate == 0.2:  # finding: float literal equality
+        return True
+    if pages / total != 1.0:  # finding: division feeds !=
+        return False
+    return float(pages) == total  # finding: float() cast equality

@@ -1,0 +1,11 @@
+"""ACC001 negative fixture: tolerant or integer comparisons."""
+
+import math
+
+
+def at_slo(rate, pages, total):
+    if math.isclose(rate, 0.2, rel_tol=1e-9):  # tolerance: fine
+        return True
+    if pages == total:  # integer equality: fine
+        return False
+    return rate < 0.2  # ordering comparisons: fine

@@ -1,0 +1,12 @@
+"""DET001 positive fixture: wall-clock reads in simulation code."""
+
+import time
+import datetime
+from time import perf_counter
+
+
+def stamp():
+    started = time.time()  # finding: time.time
+    tick = perf_counter()  # finding: from-import alias
+    today = datetime.datetime.now()  # finding: datetime.now
+    return started, tick, today

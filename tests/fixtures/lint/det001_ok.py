@@ -1,0 +1,11 @@
+"""DET001 negative fixture: simulated time only."""
+
+
+def stamp(clock):
+    # Reading the simulation clock is the sanctioned path.
+    return clock.now()
+
+
+def structured(records):
+    # Attribute chains that merely *end* in "time" are not wall clocks.
+    return [record.time for record in records]

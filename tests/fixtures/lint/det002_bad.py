@@ -1,0 +1,13 @@
+"""DET002 positive fixture: process-global / unseeded randomness."""
+
+import random
+import numpy as np
+from random import shuffle
+
+
+def draw(items):
+    value = random.random()  # finding: stdlib global RNG
+    shuffle(items)  # finding: from-import alias
+    jitter = np.random.normal()  # finding: numpy legacy global RNG
+    rng = np.random.default_rng()  # finding: unseeded generator
+    return value, jitter, rng

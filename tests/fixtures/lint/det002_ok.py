@@ -1,0 +1,13 @@
+"""DET002 negative fixture: seeded, explicit generators."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator):
+    # An injected Generator is the sanctioned path.
+    return rng.normal()
+
+
+def build():
+    # Seeded construction is reproducible.
+    return np.random.default_rng(1234)

@@ -1,0 +1,19 @@
+"""DET003 positive fixture: unordered iteration -> ordered accumulation."""
+
+
+def drain(shards):
+    merged = []
+    for shard in shards.values():  # finding: dict view into append
+        merged.append(shard.result)
+    return merged
+
+
+def collect(pending):
+    out = []
+    for item in set(pending):  # finding: set() into append
+        out.append(item)
+    return out
+
+
+def flatten(shards):
+    return [s for s in shards.items()]  # finding: list comp over view

@@ -1,0 +1,15 @@
+"""DET003 negative fixture: sorted iteration / order-free accumulation."""
+
+
+def drain(shards):
+    merged = []
+    for key in sorted(shards):  # sorted: deterministic order
+        merged.append(shards[key].result)
+    return merged
+
+
+def total(shards):
+    count = 0
+    for shard in shards.values():  # += is order-insensitive
+        count += shard.pages
+    return count

@@ -1,0 +1,11 @@
+"""FORK001 positive fixture: unpicklable state on fork-boundary classes."""
+
+import threading
+
+
+class Shard:
+    def __init__(self, path):
+        self.transform = lambda x: x + 1  # finding: lambda
+        self.log = open(path)  # finding: open file handle
+        self.guard = threading.Lock()  # finding: lock
+        self.stream = (i for i in range(10))  # finding: live generator

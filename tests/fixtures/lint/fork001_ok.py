@@ -1,0 +1,24 @@
+"""FORK001 negative fixture: picklable state, or explicit __getstate__."""
+
+
+def _increment(x):
+    return x + 1
+
+
+class Shard:
+    def __init__(self, path):
+        self.transform = _increment  # named function: picklable
+        self.log_path = path  # description, not handle
+        self.items = list(range(10))  # materialized, not a generator
+
+
+class ManagedLog:
+    """Opts into custom pickling, so hazardous attributes are its business."""
+
+    def __init__(self):
+        self.callbacks = [lambda event: event]
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["callbacks"] = []
+        return state

@@ -1,0 +1,10 @@
+"""OBS001 positive fixture: names absent from the central registries."""
+
+
+def bind(registry, log):
+    counter = registry.counter(
+        "repro_pages_scaned_total",  # finding: typo'd metric name
+        "Typo'd help.",
+    )
+    log.record(0, "schduler.evict")  # finding: typo'd event kind
+    return counter

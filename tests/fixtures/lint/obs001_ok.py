@@ -1,0 +1,18 @@
+"""OBS001 negative fixture: registered names, via constant or literal."""
+
+from repro.common.events import EventKind
+from repro.obs.metrics import MetricName
+
+
+def bind(registry, log):
+    counter = registry.counter(
+        MetricName.PAGES_SCANNED_TOTAL,  # constant: the preferred form
+        "Pages scanned.",
+    )
+    gauge = registry.gauge(
+        "repro_fleet_coverage",  # literal, but it matches the registry
+        "Coverage.",
+    )
+    log.record(0, EventKind.SCHEDULER_EVICT)
+    log.record(0, "scheduler.evict")  # literal, but registered
+    return counter, gauge

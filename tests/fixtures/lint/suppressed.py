@@ -1,0 +1,11 @@
+"""Suppression fixture: findings silenced by # repro: noqa comments."""
+
+import time
+import random
+
+
+def stamp():
+    started = time.time()  # repro: noqa[DET001]
+    wobble = random.random()  # repro: noqa
+    exact = time.perf_counter()  # repro: noqa[DET002]  <- wrong rule, still fires
+    return started, wobble, exact
