@@ -20,8 +20,9 @@ paper assigns to the node agent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
+from repro.common.events import EventKind, EventLog
 from repro.common.simtime import PeriodicSchedule
 from repro.common.units import MINUTE
 from repro.common.validation import check_fraction
@@ -32,6 +33,7 @@ from repro.core.slo import (
     working_set_pages,
 )
 from repro.core.threshold_policy import (
+    DISABLED,
     ColdAgeThresholdPolicy,
     ThresholdPolicyConfig,
 )
@@ -100,6 +102,10 @@ class NodeAgent:
         control_period: seconds between control rounds (one minute).
         compaction_watermark: arena external-fragmentation fraction above
             which the agent triggers explicit compaction.
+        events: optional event log; the agent records an
+            ``agent.histogram_rewarm`` event whenever a job's kernel
+            histograms were flagged corrupt and its policy restarted
+            warm-up from scratch.
         registry: metrics registry (defaults to the process-global one).
         tracer: span tracer (defaults to the process-global one).
     """
@@ -111,11 +117,13 @@ class NodeAgent:
         slo: Optional[PromotionRateSlo] = None,
         control_period: int = MINUTE,
         compaction_watermark: float = 0.2,
+        events: Optional[EventLog] = None,
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
     ):
         check_fraction(compaction_watermark, "compaction_watermark")
         self.machine = machine
+        self.events = events
         self.policy_config = (
             policy_config if policy_config is not None else ThresholdPolicyConfig()
         )
@@ -126,6 +134,10 @@ class NodeAgent:
         self._jobs: Dict[str, _JobState] = {}
         self.sli_samples: List[SliSample] = []
         self.rounds = 0
+        self.rewarms = 0
+        # Jobs currently re-warming after a corrupt-histogram rewarm;
+        # drives the degraded-mode gauge until warm-up completes again.
+        self._rewarming: Set[str] = set()
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
@@ -144,13 +156,25 @@ class NodeAgent:
         self._h_threshold = registry.histogram(
             MetricName.THRESHOLD_SECONDS,
             "Published cold-age thresholds (finite values only).",
+            ("machine",),
             buckets=THRESHOLD_BUCKETS,
-        )
+        ).labels(machine=machine_id)
         self._h_promotion_rate = registry.histogram(
             MetricName.PROMOTION_RATE_PCT_PER_MIN,
             "Normalized per-job promotion-rate SLI (% of WSS per minute).",
+            ("machine",),
             buckets=PROMOTION_RATE_BUCKETS,
-        )
+        ).labels(machine=machine_id)
+        self._m_rewarms = registry.counter(
+            MetricName.AGENT_HISTOGRAM_REWARMS_TOTAL,
+            "Jobs sent back through warm-up after corrupt kernel histograms.",
+            ("machine",)
+        ).labels(machine=machine_id)
+        self._g_degraded = registry.gauge(
+            MetricName.DEGRADED_MODE,
+            "1 while a component is running degraded (per component).",
+            ("component", "machine")
+        ).labels(component="agent", machine=machine_id)
 
     def rebind_observability(self, registry: MetricRegistry,
                              tracer: Tracer) -> None:
@@ -210,6 +234,10 @@ class NodeAgent:
                 )
                 self._jobs[job_id] = state
 
+            if memcg.histograms_corrupt:
+                self._rewarm_job(now, job_id, memcg, state)
+                continue
+
             interval_hist = memcg.promotion_histogram.diff(
                 state.last_promotion_histogram
             )
@@ -248,6 +276,39 @@ class NodeAgent:
         gone = set(self._jobs) - set(self.machine.memcgs)
         for job_id in gone:
             del self._jobs[job_id]
+        self._rewarming -= gone
+        for job_id in sorted(self._rewarming):
+            if self._jobs[job_id].policy.warmed_up:
+                self._rewarming.discard(job_id)
+        self._g_degraded.set(float(len(self._rewarming)))
+
+    def _rewarm_job(
+        self, now: int, job_id: str, memcg, state: _JobState
+    ) -> None:
+        """Degraded mode for a job whose kernel histograms are corrupt.
+
+        The promotion/cold-age counts can't be trusted, so instead of
+        feeding garbage into the threshold policy the agent disables
+        zswap for the job, forgets the policy's history (restarting the
+        ``S``-second warm-up), and resets its own diff baselines to the
+        current cumulative counters so the first post-rewarm interval is
+        measured from a clean slate.  The corruption flag is consumed:
+        the kernel re-accumulates from here on.
+        """
+        state.policy.reset()
+        memcg.zswap_enabled = False
+        memcg.cold_age_threshold = DISABLED
+        state.last_promotion_histogram = memcg.promotion_histogram.copy()
+        state.last_promoted_total = memcg.promoted_pages_total
+        memcg.histograms_corrupt = False
+        self._rewarming.add(job_id)
+        self.rewarms += 1
+        self._m_rewarms.inc()
+        if self.events is not None:
+            self.events.record(
+                now, EventKind.AGENT_HISTOGRAM_REWARM,
+                job=job_id, machine=self.machine.machine_id,
+            )
 
     def _maybe_compact(self) -> None:
         """Trigger explicit arena compaction past the fragmentation mark."""

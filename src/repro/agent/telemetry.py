@@ -9,7 +9,7 @@ is anything with an ``add(entry)`` method — in this repo,
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.common.events import EventKind, EventLog
 from repro.common.simtime import PeriodicSchedule
@@ -26,6 +26,16 @@ from repro.obs import (
 )
 
 __all__ = ["TraceSink", "TelemetryExporter"]
+
+#: Most spilled entries retained while the sink is down; beyond this the
+#: oldest spilled entries are dropped (and counted) so a never-healing
+#: sink cannot grow memory without bound.
+RETRY_BUFFER_CAP = 4096
+
+#: First retry happens one export period after the failure; each failed
+#: retry doubles the wait up to :data:`MAX_BACKOFF_SECONDS`.
+INITIAL_BACKOFF_SECONDS = TRACE_PERIOD_SECONDS
+MAX_BACKOFF_SECONDS = 3600
 
 
 def _default_cpu_lookup(_job_id: str) -> float:
@@ -82,6 +92,12 @@ class TelemetryExporter:
         self._schedule = PeriodicSchedule(self.period)
         self._last_promotion: Dict[str, AgeHistogram] = {}
         self.entries_exported = 0
+        # Graceful degradation under a failing sink: entries that could
+        # not be delivered wait here (FIFO, bounded) until a retry lands.
+        self._spill: List[TraceEntry] = []
+        self._backoff = INITIAL_BACKOFF_SECONDS
+        self._retry_at: Optional[int] = None
+        self.entries_dropped = 0
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
@@ -102,6 +118,31 @@ class TelemetryExporter:
             "Period histograms restarted after a bin-threshold change.",
             ("machine",)
         ).labels(machine=machine_id)
+        self._m_outages = registry.counter(
+            MetricName.TELEMETRY_SINK_OUTAGES_TOTAL,
+            "Sink-outage episodes (first failed add after a healthy spell).",
+            ("machine",)
+        ).labels(machine=machine_id)
+        self._m_spilled = registry.counter(
+            MetricName.TELEMETRY_SPILLED_ENTRIES_TOTAL,
+            "Entries diverted to the retry buffer while the sink was down.",
+            ("machine",)
+        ).labels(machine=machine_id)
+        self._m_replayed = registry.counter(
+            MetricName.TELEMETRY_REPLAYED_ENTRIES_TOTAL,
+            "Spilled entries delivered after the sink recovered.",
+            ("machine",)
+        ).labels(machine=machine_id)
+        self._m_dropped = registry.counter(
+            MetricName.TELEMETRY_DROPPED_ENTRIES_TOTAL,
+            "Spilled entries evicted because the retry buffer was full.",
+            ("machine",)
+        ).labels(machine=machine_id)
+        self._g_degraded = registry.gauge(
+            MetricName.DEGRADED_MODE,
+            "1 while a component is running degraded (per component).",
+            ("component", "machine")
+        ).labels(component="telemetry", machine=machine_id)
 
     def rebind_observability(self, registry: MetricRegistry,
                              tracer: Tracer) -> None:
@@ -116,6 +157,87 @@ class TelemetryExporter:
         self.export(now)
         return True
 
+    @property
+    def sink_degraded(self) -> bool:
+        """True while undelivered entries sit in the retry buffer."""
+        return bool(self._spill)
+
+    def _spill_entry(self, now: int, entry: TraceEntry) -> None:
+        """Queue an entry for later replay, evicting the oldest when full."""
+        self._spill.append(entry)
+        self._m_spilled.inc()
+        overflow = len(self._spill) - RETRY_BUFFER_CAP
+        if overflow > 0:
+            del self._spill[:overflow]
+            self.entries_dropped += overflow
+            self._m_dropped.inc(overflow)
+            if self.events is not None:
+                self.events.record(
+                    now, EventKind.TELEMETRY_ENTRIES_DROPPED,
+                    machine=self.machine.machine_id, count=overflow,
+                )
+
+    def _begin_outage(self, now: int) -> None:
+        """First failed ``sink.add`` after a healthy spell."""
+        self._backoff = INITIAL_BACKOFF_SECONDS
+        self._retry_at = now + self._backoff
+        self._m_outages.inc()
+        self._g_degraded.set(1)
+        if self.events is not None:
+            self.events.record(
+                now, EventKind.TELEMETRY_SINK_OUTAGE,
+                machine=self.machine.machine_id,
+            )
+
+    def _retry_spill(self, now: int) -> None:
+        """Replay the retry buffer if the backoff window has elapsed.
+
+        Entries are replayed oldest-first so per-job trace order (and the
+        trace database's monotonic-append contract) is preserved.  A
+        failure mid-replay keeps the remainder queued and doubles the
+        backoff; draining the buffer ends the outage episode.
+        """
+        if not self._spill or (self._retry_at is not None and now < self._retry_at):
+            return
+        replayed = 0
+        while self._spill:
+            try:
+                self.sink.add(self._spill[0])
+            except Exception:
+                self._backoff = min(self._backoff * 2, MAX_BACKOFF_SECONDS)
+                self._retry_at = now + self._backoff
+                break
+            self._spill.pop(0)
+            replayed += 1
+            self.entries_exported += 1
+            self._m_entries.inc()
+        if replayed:
+            self._m_replayed.inc(replayed)
+        if not self._spill:
+            self._backoff = INITIAL_BACKOFF_SECONDS
+            self._retry_at = None
+            self._g_degraded.set(0)
+            if self.events is not None:
+                self.events.record(
+                    now, EventKind.TELEMETRY_SINK_RECOVERED,
+                    machine=self.machine.machine_id, replayed=replayed,
+                )
+
+    def _deliver(self, now: int, entry: TraceEntry) -> None:
+        """Ship one entry, spilling it (in order) when the sink is down."""
+        if self._spill:
+            # Never overtake queued entries: per-job order must hold.
+            self._spill_entry(now, entry)
+            return
+        try:
+            self.sink.add(entry)
+        except Exception:
+            self._begin_outage(now)
+            self._spill_entry(now, entry)
+            return
+        self.entries_exported += 1
+        self._m_entries.inc()
+
     def export(self, now: int) -> None:
         """Emit one trace entry per job on the machine.
 
@@ -124,8 +246,17 @@ class TelemetryExporter:
         histogram restarts from the cumulative counts; that reset is
         surfaced as a ``telemetry.histogram_reset`` event (and counter) so
         downstream consumers can discount the affected period.
+
+        If the sink raises, the exporter degrades instead of dying:
+        entries spill to a bounded retry buffer and are replayed, oldest
+        first, after an exponential backoff — see :meth:`_retry_spill`.
         """
+        # Entries describe the period that *ended* at ``now``; the first
+        # boundary (t=0) observed no full period, so clamp at 0 rather
+        # than stamping a negative time into the trace database.
+        entry_time = max(0, now - self.period)
         with self._tracer.span("telemetry.export", sim_time=now):
+            self._retry_spill(now)
             for job_id, memcg in self.machine.memcgs.items():
                 last = self._last_promotion.get(job_id)
                 if last is None or last.bins.thresholds != memcg.bins.thresholds:
@@ -145,7 +276,7 @@ class TelemetryExporter:
                 entry = TraceEntry(
                     job_id=job_id,
                     machine_id=self.machine.machine_id,
-                    time=now - self.period,
+                    time=entry_time,
                     working_set_pages=working_set_pages(
                         memcg.cold_age_histogram, self.slo.min_cold_age_seconds
                     ),
@@ -154,9 +285,7 @@ class TelemetryExporter:
                     resident_pages=memcg.resident_pages,
                     cpu_cores=self.cpu_lookup(job_id),
                 )
-                self.sink.add(entry)
-                self.entries_exported += 1
-                self._m_entries.inc()
+                self._deliver(now, entry)
 
             gone = set(self._last_promotion) - set(self.machine.memcgs)
             for job_id in gone:

@@ -12,6 +12,10 @@ Commands:
   or the full metric exposition (``--format prom|json``).
 * ``bench`` — time the same fleet serially and under the parallel
   engine; write the throughput comparison to ``BENCH_fleet.json``.
+* ``chaos`` — run a named fault-injection scenario and report the SLO
+  impact against a fault-free baseline of the same fleet and seed.
+* ``ci`` — the one-command gate: tier-1 tests with runtime invariants on
+  (``REPRO_CHECKS=1``) plus the ``repro lint`` static-analysis suite.
 """
 
 from __future__ import annotations
@@ -61,7 +65,8 @@ def _add_fleet_arguments(parser: argparse.ArgumentParser) -> None:
                         help="fleet-mean cold-fraction target")
 
 
-def _build_fleet(args: argparse.Namespace, policy=None):
+def _build_fleet(args: argparse.Namespace, policy=None, registry=None,
+                 tracer=None):
     return quickfleet(
         clusters=args.clusters,
         machines_per_cluster=args.machines,
@@ -71,6 +76,8 @@ def _build_fleet(args: argparse.Namespace, policy=None):
         mean_cold_fraction=args.cold_target,
         job_pages_range=((16 * MIB) // PAGE_SIZE, (64 * MIB) // PAGE_SIZE),
         policy_config=policy,
+        registry=registry,
+        tracer=tracer,
     )
 
 
@@ -287,6 +294,102 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report["equivalent"] else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a chaos scenario; compare SLO impact with a fault-free run."""
+    from repro.engine import FleetEngine
+    from repro.faults import attach_scenario
+
+    seconds = int(args.hours * HOUR)
+
+    def run_once(inject: bool):
+        # Private observability per run so the two runs never share
+        # counters and the comparison stays clean.
+        fleet = _build_fleet(args, registry=MetricRegistry(),
+                             tracer=Tracer())
+        if inject:
+            attach_scenario(fleet, args.scenario, seconds,
+                            seed=args.chaos_seed)
+        if args.workers is not None and args.workers > 1:
+            FleetEngine(fleet, workers=args.workers).run(seconds)
+        else:
+            fleet.run(seconds)
+        return fleet
+
+    def slo_row(fleet):
+        report = fleet.coverage_report()
+        samples = [
+            s for s in fleet.sli_history
+            if s.working_set_pages > 0
+            and s.normalized_rate_pct_per_min == s.normalized_rate_pct_per_min
+        ]
+        slo = fleet.clusters[0].slo
+        violations = sum(
+            1 for s in samples
+            if s.normalized_rate_pct_per_min > slo.target_pct_per_min
+        )
+        violation_pct = violations / len(samples) if samples else 0.0
+        return report, violation_pct
+
+    print(f"Baseline: {args.hours:g} fault-free hours "
+          f"(seed {args.seed})...")
+    baseline = run_once(inject=False)
+    print(f"Chaos: same fleet under scenario {args.scenario!r} "
+          f"(chaos seed {args.chaos_seed})...")
+    chaos = run_once(inject=True)
+
+    base_report, base_viol = slo_row(baseline)
+    chaos_report, chaos_viol = slo_row(chaos)
+    injected = sum(
+        c.fault_injector.faults_injected
+        for c in chaos.clusters if c.fault_injector is not None
+    )
+    print(render_table(
+        ["", "coverage", "p98 %/min", "SLO violations", "trace entries"],
+        [
+            ("fault-free", f"{base_report['coverage']:.1%}",
+             f"{base_report['promotion_rate_p98_pct_per_min']:.3f}",
+             f"{base_viol:.2%}", f"{len(baseline.trace_db)}"),
+            (f"chaos ({args.scenario})", f"{chaos_report['coverage']:.1%}",
+             f"{chaos_report['promotion_rate_p98_pct_per_min']:.3f}",
+             f"{chaos_viol:.2%}", f"{len(chaos.trace_db)}"),
+        ],
+        title=f"SLO impact of {injected} injected fault(s)",
+    ))
+    slo_limit = chaos.clusters[0].slo.target_pct_per_min
+    within = chaos_report["promotion_rate_p98_pct_per_min"] <= slo_limit
+    print(f"promotion-rate SLO ({slo_limit:g} %/min at p98): "
+          f"{'met' if within else 'VIOLATED'} under chaos")
+    return 0 if within else 1
+
+
+def cmd_ci(args: argparse.Namespace) -> int:
+    """Single gate: tier-1 tests with invariants on, then the lint suite."""
+    import os
+    import subprocess
+
+    exit_code = 0
+    if not args.skip_tests:
+        env = dict(os.environ, REPRO_CHECKS="1")
+        print("ci: running tier-1 tests with REPRO_CHECKS=1 ...")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-x", "-q", *args.pytest_args],
+            env=env,
+        )
+        if proc.returncode != 0:
+            print(f"ci: tests FAILED (exit {proc.returncode})",
+                  file=sys.stderr)
+            return proc.returncode
+        print("ci: tests passed")
+    print("ci: running repro lint --ci ...")
+    lint_args = argparse.Namespace(
+        paths=[], format="text", rule=None, baseline=None,
+        update_baseline=None, ci=True,
+    )
+    exit_code = max(exit_code, cmd_lint(lint_args))
+    print("ci: " + ("clean" if exit_code == 0 else "FAILED"))
+    return exit_code
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repro.checks static-analysis suite (``repro lint``)."""
     from repro.checks import LintError, run_external_tools, run_lint
@@ -380,6 +483,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fast configuration (CI smoke run)")
     p.add_argument("--output", default="BENCH_fleet.json")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario, report SLO impact",
+        description="Run a named chaos scenario against a quickfleet and "
+                    "compare coverage/promotion-rate SLO against a "
+                    "fault-free baseline of the same seed. "
+                    "See docs/fault_injection.md for the scenario "
+                    "catalogue.",
+    )
+    _add_fleet_arguments(p)
+    from repro.faults import SCENARIO_NAMES
+
+    p.add_argument("--scenario", choices=SCENARIO_NAMES, default="mixed",
+                   help="named fault scenario (default: mixed — crash + "
+                        "sink outage + incompressible storm)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="root seed for the fault schedule")
+    p.add_argument("--workers", type=int, default=None,
+                   help="run under the parallel engine with this many "
+                        "workers (default: serial)")
+    p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "ci",
+        help="tier-1 tests with REPRO_CHECKS=1, then the lint gate",
+        description="The one-command CI gate: run the tier-1 pytest suite "
+                    "with runtime invariants enabled (REPRO_CHECKS=1), "
+                    "then repro lint --ci. Exit 0 only when both pass.",
+    )
+    p.add_argument("--skip-tests", action="store_true",
+                   help="run only the lint half of the gate")
+    p.add_argument("pytest_args", nargs=argparse.REMAINDER,
+                   help="extra arguments forwarded to pytest verbatim "
+                        "(put them after any ci flags)")
+    p.set_defaults(func=cmd_ci)
 
     p = sub.add_parser(
         "lint",

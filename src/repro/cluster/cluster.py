@@ -115,6 +115,7 @@ class Cluster:
         )
         self.agents: Dict[str, NodeAgent] = {
             m.machine_id: NodeAgent(m, self.policy_config, self.slo,
+                                    events=self.events,
                                     registry=self.registry, tracer=self.tracer)
             for m in self.machines
         }
@@ -135,6 +136,7 @@ class Cluster:
         self._next_coverage_sample = 0
         self._job_source = None
         self._target_population = 0
+        self.fault_injector = None
 
     def _wire_event_bridge(self) -> None:
         """Bridge the event log into the registry (events -> counter).
@@ -164,6 +166,11 @@ class Cluster:
         self.registry = registry
         self.tracer = tracer
         self.trace_db = trace_db
+        # A cluster rebound *in place* (engine shard fallback) still has
+        # its previous bridge subscribed; clear before re-wiring so events
+        # are never double-counted.  Unpickled clusters arrive with an
+        # empty subscriber list, so this is a no-op on the common path.
+        self.events.clear_subscribers()
         self._wire_event_bridge()
         for machine in self.machines:
             machine.rebind_observability(registry, tracer)
@@ -272,11 +279,25 @@ class Cluster:
     # Simulation loop
     # ------------------------------------------------------------------
 
+    def attach_fault_injector(self, injector) -> None:
+        """Install a :class:`repro.faults.FaultInjector` on this cluster.
+
+        The injector fires inside :meth:`tick` — *before* jobs, daemons,
+        agents, and exporters run — so faults land at the same simulated
+        instant whether the cluster ticks in-process or inside a parallel
+        engine worker.  That placement is what keeps chaos runs replayable
+        bit-for-bit across execution modes.
+        """
+        self.fault_injector = injector
+        injector.bind(self)
+
     def tick(self) -> None:
         """Advance one tick: jobs, daemons, agents, exporters, sampling."""
         now = self.clock.now
 
         with self.tracer.span("cluster.tick", sim_time=now):
+            if self.fault_injector is not None:
+                self.fault_injector.on_tick(self, now)
             for job_id in [
                 j for j, job in self.running.items() if job.expired(now)
             ]:

@@ -34,6 +34,12 @@ class EventKind:
     SCHEDULER_REMOVE = "scheduler.remove"
     SCHEDULER_EVICT = "scheduler.evict"
     TELEMETRY_HISTOGRAM_RESET = "telemetry.histogram_reset"
+    TELEMETRY_SINK_OUTAGE = "telemetry.sink_outage"
+    TELEMETRY_SINK_RECOVERED = "telemetry.sink_recovered"
+    TELEMETRY_ENTRIES_DROPPED = "telemetry.entries_dropped"
+    AGENT_HISTOGRAM_REWARM = "agent.histogram_rewarm"
+    FAULT_INJECTED = "faults.injected"
+    FAULT_CLEARED = "faults.cleared"
 
 
 #: Every kind an event may be recorded under (frozen view of
@@ -121,6 +127,16 @@ class EventLog:
                 pass
 
         return unsubscribe
+
+    def clear_subscribers(self) -> None:
+        """Drop every subscription.
+
+        Used when a log's owner re-wires its bridges in place (e.g. the
+        parallel engine re-binding a cluster it never pickled): clearing
+        first keeps the re-subscription from stacking a duplicate callback
+        that would double-count every future event.
+        """
+        self._subscribers.clear()
 
     def record(self, time: int, kind: str, **payload: Any) -> Event:
         """Append and return a new event (notifying subscribers first)."""

@@ -45,12 +45,13 @@ import multiprocessing as mp
 import os
 import traceback
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.checks.invariants import check_merge_delta, invariants_enabled
 from repro.common.errors import ReproError
 from repro.common.validation import check_positive, require
 from repro.engine.sharding import ShardPlan, plan_shards
+from repro.obs import MetricName
 
 __all__ = [
     "EngineError",
@@ -63,6 +64,18 @@ __all__ = [
 
 class EngineError(ReproError):
     """The parallel engine failed (worker crash or protocol violation)."""
+
+
+class _WorkerUnavailable(Exception):
+    """A shard worker hung past the poll timeout or died silently.
+
+    Internal signal, never raised to callers: the engine reacts by
+    re-executing the failed shard serially in the parent (see
+    :meth:`FleetEngine._fall_back_shard`).  A worker that *reports* an
+    error keeps raising :class:`EngineError` instead — a deterministic
+    crash would reproduce under the serial fallback too, so retrying it
+    locally would only hide the bug.
+    """
 
 
 def fork_available() -> bool:
@@ -88,6 +101,9 @@ class EngineStats:
         ticks: simulated ticks executed.
         barriers: barrier synchronizations performed (0 for serial).
         fallback_reason: why the serial path ran, if it did.
+        shard_fallbacks: shards whose worker hung or died mid-run and
+            were re-executed serially in the parent (degraded mode; the
+            run still completes with serial-identical results).
     """
 
     mode: str
@@ -95,6 +111,23 @@ class EngineStats:
     ticks: int
     barriers: int
     fallback_reason: Optional[str] = None
+    shard_fallbacks: int = 0
+
+
+@dataclass
+class _LocalShard:
+    """A shard the parent took over after its worker went unresponsive.
+
+    The shard's clusters (the parent's own, never-ticked copies) are
+    caught up behind a scratch registry/tracer/trace database — their
+    already-merged barriers must not be folded in twice — and then run
+    in-parent for the rest of the run, staging trace entries so each
+    barrier still merges through the canonical sorted path.
+    """
+
+    cluster_indices: Tuple[int, ...]
+    staging_db: object
+    reason: str = ""
 
 
 def _worker_main(conn, fleet, cluster_indices: Tuple[int, ...]) -> None:
@@ -170,17 +203,25 @@ class FleetEngine:
             cluster count).
         barrier_seconds: simulated seconds per barrier chunk; the default
             of 60 synchronizes every simulated minute.
+        recv_timeout_seconds: how long (wall-clock) to wait for a worker's
+            barrier reply before declaring it hung and re-executing its
+            shard serially in the parent; ``None`` waits forever (the
+            pre-timeout behavior).
     """
 
     def __init__(self, fleet, workers: Optional[int] = None,
-                 barrier_seconds: int = 60):
+                 barrier_seconds: int = 60,
+                 recv_timeout_seconds: Optional[float] = 300.0):
         check_positive(barrier_seconds, "barrier_seconds")
         self.fleet = fleet
         if workers is None:
             workers = default_worker_count()
         check_positive(workers, "workers")
+        if recv_timeout_seconds is not None:
+            check_positive(recv_timeout_seconds, "recv_timeout_seconds")
         self.workers = min(int(workers), len(fleet.clusters))
         self.barrier_seconds = int(barrier_seconds)
+        self.recv_timeout_seconds = recv_timeout_seconds
         self.last_stats: Optional[EngineStats] = None
 
     # ------------------------------------------------------------------
@@ -237,12 +278,12 @@ class FleetEngine:
         shards = plan_shards(
             [len(c.machines) for c in self.fleet.clusters], self.workers
         )
-        barriers = self._run_parallel(
+        barriers, shard_fallbacks = self._run_parallel(
             shards, total_ticks, barrier_ticks, collect_sli
         )
         self.last_stats = EngineStats(
             mode="parallel", workers=len(shards), ticks=total_ticks,
-            barriers=barriers,
+            barriers=barriers, shard_fallbacks=shard_fallbacks,
         )
         return self.last_stats
 
@@ -257,11 +298,13 @@ class FleetEngine:
                     fleet.sli_history.extend(cluster.drain_sli_samples())
 
     def _run_parallel(self, shards: Sequence[ShardPlan], total_ticks: int,
-                      barrier_ticks: int, collect_sli: bool) -> int:
+                      barrier_ticks: int,
+                      collect_sli: bool) -> Tuple[int, int]:
         fleet = self.fleet
         ctx = mp.get_context("fork")
-        conns = []
+        conns: List[Optional[object]] = []
         procs = []
+        local_shards: Dict[int, _LocalShard] = {}
         try:
             for shard in shards:
                 parent_conn, child_conn = ctx.Pipe()
@@ -276,49 +319,213 @@ class FleetEngine:
                 procs.append(proc)
 
             barriers = 0
+            ticks_done = 0
             remaining = total_ticks
             while remaining > 0:
                 chunk = min(barrier_ticks, remaining)
-                for conn in conns:
-                    conn.send(("advance", chunk, collect_sli))
-                self._merge_barrier(conns, collect_sli)
+                for si, conn in enumerate(conns):
+                    if si in local_shards:
+                        continue
+                    try:
+                        conn.send(("advance", chunk, collect_sli))
+                    except (BrokenPipeError, OSError):
+                        self._fall_back_shard(
+                            si, shards, conns, procs, local_shards,
+                            ticks_done, collect_sli,
+                            "worker pipe broke at barrier send",
+                        )
+                # Shards already running in-parent execute their chunk
+                # while the workers tick theirs.
+                local_results = [
+                    self._advance_local(local_shards[si], chunk, collect_sli)
+                    for si in sorted(local_shards)
+                ]
+                self._merge_barrier(
+                    shards, conns, procs, local_shards, collect_sli,
+                    chunk, ticks_done, local_results,
+                )
                 remaining -= chunk
+                ticks_done += chunk
                 barriers += 1
 
-            self._finalize(shards, conns)
-            for conn in conns:
-                conn.send(("exit",))
+            self._finalize(shards, conns, procs, local_shards, total_ticks,
+                           collect_sli)
+            for si, conn in enumerate(conns):
+                if si in local_shards or conn is None:
+                    continue
+                try:
+                    conn.send(("exit",))
+                except (BrokenPipeError, OSError):
+                    pass
             for proc in procs:
-                proc.join(timeout=30)
-            return barriers
+                if proc.is_alive():
+                    proc.join(timeout=30)
+            return barriers, len(local_shards)
         finally:
             for conn in conns:
-                conn.close()
+                if conn is not None:
+                    conn.close()
             for proc in procs:
                 if proc.is_alive():
                     proc.terminate()
                     proc.join()
 
     def _recv(self, conn):
+        """One protocol reply, or :class:`_WorkerUnavailable` on hang/death.
+
+        A hung worker would otherwise block ``conn.recv()`` forever and
+        take the whole run with it; polling with a timeout turns that
+        into a recoverable degradation.  Workers that *report* a failure
+        stay fatal (:class:`EngineError`) — see :class:`_WorkerUnavailable`.
+        """
         try:
+            if self.recv_timeout_seconds is not None and not conn.poll(
+                self.recv_timeout_seconds
+            ):
+                raise _WorkerUnavailable(
+                    f"no reply within {self.recv_timeout_seconds:g}s"
+                )
             reply = conn.recv()
-        except EOFError as exc:
-            raise EngineError(
-                "engine worker died mid-run (see stderr for its traceback)"
-            ) from exc
+        except (EOFError, OSError) as exc:
+            # A clean close raises EOFError; an abrupt worker death can
+            # surface as ConnectionResetError (an OSError) instead.
+            raise _WorkerUnavailable("worker died mid-run") from exc
         if reply[0] == "error":
             raise EngineError(f"engine worker failed:\n{reply[1]}")
         return reply
 
-    def _merge_barrier(self, conns, collect_sli: bool) -> None:
-        """Fold one barrier interval's deltas back into the parent fleet."""
+    # ------------------------------------------------------------------
+    # Shard fallback (degraded mode)
+    # ------------------------------------------------------------------
+
+    def _fall_back_shard(self, si: int, shards, conns, procs, local_shards,
+                         ticks_done: int, collect_sli: bool,
+                         reason: str) -> _LocalShard:
+        """Take over a shard whose worker hung or died.
+
+        The worker is terminated and the shard's clusters — the parent's
+        own copies, still at their pre-run state thanks to fork
+        copy-on-write — are replayed up to the last fully-merged barrier
+        behind scratch observability objects (those ticks' deltas were
+        already folded in from the worker, so replay output is
+        discarded), then re-bound to the live fleet for the rest of the
+        run.  Replay is deterministic, so the final state is identical
+        to what the healthy worker would have produced.
+        """
+        proc = procs[si]
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5)
+        conn = conns[si]
+        if conn is not None:
+            conn.close()
+            conns[si] = None
+        local_shard = self._catch_up_shard(
+            shards[si].cluster_indices, ticks_done, collect_sli, reason
+        )
+        local_shards[si] = local_shard
+        self.fleet.registry.counter(
+            MetricName.ENGINE_SHARD_FALLBACKS_TOTAL,
+            "Shards re-executed serially after their worker hung or died.",
+        ).inc()
+        return local_shard
+
+    def _catch_up_shard(self, cluster_indices: Tuple[int, ...],
+                        ticks_done: int, collect_sli: bool,
+                        reason: str) -> _LocalShard:
+        """Replay a shard to ``ticks_done`` and re-wire it for live use."""
+        from repro.cluster.trace_db import TraceDatabase
+        from repro.obs import MetricRegistry, Tracer
+
+        fleet = self.fleet
+        clusters = [fleet.clusters[ci] for ci in cluster_indices]
+        scratch_registry = MetricRegistry()
+        scratch_tracer = Tracer(enabled=False)
+        scratch_db = TraceDatabase()
+        for cluster in clusters:
+            cluster.rebind_runtime(scratch_registry, scratch_tracer,
+                                   scratch_db)
+        for _ in range(ticks_done):
+            for cluster in clusters:
+                cluster.tick()
+            if collect_sli:
+                for cluster in clusters:
+                    cluster.drain_sli_samples()  # already merged; discard
+        # From here on the shard runs against the real fleet; trace
+        # entries stage in a private database so each barrier can still
+        # merge them through the canonical sorted path.
+        staging_db = TraceDatabase()
+        for cluster in clusters:
+            cluster.rebind_runtime(fleet.registry, fleet.tracer, staging_db)
+        return _LocalShard(
+            cluster_indices=tuple(cluster_indices),
+            staging_db=staging_db,
+            reason=reason,
+        )
+
+    def _advance_local(self, local_shard: _LocalShard, chunk: int,
+                       collect_sli: bool) -> Tuple[list, list]:
+        """Run one barrier chunk of a taken-over shard in the parent.
+
+        Mirrors the worker protocol: SLI batches come back tagged
+        ``(tick_seq, cluster_index)`` and trace entries as the staging
+        database's delta, so :meth:`_merge_barrier` interleaves them with
+        the surviving workers' output exactly as a healthy run would.
+        """
+        fleet = self.fleet
+        mark = local_shard.staging_db.mark()
+        sli_batches: List[Tuple[int, int, list]] = []
+        for tick_seq in range(chunk):
+            for ci in local_shard.cluster_indices:
+                fleet.clusters[ci].tick()
+            if collect_sli:
+                for ci in local_shard.cluster_indices:
+                    samples = fleet.clusters[ci].drain_sli_samples()
+                    if samples:
+                        sli_batches.append((tick_seq, ci, samples))
+        return sli_batches, local_shard.staging_db.entries_since(mark)
+
+    # ------------------------------------------------------------------
+    # Barrier merge & finalize
+    # ------------------------------------------------------------------
+
+    def _merge_barrier(self, shards, conns, procs, local_shards,
+                       collect_sli: bool, chunk: int, ticks_done: int,
+                       local_results: List[Tuple[list, list]]) -> None:
+        """Fold one barrier interval's deltas back into the parent fleet.
+
+        Worker replies are collected (and failures handled) *before*
+        anything is folded in, so a mid-barrier failure never leaves the
+        fleet holding half a barrier.  A worker that fails here is fallen
+        back exactly like one that failed at send time: its shard is
+        caught up to ``ticks_done`` and the current chunk is re-executed
+        in-parent, joining this barrier's merge.
+        """
         fleet = self.fleet
         sli_batches: List[Tuple[int, int, list]] = []
         trace_entries = []
-        for conn in conns:
-            _, batches, entries, metric_delta = self._recv(conn)
+        metric_deltas = []
+        for si, conn in enumerate(conns):
+            if si in local_shards:
+                continue
+            try:
+                _, batches, entries, metric_delta = self._recv(conn)
+            except _WorkerUnavailable as exc:
+                self._fall_back_shard(
+                    si, shards, conns, procs, local_shards,
+                    ticks_done, collect_sli, str(exc),
+                )
+                local_results.append(self._advance_local(
+                    local_shards[si], chunk, collect_sli
+                ))
+                continue
             sli_batches.extend(batches)
             trace_entries.extend(entries)
+            metric_deltas.append(metric_delta)
+        for batches, entries in local_results:
+            sli_batches.extend(batches)
+            trace_entries.extend(entries)
+        for metric_delta in metric_deltas:
             if invariants_enabled():
                 check_merge_delta(metric_delta)
             fleet.registry.merge(metric_delta)
@@ -333,15 +540,41 @@ class FleetEngine:
         for entry in trace_entries:
             fleet.trace_db.add(entry)
 
-    def _finalize(self, shards: Sequence[ShardPlan], conns) -> None:
-        """Swap worker cluster state into the parent and re-wire it."""
+    def _finalize(self, shards: Sequence[ShardPlan], conns, procs,
+                  local_shards: Dict[int, _LocalShard], total_ticks: int,
+                  collect_sli: bool) -> None:
+        """Swap worker cluster state into the parent and re-wire it.
+
+        Shards the parent already took over are re-pointed from their
+        staging database to the fleet's; a worker that hangs *here* is
+        recovered by replaying its whole run behind scratch objects
+        (every barrier was merged, so only the end-state is needed).
+        """
         fleet = self.fleet
-        for conn in conns:
-            conn.send(("finalize",))
+        for si, conn in enumerate(conns):
+            if si in local_shards:
+                continue
+            try:
+                conn.send(("finalize",))
+            except (BrokenPipeError, OSError):
+                self._fall_back_shard(
+                    si, shards, conns, procs, local_shards,
+                    total_ticks, collect_sli,
+                    "worker pipe broke at finalize",
+                )
         new_clusters = list(fleet.clusters)
         swapped = []
-        for shard, conn in zip(shards, conns):
-            _, shard_clusters, span_stats = self._recv(conn)
+        for si, (shard, conn) in enumerate(zip(shards, conns)):
+            if si in local_shards:
+                continue
+            try:
+                _, shard_clusters, span_stats = self._recv(conn)
+            except _WorkerUnavailable as exc:
+                self._fall_back_shard(
+                    si, shards, conns, procs, local_shards,
+                    total_ticks, collect_sli, str(exc),
+                )
+                continue
             require(
                 len(shard_clusters) == len(shard.cluster_indices),
                 "worker returned wrong cluster count",
@@ -354,3 +587,10 @@ class FleetEngine:
         for cluster in swapped:
             cluster.rebind_runtime(fleet.registry, fleet.tracer,
                                    fleet.trace_db)
+        # Taken-over shards hold the parent's own (already advanced)
+        # clusters; just point their telemetry back at the fleet.
+        for si in sorted(local_shards):
+            for ci in local_shards[si].cluster_indices:
+                fleet.clusters[ci].rebind_runtime(
+                    fleet.registry, fleet.tracer, fleet.trace_db
+                )

@@ -138,6 +138,7 @@ class Machine:
                 config.zswap_max_pool_fraction * config.dram_bytes
             ),
             machine_id=machine_id,
+            rng=self._seeds.stream("zswap_reservoir"),
             registry=self.registry,
             tracer=self.tracer,
         )

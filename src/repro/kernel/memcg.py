@@ -132,6 +132,13 @@ class MemCg:
         self.soft_limit_pages: int = 0
         self.zswap_enabled: bool = True
 
+        #: Fault flag: set (by fault injection, or a kernel detecting its
+        #: own accounting damage) when the promotion/cold-age histograms
+        #: can no longer be trusted.  The node agent consumes the flag on
+        #: its next control round by disabling zswap and restarting the
+        #: job's warm-up; the histogram *data* is left intact.
+        self.histograms_corrupt: bool = False
+
         #: SLI counters (monotonic; readers keep their own last-seen copy).
         self.promoted_pages_total = 0
         self.compressed_pages_total = 0

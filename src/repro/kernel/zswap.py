@@ -47,7 +47,11 @@ class ZswapJobStats:
         decompress_seconds: CPU time decompressing.
         payload_bytes_stored: sum of stored payload sizes (for ratios).
         decompress_latencies: per-page decompression latencies (seconds);
-            sampled reservoir-style to bound memory.
+            a uniform reservoir sample (Algorithm R) of every latency the
+            job ever saw, to bound memory without biasing percentiles
+            toward warm-up behavior.
+        latency_samples_seen: how many latencies were offered to the
+            reservoir (the population size behind the sample).
     """
 
     pages_compressed: int = 0
@@ -57,6 +61,7 @@ class ZswapJobStats:
     decompress_seconds: float = 0.0
     payload_bytes_stored: int = 0
     decompress_latencies: List[float] = field(default_factory=list)
+    latency_samples_seen: int = 0
 
     #: Cap on retained latency samples per job.
     LATENCY_SAMPLE_CAP = 4096
@@ -80,6 +85,9 @@ class Zswap:
             zswap's ``max_pool_percent``); once reached, further stores are
             refused until promotions or job exits drain the pool.
         machine_id: label value for exported metrics ("" standalone).
+        rng: seeded generator for the latency-sample reservoir (the
+            owning machine passes a dedicated stream; standalone zswaps
+            fall back to a fixed seed so replays stay deterministic).
         registry: metrics registry (defaults to the process-global one).
         tracer: span tracer (defaults to the process-global one).
     """
@@ -91,6 +99,7 @@ class Zswap:
         max_payload_bytes: int = ZSMALLOC_MAX_PAYLOAD,
         max_pool_bytes: int = 0,
         machine_id: str = "",
+        rng: Optional[np.random.Generator] = None,
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
     ):
@@ -99,6 +108,9 @@ class Zswap:
         self.max_payload_bytes = int(max_payload_bytes)
         self.max_pool_bytes = int(max_pool_bytes)
         self.machine_id = machine_id
+        self._rng = (
+            rng if rng is not None else np.random.default_rng(0xC01DA6E)
+        )
         self.pool_limit_rejections = 0
         self.job_stats: Dict[str, ZswapJobStats] = {}
 
@@ -255,12 +267,38 @@ class Zswap:
             total = float(latencies.sum())
             stats.decompress_seconds += total
             self._m_decompress_cpu.inc(total)
-            room = ZswapJobStats.LATENCY_SAMPLE_CAP - len(
-                stats.decompress_latencies
-            )
-            if room > 0:
-                stats.decompress_latencies.extend(latencies[:room].tolist())
+            self._sample_latencies(stats, latencies)
         return total
+
+    def _sample_latencies(
+        self, stats: ZswapJobStats, latencies: np.ndarray
+    ) -> None:
+        """Fold a latency batch into the job's reservoir (Algorithm R).
+
+        Until the cap is reached every latency is kept; after that, the
+        i-th latency ever seen replaces a uniformly-chosen reservoir slot
+        with probability ``cap / (i + 1)``, so the retained sample stays
+        uniform over the job's whole history instead of freezing on the
+        first ``cap`` (warm-up) promotions.
+        """
+        cap = ZswapJobStats.LATENCY_SAMPLE_CAP
+        reservoir = stats.decompress_latencies
+        seen = stats.latency_samples_seen
+        values = latencies.tolist()
+        fill = min(len(values), cap - len(reservoir))
+        if fill > 0:
+            reservoir.extend(values[:fill])
+        tail = values[fill:]
+        if tail:
+            # Candidate slots for the whole tail in one draw: sample i
+            # (0-based index over the job's lifetime) lands in slot j
+            # drawn uniformly from [0, i]; it is kept only when j < cap.
+            indices = np.arange(seen + fill, seen + len(values))
+            slots = self._rng.integers(0, indices + 1)
+            for value, slot in zip(tail, slots.tolist()):
+                if slot < cap:
+                    reservoir[slot] = value
+        stats.latency_samples_seen = seen + len(values)
 
     # ------------------------------------------------------------------
     # Teardown path (job exit)

@@ -92,6 +92,18 @@ class MetricName:
     TELEMETRY_HISTOGRAM_RESETS_TOTAL = (
         "repro_telemetry_histogram_resets_total"
     )
+    TELEMETRY_SINK_OUTAGES_TOTAL = "repro_telemetry_sink_outages_total"
+    TELEMETRY_SPILLED_ENTRIES_TOTAL = "repro_telemetry_spilled_entries_total"
+    TELEMETRY_REPLAYED_ENTRIES_TOTAL = (
+        "repro_telemetry_replayed_entries_total"
+    )
+    TELEMETRY_DROPPED_ENTRIES_TOTAL = "repro_telemetry_dropped_entries_total"
+    AGENT_HISTOGRAM_REWARMS_TOTAL = "repro_agent_histogram_rewarms_total"
+
+    # Fault injection & graceful degradation (repro.faults)
+    FAULTS_INJECTED_TOTAL = "repro_faults_injected_total"
+    DEGRADED_MODE = "repro_degraded_mode"
+    ENGINE_SHARD_FALLBACKS_TOTAL = "repro_engine_shard_fallbacks_total"
 
     # Autotuner (paper §5.3)
     BANDIT_SUGGESTIONS_TOTAL = "repro_bandit_suggestions_total"

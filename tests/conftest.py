@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,9 @@ def pytest_configure(config: pytest.Config) -> None:
         "markers",
         "lint: static-analysis gate tests (deselect with '-m \"not lint\"')",
     )
+    # Tier-1 runs exercise the runtime invariants (the dynamic half of
+    # repro.checks) by default; export REPRO_CHECKS=0 to opt out.
+    os.environ.setdefault("REPRO_CHECKS", "1")
 from repro.core.histograms import AgeBins, default_age_bins
 from repro.kernel.compression import ContentProfile
 from repro.kernel.machine import Machine, MachineConfig

@@ -158,3 +158,96 @@ class TestCompaction:
         before = machine.arena.compactions
         drive(machine, agent, 120)
         assert machine.arena.compactions > before
+
+
+class TestHistogramRewarm:
+    def make_observed(self):
+        from repro.common.events import EventLog
+        from repro.obs import MetricRegistry
+
+        machine = Machine(
+            "m0",
+            MachineConfig(dram_bytes=1 << 30),
+            seeds=SeedSequenceFactory(9),
+        )
+        events = EventLog()
+        registry = MetricRegistry()
+        agent = NodeAgent(
+            machine,
+            ThresholdPolicyConfig(percentile_k=90.0, warmup_seconds=120),
+            PromotionRateSlo(),
+            events=events,
+            registry=registry,
+        )
+        return machine, agent, events, registry
+
+    def test_corrupt_histograms_send_job_back_through_warmup(self):
+        machine, agent, events, registry = self.make_observed()
+        memcg = machine.add_job("j", 1000, COMPRESSIBLE)
+        machine.allocate("j", 1000)
+        drive(machine, agent, 900)
+        assert memcg.zswap_enabled
+
+        memcg.histograms_corrupt = True
+        t = machine.now + 60
+        machine.tick(t)
+        agent.maybe_control(t)
+        # The flag is consumed and the job degrades to DISABLED.
+        assert not memcg.histograms_corrupt
+        assert not memcg.zswap_enabled
+        assert memcg.cold_age_threshold == DISABLED
+        assert agent.rewarms == 1
+        assert registry.value("repro_agent_histogram_rewarms_total") == 1
+        assert registry.value("repro_degraded_mode") == 1
+        rewarm_events = events.of_kind("agent.histogram_rewarm")
+        assert len(rewarm_events) == 1
+        assert rewarm_events[0].payload["job"] == "j"
+
+        # After a fresh S-second warm-up the job recovers fully.
+        drive(machine, agent, 900)
+        assert memcg.zswap_enabled
+        assert registry.value("repro_degraded_mode") == 0
+
+    def test_departed_job_clears_degraded_gauge(self):
+        machine, agent, events, registry = self.make_observed()
+        memcg = machine.add_job("j", 500, COMPRESSIBLE)
+        machine.allocate("j", 500)
+        drive(machine, agent, 300)
+        memcg.histograms_corrupt = True
+        t = machine.now + 60
+        machine.tick(t)
+        agent.maybe_control(t)
+        assert registry.value("repro_degraded_mode") == 1
+        machine.remove_job("j")
+        t += 60
+        machine.tick(t)
+        agent.maybe_control(t)
+        assert registry.value("repro_degraded_mode") == 0
+
+
+def test_sli_histograms_carry_machine_label():
+    from repro.obs import MetricRegistry
+
+    registry = MetricRegistry()
+    machine = Machine(
+        "m0",
+        MachineConfig(dram_bytes=1 << 30),
+        seeds=SeedSequenceFactory(9),
+    )
+    agent = NodeAgent(
+        machine,
+        ThresholdPolicyConfig(percentile_k=90.0, warmup_seconds=60),
+        PromotionRateSlo(),
+        registry=registry,
+    )
+    machine.add_job("j", 1000, COMPRESSIBLE)
+    machine.allocate("j", 1000)
+    drive(machine, agent, 600)
+    text = registry.expose_text()
+    for name in ("repro_threshold_seconds", "repro_promotion_rate_pct_per_min"):
+        samples = [
+            line for line in text.splitlines()
+            if line.startswith(name) and not line.startswith("#")
+        ]
+        assert samples, f"no exposition samples for {name}"
+        assert all('machine="m0"' in line for line in samples), name

@@ -132,6 +132,116 @@ def test_histogram_reset_event_on_bin_change():
     assert len(events.of_kind("telemetry.histogram_reset")) == 1
 
 
+def test_first_export_timestamp_clamped_at_zero():
+    """Regression: the t=0 boundary used to stamp ``now - period`` = -300
+    into the trace database; entry times must never be negative."""
+    machine = make_machine()
+    db = TraceDatabase()
+    exporter = TelemetryExporter(machine, db)
+    machine.add_job("j", 100, COMPRESSIBLE)
+    machine.allocate("j", 100)
+    for t in range(0, 601, 60):
+        machine.tick(t)
+        exporter.maybe_export(t)
+    times = [e.time for e in db.trace_for("j").entries]
+    assert times == [0, 0, 300]
+    assert min(times) >= 0
+
+
+class FlakySink:
+    """A sink whose availability is toggled by the test."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.down = False
+
+    def add(self, entry):
+        if self.down:
+            raise RuntimeError("sink offline")
+        self.inner.add(entry)
+
+
+class TestSinkOutage:
+    def make(self):
+        machine = make_machine()
+        db = TraceDatabase()
+        sink = FlakySink(db)
+        events = EventLog()
+        registry = MetricRegistry()
+        exporter = TelemetryExporter(machine, sink, events=events,
+                                     registry=registry)
+        machine.add_job("j", 100, COMPRESSIBLE)
+        machine.allocate("j", 100)
+        return machine, db, sink, events, registry, exporter
+
+    def test_outage_spills_then_replays_everything_in_order(self):
+        machine, db, sink, events, registry, exporter = self.make()
+        machine.tick(0)
+        exporter.maybe_export(0)
+        assert len(db) == 1
+
+        sink.down = True
+        for t in range(60, 901, 60):
+            machine.tick(t)
+            exporter.maybe_export(t)  # exports at 300, 600, 900 spill
+        assert len(db) == 1
+        assert exporter.sink_degraded
+        assert len(events.of_kind("telemetry.sink_outage")) == 1
+        assert registry.value("repro_telemetry_sink_outages_total") == 1
+        assert registry.value("repro_telemetry_spilled_entries_total") == 3
+        assert registry.value("repro_degraded_mode") == 1
+
+        sink.down = False
+        for t in range(960, 1501, 60):
+            machine.tick(t)
+            exporter.maybe_export(t)
+        # Nothing lost: all 6 boundary exports (0..1500) are in the DB.
+        assert not exporter.sink_degraded
+        assert len(db) == 6
+        times = [e.time for e in db.trace_for("j").entries]
+        assert times == sorted(times)
+        recovered = events.of_kind("telemetry.sink_recovered")
+        assert len(recovered) == 1
+        assert registry.value("repro_telemetry_replayed_entries_total") == 3
+        assert registry.value("repro_degraded_mode") == 0
+
+    def test_backoff_doubles_until_heal(self):
+        from repro.agent.telemetry import INITIAL_BACKOFF_SECONDS
+
+        machine, db, sink, events, registry, exporter = self.make()
+        sink.down = True
+        machine.tick(0)
+        exporter.export(300)
+        assert exporter._backoff == INITIAL_BACKOFF_SECONDS
+        # The retry at t=600 fails again: backoff doubles.
+        exporter.export(600)
+        assert exporter._backoff == 2 * INITIAL_BACKOFF_SECONDS
+        # t=900 is inside the backoff window: no retry, backoff unchanged,
+        # but the fresh entry still spills behind the queued ones.
+        exporter.export(900)
+        assert exporter._backoff == 2 * INITIAL_BACKOFF_SECONDS
+        assert len(exporter._spill) == 3
+        # Only one outage episode was recorded for the whole spell.
+        assert len(events.of_kind("telemetry.sink_outage")) == 1
+
+    def test_full_buffer_drops_oldest(self, monkeypatch):
+        import repro.agent.telemetry as telemetry_mod
+
+        monkeypatch.setattr(telemetry_mod, "RETRY_BUFFER_CAP", 2)
+        machine, db, sink, events, registry, exporter = self.make()
+        sink.down = True
+        machine.tick(0)
+        for t in (300, 600, 900, 1200):
+            exporter.export(t)
+        assert len(exporter._spill) == 2
+        assert exporter.entries_dropped == 2
+        assert registry.value("repro_telemetry_dropped_entries_total") == 2
+        drops = events.of_kind("telemetry.entries_dropped")
+        assert len(drops) == 2
+        # The two newest entries survived (drop-oldest).
+        assert [e.time for e in exporter._spill] == [600, 900]
+
+
 def test_first_export_is_not_a_reset():
     machine = make_machine()
     events = EventLog()

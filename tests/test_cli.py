@@ -59,6 +59,39 @@ class TestParser:
         assert args.workers == 2
         assert args.output == "/tmp/b.json"
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario == "mixed"
+        assert args.chaos_seed == 0
+        assert args.workers is None
+        assert args.func.__name__ == "cmd_chaos"
+
+    def test_chaos_named_scenario_and_seed(self):
+        args = build_parser().parse_args(
+            ["chaos", "--scenario", "storm", "--chaos-seed", "7",
+             "--workers", "2"]
+        )
+        assert args.scenario == "storm"
+        assert args.chaos_seed == 7
+        assert args.workers == 2
+
+    def test_chaos_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--scenario", "solar_flare"])
+
+    def test_ci_defaults(self):
+        args = build_parser().parse_args(["ci"])
+        assert not args.skip_tests
+        assert args.pytest_args == []
+        assert args.func.__name__ == "cmd_ci"
+
+    def test_ci_forwards_pytest_args(self):
+        args = build_parser().parse_args(
+            ["ci", "--skip-tests", "tests/test_cli.py", "-k", "parser"]
+        )
+        assert args.skip_tests
+        assert args.pytest_args == ["tests/test_cli.py", "-k", "parser"]
+
 
 class TestExecution:
     def test_quickstart_runs(self, capsys):
@@ -180,3 +213,29 @@ class TestMetricsCommand:
         )
         assert code == 0
         assert "Fleet health" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    def test_reports_slo_impact_table(self, capsys):
+        code = main(
+            ["chaos", "--clusters", "1", "--machines", "2", "--jobs", "2",
+             "--hours", "1", "--dram-gib", "2", "--scenario", "storm"]
+        )
+        # Exit code reflects the absolute SLO check; a 1-hour toy fleet
+        # may violate it fault-free, so only the report is asserted.
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "SLO impact" in out
+        assert "fault-free" in out
+        assert "chaos (storm)" in out
+        assert "promotion-rate SLO" in out
+
+
+class TestCiCommand:
+    def test_skip_tests_runs_only_lint(self, capsys):
+        code = main(["ci", "--skip-tests"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro lint --ci" in out
+        assert "ci: clean" in out
+        assert "tier-1 tests" not in out

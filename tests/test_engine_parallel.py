@@ -254,6 +254,101 @@ class TestParallelEquivalence:
 
 
 @pytest.mark.skipif(not fork_available(), reason="needs fork start method")
+class TestWorkerFailureFallback:
+    """A hung or dead worker degrades to an in-parent serial re-execution
+    of its shard — the run completes with serial-identical results.
+
+    Span-profile equality is deliberately not asserted here: the failed
+    worker never reports its tracer stats, so profiling under
+    degradation is best-effort by design.
+    """
+
+    def run_degraded(self, monkeypatch, patched_worker):
+        import repro.engine.parallel as par
+
+        serial = _churn_fleet(seed=13)
+        degraded = _churn_fleet(seed=13)
+        serial.run(1 * HOUR)
+        monkeypatch.setattr(par, "_worker_main", patched_worker)
+        engine = FleetEngine(degraded, workers=2, recv_timeout_seconds=2.0)
+        stats = engine.run(1 * HOUR)
+        return serial, degraded, stats
+
+    def test_hung_worker_finishes_via_serial_fallback(self, monkeypatch):
+        import time
+
+        import repro.engine.parallel as par
+
+        real = par._worker_main
+
+        def hang_shard_zero(conn, fleet, cluster_indices):
+            if 0 in cluster_indices:
+                time.sleep(600)  # never replies; parent terminates us
+            real(conn, fleet, cluster_indices)
+
+        serial, degraded, stats = self.run_degraded(
+            monkeypatch, hang_shard_zero
+        )
+        assert stats.mode == "parallel"
+        assert stats.shard_fallbacks == 1
+        assert degraded.registry.value(
+            "repro_engine_shard_fallbacks_total") == 1
+        assert serial.sli_history == degraded.sli_history
+        assert serial.coverage_report() == degraded.coverage_report()
+        for job_id in serial.trace_db.job_ids:
+            a = [e.to_dict()
+                 for e in serial.trace_db.trace_for(job_id).entries]
+            b = [e.to_dict()
+                 for e in degraded.trace_db.trace_for(job_id).entries]
+            assert a == b
+
+    def test_dead_worker_finishes_via_serial_fallback(self, monkeypatch):
+        import repro.engine.parallel as par
+
+        real = par._worker_main
+
+        def die_on_shard_zero(conn, fleet, cluster_indices):
+            if 0 in cluster_indices:
+                conn.close()  # silent death: EOF at the parent
+                return
+            real(conn, fleet, cluster_indices)
+
+        serial, degraded, stats = self.run_degraded(
+            monkeypatch, die_on_shard_zero
+        )
+        assert stats.mode == "parallel"
+        assert stats.shard_fallbacks == 1
+        assert serial.sli_history == degraded.sli_history
+        assert serial.coverage_report() == degraded.coverage_report()
+
+    def test_reported_worker_error_still_raises(self, monkeypatch):
+        from repro.engine.parallel import EngineError
+
+        import repro.engine.parallel as par
+
+        def report_error(conn, fleet, cluster_indices):
+            # Follow the protocol (wait for a command) before replying,
+            # otherwise the parent's send may hit a broken pipe and be
+            # treated as a recoverable worker loss instead.
+            conn.recv()
+            conn.send(("error", "synthetic worker crash"))
+            conn.close()
+
+        monkeypatch.setattr(par, "_worker_main", report_error)
+        fleet = _churn_fleet(seed=13)
+        engine = FleetEngine(fleet, workers=2, recv_timeout_seconds=5.0)
+        with pytest.raises(EngineError, match="synthetic worker crash"):
+            engine.run(600)
+
+    def test_rejects_nonpositive_timeout(self):
+        from repro.common.errors import ConfigurationError
+
+        fleet = _churn_fleet(seed=13)
+        with pytest.raises(ConfigurationError):
+            FleetEngine(fleet, workers=2, recv_timeout_seconds=0)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork start method")
 def test_wsc_run_delegates_to_engine():
     serial = _churn_fleet(seed=11)
     parallel = _churn_fleet(seed=11)
