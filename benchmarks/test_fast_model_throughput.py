@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import functools
 
+import pytest
+
 from repro.analysis import render_table
 from repro.common.units import DAY
 from repro.core import ThresholdPolicyConfig
+from repro.engine.parallel import default_worker_count
 from repro.model import TRACE_PERIOD_SECONDS, FarMemoryModel
+from repro.model.bench import run_model_bench
 
 CONFIG = ThresholdPolicyConfig(percentile_k=95.0, warmup_seconds=600)
 
@@ -88,5 +92,40 @@ def test_fast_model_parallel_consistency(benchmark, paper_fleet,
                  f"{parallel.promotion_rate_p98:.4f}"),
             ],
             title="§5.3 — parallel replay consistency",
+        ),
+    )
+
+
+@pytest.mark.slow
+def test_batched_vectorized_speedup(save_result):
+    """The batched vectorized ``evaluate_many`` path must beat the seed
+    per-config scalar replay by >= 3x at the default bench fleet size.
+
+    On single-core hosts (shared CI runners) timings are too noisy to
+    gate on, so — mirroring the engine throughput policy — only the
+    bit-identical equivalence is asserted there.
+    """
+    report = run_model_bench()
+    assert report["equivalent"], (
+        "vectorized replay diverged from the scalar oracle"
+    )
+    if default_worker_count() >= 2:
+        assert report["speedup_vectorized"] >= 3.0, report
+
+    save_result(
+        "fast_model_batched_speedup",
+        render_table(
+            ["mode", "wall s", "configs/s"],
+            [
+                ("scalar per-config",
+                 f"{report['scalar']['wall_seconds']:.2f}",
+                 f"{report['scalar']['configs_per_second']:.2f}"),
+                ("batched vectorized",
+                 f"{report['vectorized']['wall_seconds']:.2f}",
+                 f"{report['vectorized']['configs_per_second']:.2f}"),
+            ],
+            title="§5.3 — batched vectorized model speedup "
+            f"({report['speedup_vectorized']:.1f}x, "
+            f"equivalent={report['equivalent']})",
         ),
     )

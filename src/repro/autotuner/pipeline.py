@@ -152,11 +152,16 @@ class AutotuningPipeline:
         for iteration in range(iterations):
             with self._tracer.span("autotuner.iteration", iteration=iteration):
                 points = self.bandit.suggest(self.batch_size)
-                for point in points:
-                    values = self.space.from_unit(point)
-                    config = config_from_values(values)
-                    with self._tracer.span("autotuner.evaluate"):
-                        report = self.model.evaluate(config)
+                configs = [
+                    config_from_values(self.space.from_unit(point))
+                    for point in points
+                ]
+                # One batched model call per bandit iteration: the fast
+                # model replays the whole suggestion batch in a single
+                # MapReduce over the fleet traces.
+                with self._tracer.span("autotuner.evaluate", batch=len(configs)):
+                    reports = self.model.evaluate_many(configs)
+                for point, config, report in zip(points, configs, reports):
                     self.bandit.observe(
                         point,
                         objective=report.total_cold_pages,
@@ -171,9 +176,11 @@ class AutotuningPipeline:
             if best is not None:
                 self._g_best.set(best.objective)
 
-        best_observation = self.bandit.best()
-        if best_observation is not None:
-            feasible = [t for t in result.trials if t.feasible]
+        # The bandit's observation pool can outlive one run() (e.g. a warm
+        # start seeded it with feasible points), so bandit.best() being
+        # non-None does not guarantee *this* run produced a feasible trial.
+        feasible = [t for t in result.trials if t.feasible]
+        if feasible:
             result.best = max(feasible, key=lambda t: t.objective)
         return result
 
@@ -184,11 +191,17 @@ class AutotuningPipeline:
         check_positive(n_trials, "n_trials")
         rng = np.random.default_rng(seed)
         result = TuningResult()
-        for index in range(n_trials):
-            point = rng.random(self.space.dim)
-            config = config_from_values(self.space.from_unit(point))
-            report = self.model.evaluate(config)
-            result.trials.append(Trial(config, report, index))
+        # Draw every point up front (same rng stream as the one-at-a-time
+        # loop), then evaluate in batched model calls of batch_size.
+        points = [rng.random(self.space.dim) for _ in range(n_trials)]
+        configs = [
+            config_from_values(self.space.from_unit(point)) for point in points
+        ]
+        for start in range(0, n_trials, self.batch_size):
+            batch = configs[start:start + self.batch_size]
+            for offset, report in enumerate(self.model.evaluate_many(batch)):
+                index = start + offset
+                result.trials.append(Trial(configs[index], report, index))
         feasible = [t for t in result.trials if t.feasible]
         if feasible:
             result.best = max(feasible, key=lambda t: t.objective)

@@ -11,7 +11,8 @@ Commands:
 * ``metrics`` — run an instrumented fleet and print the health report,
   or the full metric exposition (``--format prom|json``).
 * ``bench`` — time the same fleet serially and under the parallel
-  engine; write the throughput comparison to ``BENCH_fleet.json``.
+  engine (``BENCH_fleet.json``), or with ``--model`` the fast far memory
+  model scalar-vs-vectorized (``BENCH_model.json``).
 * ``chaos`` — run a named fault-injection scenario and report the SLO
   impact against a fault-free baseline of the same fleet and seed.
 * ``ci`` — the one-command gate: tier-1 tests with runtime invariants on
@@ -256,7 +257,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Serial-vs-parallel fleet throughput comparison (BENCH_fleet.json)."""
+    """Throughput comparison: fleet engine (BENCH_fleet.json) or the fast
+    far memory model (``--model``, BENCH_model.json)."""
+    if args.model:
+        return _cmd_bench_model(args)
     from repro.engine.bench import run_bench
 
     kwargs = dict(
@@ -268,6 +272,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers,
         barrier_seconds=args.barrier_seconds,
     )
+    if kwargs["jobs"] is None:
+        kwargs["jobs"] = 3
     if args.quick:
         kwargs.update(hours=0.5, clusters=4, machines=1, jobs=2)
     print(f"Benchmarking {kwargs['clusters']} clusters x "
@@ -291,6 +297,50 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if report["parallel"]["fallback_reason"]:
         print(f"note: ran serially — {report['parallel']['fallback_reason']}")
     print(f"Wrote {args.output}")
+    return 0 if report["equivalent"] else 1
+
+
+def _cmd_bench_model(args: argparse.Namespace) -> int:
+    """The ``repro bench --model`` half: fast-model throughput."""
+    from repro.model.bench import run_model_bench
+
+    kwargs = dict(
+        jobs=args.jobs if args.jobs is not None else 24,
+        intervals=args.intervals,
+        configs=args.configs,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    if args.quick:
+        kwargs.update(jobs=6, intervals=48, configs=4)
+    # The fleet default filename would mislabel a model report.
+    output = args.output
+    if output == "BENCH_fleet.json":
+        output = "BENCH_model.json"
+    print(f"Benchmarking the fast model: {kwargs['jobs']} traces x "
+          f"{kwargs['intervals']} intervals x {kwargs['configs']} configs "
+          f"(scalar per-config, then batched vectorized)...")
+    report = run_model_bench(output=output, **kwargs)
+    rows = [
+        ("scalar per-config", f"{report['scalar']['wall_seconds']:.2f}",
+         f"{report['scalar']['configs_per_second']:.2f}"),
+        ("batched vectorized", f"{report['vectorized']['wall_seconds']:.2f}",
+         f"{report['vectorized']['configs_per_second']:.2f}"),
+    ]
+    if report["parallel"] is not None:
+        rows.append(
+            (f"vectorized x{report['parallel']['workers']}",
+             f"{report['parallel']['wall_seconds']:.2f}",
+             f"{report['parallel']['configs_per_second']:.2f}")
+        )
+    print(render_table(
+        ["", "wall s", "configs/s"],
+        rows,
+        title=f"Model throughput (speedup "
+              f"{report['speedup_vectorized']:.2f}x, "
+              f"equivalent={report['equivalent']})",
+    ))
+    print(f"Wrote {output}")
     return 0 if report["equivalent"] else 1
 
 
@@ -386,6 +436,22 @@ def cmd_ci(args: argparse.Namespace) -> int:
         update_baseline=None, ci=True,
     )
     exit_code = max(exit_code, cmd_lint(lint_args))
+    if exit_code == 0 and not args.skip_bench:
+        # The quick model-bench smoke gates only on scalar==vectorized
+        # equivalence — speedups flake on loaded CI hosts, bit-identical
+        # reports must not.
+        from repro.model.bench import run_model_bench
+
+        print("ci: running model bench smoke (bench --model --quick) ...")
+        report = run_model_bench(jobs=6, intervals=48, configs=4)
+        if not report["equivalent"]:
+            print("ci: model bench smoke FAILED "
+                  "(vectorized replay diverged from the scalar oracle)",
+                  file=sys.stderr)
+            exit_code = 1
+        else:
+            print("ci: model bench smoke passed "
+                  f"(speedup {report['speedup_vectorized']:.2f}x)")
     print("ci: " + ("clean" if exit_code == 0 else "FAILED"))
     return exit_code
 
@@ -467,13 +533,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("bench",
-                       help="serial vs parallel fleet throughput")
+                       help="fleet or fast-model throughput harness")
+    p.add_argument("--model", action="store_true",
+                   help="benchmark the fast far memory model (scalar "
+                        "per-config vs batched vectorized evaluate_many) "
+                        "instead of the fleet engine")
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--machines", type=int, default=2,
                    help="machines per cluster")
-    p.add_argument("--jobs", type=int, default=3, help="jobs per machine")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="jobs per machine (fleet, default 3) or traces "
+                        "in the synthetic fleet (--model, default 24)")
     p.add_argument("--hours", type=float, default=2.0,
                    help="simulated hours per run")
+    p.add_argument("--intervals", type=int, default=288,
+                   help="5-minute periods per trace (--model only)")
+    p.add_argument("--configs", type=int, default=8,
+                   help="configurations per batch (--model only)")
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--workers", type=int, default=None,
                    help="parallel workers (default: min(4, cpus))")
@@ -481,7 +557,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="engine barrier interval in simulated seconds")
     p.add_argument("--quick", action="store_true",
                    help="small fast configuration (CI smoke run)")
-    p.add_argument("--output", default="BENCH_fleet.json")
+    p.add_argument("--output", default="BENCH_fleet.json",
+                   help="report file (with --model the default becomes "
+                        "BENCH_model.json)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -515,6 +593,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--skip-tests", action="store_true",
                    help="run only the lint half of the gate")
+    p.add_argument("--skip-bench", action="store_true",
+                   help="skip the quick model-bench equivalence smoke")
     p.add_argument("pytest_args", nargs=argparse.REMAINDER,
                    help="extra arguments forwarded to pytest verbatim "
                         "(put them after any ci flags)")

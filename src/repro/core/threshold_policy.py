@@ -31,7 +31,13 @@ from repro.common.validation import check_in_range, check_non_negative, require
 from repro.core.histograms import AgeBins, AgeHistogram
 from repro.core.slo import PromotionRateSlo, promotions_per_minute
 
-__all__ = ["ThresholdPolicyConfig", "ColdAgeThresholdPolicy", "best_threshold"]
+__all__ = [
+    "ThresholdPolicyConfig",
+    "ColdAgeThresholdPolicy",
+    "best_threshold",
+    "best_thresholds_vectorized",
+    "replay_thresholds_vectorized",
+]
 
 #: Sentinel meaning "compress nothing" (no finite threshold chosen).
 DISABLED: float = float("inf")
@@ -196,3 +202,126 @@ class ColdAgeThresholdPolicy:
             self._pool.append(best)
         self._elapsed_seconds = other._elapsed_seconds
         self._last_best = other._last_best
+
+
+# ----------------------------------------------------------------------
+# Vectorized replay (the fast far memory model's hot path, §5.3)
+# ----------------------------------------------------------------------
+#
+# The §4.3 algorithm looks sequential — the threshold for interval ``t``
+# depends on the history of per-interval best thresholds — but the *best*
+# threshold of an interval depends only on that interval's promotion
+# histogram and working set, never on previously chosen thresholds.  The
+# offline replay therefore factors into (1) a fully data-parallel best-
+# threshold pass over all intervals at once and (2) a rolling-percentile
+# pass over the resulting vector.  Both are expressed here over arrays;
+# :class:`ColdAgeThresholdPolicy` above stays the semantic reference, and
+# the model's tests prove the two produce bit-identical thresholds.
+
+
+def best_thresholds_vectorized(
+    promotion_suffix_sums: np.ndarray,
+    working_set_pages: np.ndarray,
+    bins: AgeBins,
+    slo: PromotionRateSlo,
+    interval_seconds: float = MINUTE,
+) -> np.ndarray:
+    """:func:`best_threshold` for every interval of a trace at once.
+
+    Args:
+        promotion_suffix_sums: ``(intervals, len(bins))`` matrix whose row
+            ``t`` is ``promotion_histogram.suffix_sums()`` of interval ``t``.
+        working_set_pages: ``(intervals,)`` working-set sizes.
+        bins: the shared candidate-threshold grid.
+        slo: the promotion-rate SLO.
+        interval_seconds: length of each interval.
+
+    Returns:
+        ``(intervals,)`` float array of per-interval best thresholds,
+        :data:`DISABLED` where even the largest candidate violates the SLO.
+    """
+    budgets = (slo.target_pct_per_min / 100.0) * np.asarray(
+        working_set_pages, dtype=float
+    )
+    rates = np.asarray(promotion_suffix_sums) * (MINUTE / interval_seconds)
+    fits = rates <= budgets[:, None]
+    feasible = fits.any(axis=1)
+    first_fit = np.argmax(fits, axis=1)
+    grid = np.asarray(bins.thresholds, dtype=float)
+    return np.where(feasible, grid[first_fit], DISABLED)
+
+
+def _rolling_percentile(encoded: np.ndarray, k: float, window: int) -> np.ndarray:
+    """``np.percentile(encoded[max(0, t-window):t], k)`` for every ``t >= 1``.
+
+    Row ``t`` of the result is the percentile of the history pool *before*
+    interval ``t`` (the online ordering).  Entry 0 is NaN — the pool is
+    empty there and the caller must treat it as disabled.  Full windows are
+    one batched ``np.percentile`` call over a stride-tricks view; only the
+    at-most ``window - 1`` growing prefixes at the start loop.
+    """
+    n = encoded.size
+    out = np.full(n, np.nan)
+    for t in range(1, min(n, window)):
+        out[t] = np.percentile(encoded[:t], k)
+    if n > window:
+        windows = np.lib.stride_tricks.sliding_window_view(encoded, window)
+        out[window:] = np.percentile(windows[: n - window], k, axis=1)
+    return out
+
+
+def replay_thresholds_vectorized(
+    best: np.ndarray,
+    config: ThresholdPolicyConfig,
+    bins: AgeBins,
+    interval_seconds: float = MINUTE,
+) -> np.ndarray:
+    """The threshold sequence :class:`ColdAgeThresholdPolicy` would publish.
+
+    ``result[t]`` is the threshold governing interval ``t``, computed from
+    ``best[:t]`` exactly as :meth:`ColdAgeThresholdPolicy.threshold` would
+    after observing intervals ``0..t-1``: warm-up, the fixed-threshold
+    bypass, the K-th percentile of the (sentinel-encoded) history pool,
+    grid snapping, and the spike-reaction escalation.
+
+    Args:
+        best: per-interval best thresholds
+            (from :func:`best_thresholds_vectorized`).
+        config: the policy parameters being replayed.
+        bins: the candidate-threshold grid.
+        interval_seconds: length of each interval.
+    """
+    best = np.asarray(best, dtype=float)
+    n = best.size
+    thresholds = np.full(n, DISABLED)
+    if n == 0:
+        return thresholds
+    elapsed = np.arange(n, dtype=np.int64) * int(interval_seconds)
+    warmed = elapsed >= config.warmup_seconds
+    if config.fixed_threshold_seconds is not None:
+        thresholds[warmed] = float(config.fixed_threshold_seconds)
+        return thresholds
+    # Interval 0 has an empty pool and stays DISABLED regardless of warm-up.
+    active = warmed.copy()
+    active[0] = False
+    if not active.any():
+        return thresholds
+    sentinel = float(bins.max_threshold) * 1e9
+    encoded = np.where(np.isfinite(best), best, sentinel)
+    kth = _rolling_percentile(encoded, config.percentile_k,
+                              config.history_length)[active]
+    grid = np.asarray(bins.thresholds)
+    snap = np.searchsorted(grid, kth, side="left")
+    snapped = np.where(
+        snap >= len(grid),
+        float(bins.max_threshold),
+        grid.astype(float)[np.minimum(snap, len(grid) - 1)],
+    )
+    # A percentile beyond the grid decodes back to DISABLED; it dominates
+    # the spike-reaction max below exactly as in the scalar policy.
+    snapped = np.where(kth > bins.max_threshold, DISABLED, snapped)
+    if config.spike_reaction:
+        last_best = best[np.flatnonzero(active) - 1]
+        snapped = np.maximum(snapped, last_best)
+    thresholds[active] = snapped
+    return thresholds

@@ -1,8 +1,19 @@
 """The fast far memory model: trace schema, MapReduce engine, offline replay."""
 
+from repro.model.bench import run_model_bench
 from repro.model.mapreduce import MapReduce, mapreduce
-from repro.model.replay import FarMemoryModel, FleetReplayReport, JobReplayResult
-from repro.model.trace import TRACE_PERIOD_SECONDS, JobTrace, TraceEntry
+from repro.model.replay import (
+    FarMemoryModel,
+    FleetReplayReport,
+    JobReplayResult,
+    replay_compiled,
+)
+from repro.model.trace import (
+    TRACE_PERIOD_SECONDS,
+    CompiledTrace,
+    JobTrace,
+    TraceEntry,
+)
 from repro.model.validation import (
     ConfigOutcome,
     ModelValidator,
@@ -10,6 +21,7 @@ from repro.model.validation import (
 )
 
 __all__ = [
+    "CompiledTrace",
     "ConfigOutcome",
     "FarMemoryModel",
     "ModelValidator",
@@ -21,4 +33,6 @@ __all__ = [
     "JobTrace",
     "TraceEntry",
     "mapreduce",
+    "replay_compiled",
+    "run_model_bench",
 ]

@@ -6,13 +6,27 @@ per-job results (reduce).  This engine reproduces that structure with a
 deterministic in-process executor and an optional process pool — enough to
 demonstrate the embarrassing parallelism the paper's scalability claim
 rests on, without a cluster.
+
+The pool is **persistent**: the first parallel :meth:`MapReduce.run` call
+starts it (lazily, sized to ``min(workers, len(inputs))``), later calls
+reuse it, and :meth:`MapReduce.close` (or the context-manager exit) tears
+it down.  An optional ``initializer`` runs once per worker process at pool
+start-up — the place to ship a large read-only payload (e.g. compiled
+fleet traces) to workers *once per pipeline* instead of once per task.
+
+Picklability contract: workers are ``spawn`` processes, so ``mapper``,
+``initializer``, every element of ``initargs``, every input item, and
+every mapped result must pickle — module-level functions (or
+``functools.partial`` of one) and plain data.  Closures and lambdas fail
+at call time with a pickling error.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
-from dataclasses import dataclass
-from typing import Callable, Generic, List, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.common.validation import check_positive
 
@@ -30,18 +44,78 @@ class MapReduce(Generic[InputT, MappedT, ReducedT]):
     Attributes:
         mapper: pure function applied to each input independently.
         reducer: combines the full list of mapped results.
-        workers: process-pool size; 1 (default) runs in-process.
-        chunk_size: inputs per task when using a pool.
+        workers: process-pool size cap; 1 (default) runs in-process.  The
+            effective pool size is clamped to the input count of the run
+            that starts the pool — workers beyond ``len(inputs)`` would
+            only ever idle.
+        chunk_size: inputs per task when using a pool; ``None`` (default)
+            picks ``ceil(len(inputs) / (4 * pool_size))`` per run, so a
+            handful of heavy batched tasks spread one per worker while
+            thousands of tiny tasks still amortize IPC.
+        initializer: optional per-worker-process setup hook, called once
+            with ``initargs`` when each worker starts (and once lazily
+            in-process when ``workers == 1``).
+        initargs: arguments for ``initializer``.
     """
 
     mapper: Callable[[InputT], MappedT]
     reducer: Callable[[List[MappedT]], ReducedT]
     workers: int = 1
-    chunk_size: int = 8
+    chunk_size: Optional[int] = None
+    initializer: Optional[Callable[..., None]] = None
+    initargs: Tuple[Any, ...] = ()
+    _pool: Optional[Any] = field(default=None, init=False, repr=False,
+                                 compare=False)
+    _pool_size: int = field(default=0, init=False, repr=False, compare=False)
+    _local_initialized: bool = field(default=False, init=False, repr=False,
+                                     compare=False)
 
     def __post_init__(self) -> None:
         check_positive(self.workers, "workers")
-        check_positive(self.chunk_size, "chunk_size")
+        if self.chunk_size is not None:
+            check_positive(self.chunk_size, "chunk_size")
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def pool_size(self) -> int:
+        """Size of the running pool (0 when no pool has been started)."""
+        return self._pool_size
+
+    def _ensure_pool(self, size: int):
+        if self._pool is None:
+            context = multiprocessing.get_context("spawn")
+            self._pool = context.Pool(
+                size, initializer=self.initializer, initargs=self.initargs
+            )
+            self._pool_size = size
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the pipeline stays
+        usable — the next parallel run starts a fresh pool)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "MapReduce":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _run_chunk_size(self, n_inputs: int, pool_size: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(n_inputs / (4 * pool_size)))
 
     def run(self, inputs: Sequence[InputT]) -> ReducedT:
         """Execute the pipeline over ``inputs``.
@@ -50,13 +124,21 @@ class MapReduce(Generic[InputT, MappedT, ReducedT]):
         so runs are deterministic for deterministic mappers.
         """
         inputs = list(inputs)
-        if self.workers == 1 or len(inputs) <= 1:
+        effective = min(self.workers, len(inputs))
+        if effective <= 1 and self._pool is None:
+            if self.initializer is not None and not self._local_initialized:
+                self.initializer(*self.initargs)
+                self._local_initialized = True
             mapped = [self.mapper(item) for item in inputs]
         else:
-            # The mapper must be picklable (a module-level function or a
-            # functools.partial of one) for the process pool.
-            with multiprocessing.get_context("spawn").Pool(self.workers) as pool:
-                mapped = pool.map(self.mapper, inputs, chunksize=self.chunk_size)
+            # A started pool serves every later run (even single-input
+            # ones) — the whole point of persistence is not re-shipping
+            # the initializer payload.
+            pool = self._ensure_pool(max(effective, 1))
+            mapped = pool.map(
+                self.mapper, inputs,
+                chunksize=self._run_chunk_size(len(inputs), self._pool_size),
+            )
         return self.reducer(mapped)
 
 
@@ -66,5 +148,6 @@ def mapreduce(
     reducer: Callable[[List[MappedT]], ReducedT],
     workers: int = 1,
 ) -> ReducedT:
-    """Functional shorthand for :class:`MapReduce`."""
-    return MapReduce(mapper=mapper, reducer=reducer, workers=workers).run(inputs)
+    """Functional shorthand for a one-shot :class:`MapReduce` run."""
+    with MapReduce(mapper=mapper, reducer=reducer, workers=workers) as pipeline:
+        return pipeline.run(inputs)

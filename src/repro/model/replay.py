@@ -17,13 +17,30 @@ formulation: total cold memory captured (the objective) and the fleet-wide
 
 Replay of different jobs is independent, so the model runs as a MapReduce
 pipeline (:mod:`repro.model.mapreduce`) and scales linearly with workers.
+Three optimizations multiply on this path:
+
+1. **Vectorized replay** — each trace compiles once into dense suffix-sum
+   tensors (:class:`repro.model.trace.CompiledTrace`) and the §4.3 policy
+   is replayed over arrays (:func:`replay_compiled`).  The scalar
+   interval-by-interval loop (:func:`_replay_one_job`) stays as the
+   semantic oracle; both produce bit-identical reports.
+2. **Batched evaluation** — :meth:`FarMemoryModel.evaluate_many` replays a
+   whole batch of candidate configurations in *one* MapReduce: each map
+   task replays every config of the batch against one compiled trace, so
+   the per-interval best thresholds (config-independent) are computed once
+   per trace per batch, not once per trace per config.
+3. **Persistent pool** — the MapReduce pool outlives individual runs and
+   an initializer ships the compiled traces to each worker once per model,
+   so successive autotuner batches pay no per-batch serialization of the
+   fleet traces.
 """
 
 from __future__ import annotations
 
 import functools
+import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -32,11 +49,19 @@ from repro.core.slo import PromotionRateSlo, normalized_promotion_rate
 from repro.core.threshold_policy import (
     ColdAgeThresholdPolicy,
     ThresholdPolicyConfig,
+    best_thresholds_vectorized,
+    replay_thresholds_vectorized,
 )
 from repro.model.mapreduce import MapReduce
-from repro.model.trace import TRACE_PERIOD_SECONDS, JobTrace
+from repro.model.trace import TRACE_PERIOD_SECONDS, CompiledTrace, JobTrace
+from repro.obs import MetricName, get_registry, get_tracer, Stopwatch
 
-__all__ = ["JobReplayResult", "FleetReplayReport", "FarMemoryModel"]
+__all__ = [
+    "JobReplayResult",
+    "FleetReplayReport",
+    "FarMemoryModel",
+    "replay_compiled",
+]
 
 
 @dataclass
@@ -100,11 +125,12 @@ def _replay_one_job(
     config: ThresholdPolicyConfig,
     slo: PromotionRateSlo,
 ) -> JobReplayResult:
-    """Replay the control algorithm over one job's trace.
+    """Replay the control algorithm over one job's trace (scalar oracle).
 
     For each interval the threshold chosen from history *before* observing
     the interval governs it — exactly the online ordering, where the agent
-    publishes a threshold and the next minute runs under it.
+    publishes a threshold and the next minute runs under it.  This is the
+    reference implementation :func:`replay_compiled` is proven against.
     """
     result = JobReplayResult(job_id=trace.job_id)
     if not trace.entries:
@@ -134,14 +160,115 @@ def _replay_one_job(
     return result
 
 
+def replay_compiled(
+    compiled: CompiledTrace,
+    configs: Sequence[ThresholdPolicyConfig],
+    slo: PromotionRateSlo,
+) -> List[JobReplayResult]:
+    """Vectorized replay of one compiled trace under a batch of configs.
+
+    The per-interval *best* thresholds depend only on the trace and the
+    SLO, never on ``(K, S)`` — so they are computed once here and shared
+    across the whole config batch; only the rolling-percentile decode and
+    the histogram lookups are per-config.  Every arithmetic step mirrors
+    :func:`_replay_one_job` operation for operation, so results are
+    bit-identical to the scalar oracle.
+    """
+    if compiled.intervals == 0 or compiled.bins is None:
+        return [JobReplayResult(job_id=compiled.job_id) for _ in configs]
+    best = best_thresholds_vectorized(
+        compiled.promotion_suffix_sums[:, :-1],
+        compiled.working_set_pages,
+        compiled.bins,
+        slo,
+        compiled.interval_seconds,
+    )
+    wss = compiled.working_set_pages.astype(float)
+    results: List[JobReplayResult] = []
+    for config in configs:
+        thresholds = replay_thresholds_vectorized(
+            best, config, compiled.bins, compiled.interval_seconds
+        )
+        captured = compiled.colder_than(thresholds, cold=True).astype(float)
+        promoted = compiled.colder_than(thresholds, cold=False)
+        per_min = promoted * (MINUTE / compiled.interval_seconds)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rates = np.where(
+                wss > 0.0,
+                (100.0 * per_min) / wss,
+                np.where(per_min <= 0.0, 0.0, float("inf")),
+            )
+        results.append(
+            JobReplayResult(
+                job_id=compiled.job_id,
+                cold_pages_captured=captured.tolist(),
+                normalized_rates=rates.tolist(),
+                thresholds=thresholds.tolist(),
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Worker-side state for the persistent pool
+# ----------------------------------------------------------------------
+#
+# The pool initializer runs once per worker process and parks the model's
+# replay payload (compiled traces — or raw traces for the scalar oracle)
+# in this module-global dict, keyed by a per-model token so several models
+# sharing one process (workers=1 runs in-process) never clobber each
+# other.  Map tasks then carry only ``(trace_index, configs)``.
+
+_ReplayPayload = Union[List[CompiledTrace], List[JobTrace]]
+_WORKER_STATE: Dict[str, Tuple[_ReplayPayload, PromotionRateSlo]] = {}
+_MODEL_TOKENS = itertools.count()
+
+
+def _init_model_worker(
+    token: str, payload: _ReplayPayload, slo: PromotionRateSlo
+) -> None:
+    """Pool initializer: receive the replay payload once per worker."""
+    _WORKER_STATE[token] = (payload, slo)
+
+
+def _replay_batch_task(
+    task: Tuple[int, List[ThresholdPolicyConfig]],
+    token: str,
+    vectorized: bool,
+) -> List[JobReplayResult]:
+    """One map task: replay the whole config batch against one trace."""
+    index, configs = task
+    payload, slo = _WORKER_STATE[token]
+    unit = payload[index]
+    if vectorized:
+        return replay_compiled(unit, configs, slo)
+    return [_replay_one_job(unit, config, slo) for config in configs]
+
+
+def _collect(mapped: List[List[JobReplayResult]]) -> List[List[JobReplayResult]]:
+    """Identity reducer: the fleet reduction is per-config, done by the model."""
+    return mapped
+
+
 class FarMemoryModel:
     """Replays fleet traces under candidate configurations.
+
+    Traces compile lazily on first evaluation; the MapReduce pool (when
+    ``workers > 1``) starts lazily, persists across evaluations, and ships
+    the compiled traces to each worker once via the pool initializer.
+    Call :meth:`close` (or use the model as a context manager) to tear the
+    pool down.
 
     Args:
         traces: per-job traces (e.g. ``trace_db.traces()``).
         slo: the promotion-rate SLO used both inside the policy and as the
             fleet constraint.
         workers: MapReduce worker processes (1 = in-process).
+        vectorized: replay compiled tensors (default) or drive the scalar
+            policy loop per interval (the reference oracle — identical
+            results, orders of magnitude slower).
+        registry: metrics registry (defaults to the process registry).
+        tracer: span tracer (defaults to the process tracer).
     """
 
     def __init__(
@@ -149,29 +276,113 @@ class FarMemoryModel:
         traces: Sequence[JobTrace],
         slo: Optional[PromotionRateSlo] = None,
         workers: int = 1,
+        vectorized: bool = True,
+        registry=None,
+        tracer=None,
     ):
         self.traces = list(traces)
         self.slo = slo if slo is not None else PromotionRateSlo()
         self.workers = workers
+        self.vectorized = vectorized
+        registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._m_configs = registry.counter(
+            MetricName.MODEL_CONFIGS_EVALUATED_TOTAL,
+            "Candidate configurations evaluated by the fast model.",
+        )
+        self._m_seconds = registry.histogram(
+            MetricName.MODEL_EVALUATION_SECONDS,
+            "Wall seconds per evaluate_many batch.",
+        )
+        self._m_compiled = registry.counter(
+            MetricName.MODEL_TRACES_COMPILED_TOTAL,
+            "Job traces compiled into replay tensors.",
+        )
+        self._compiled: Optional[List[CompiledTrace]] = None
+        self._pipeline: Optional[MapReduce] = None
+        self._token: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Lazy compilation & pool lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def compiled_traces(self) -> List[CompiledTrace]:
+        """The traces as replay tensors (compiled once, cached)."""
+        if self._compiled is None:
+            with self._tracer.span("model.compile"):
+                self._compiled = [trace.compile() for trace in self.traces]
+            self._m_compiled.inc(len(self._compiled))
+        return self._compiled
+
+    def _ensure_pipeline(self) -> MapReduce:
+        if self._pipeline is None:
+            payload: _ReplayPayload = (
+                self.compiled_traces if self.vectorized else self.traces
+            )
+            self._token = f"model-{next(_MODEL_TOKENS)}"
+            self._pipeline = MapReduce(
+                mapper=functools.partial(
+                    _replay_batch_task,
+                    token=self._token,
+                    vectorized=self.vectorized,
+                ),
+                reducer=_collect,
+                workers=self.workers,
+                initializer=_init_model_worker,
+                initargs=(self._token, payload, self.slo),
+            )
+        return self._pipeline
+
+    def close(self) -> None:
+        """Shut the worker pool down and drop in-process worker state."""
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
+        if self._token is not None:
+            _WORKER_STATE.pop(self._token, None)
+            self._token = None
+
+    def __enter__(self) -> "FarMemoryModel":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
 
     def evaluate(self, config: ThresholdPolicyConfig) -> FleetReplayReport:
         """What-if analysis of one configuration over the whole fleet."""
-        pipeline = MapReduce(
-            mapper=functools.partial(
-                _replay_one_job, config=config, slo=self.slo
-            ),
-            reducer=functools.partial(
-                _reduce_fleet, config=config, slo=self.slo
-            ),
-            workers=self.workers,
-        )
-        return pipeline.run(self.traces)
+        return self.evaluate_many([config])[0]
 
     def evaluate_many(
         self, configs: Sequence[ThresholdPolicyConfig]
     ) -> List[FleetReplayReport]:
-        """Evaluate several configurations (independent, order-preserving)."""
-        return [self.evaluate(config) for config in configs]
+        """Evaluate a batch of configurations in one MapReduce.
+
+        Each map task replays the *entire* batch against one trace, so the
+        per-trace best-threshold pass amortizes across the batch and a
+        fleet of N traces costs N tasks regardless of batch size.  Reports
+        come back in ``configs`` order.
+        """
+        configs = list(configs)
+        if not configs:
+            return []
+        pipeline = self._ensure_pipeline()
+        n_traces = len(self.traces)
+        tasks = [(index, configs) for index in range(n_traces)]
+        with self._tracer.span("model.evaluate_many", batch=len(configs)):
+            with Stopwatch() as watch:
+                per_trace = pipeline.run(tasks)
+        self._m_configs.inc(len(configs))
+        self._m_seconds.observe(watch.seconds)
+        reports = []
+        for j, config in enumerate(configs):
+            results = [per_trace[i][j] for i in range(n_traces)]
+            reports.append(_reduce_fleet(results, config=config, slo=self.slo))
+        return reports
 
 
 def _reduce_fleet(

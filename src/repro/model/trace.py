@@ -20,14 +20,14 @@ shipped to the autotuner.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import TraceError
 from repro.core.histograms import AgeBins, AgeHistogram
 
-__all__ = ["TRACE_PERIOD_SECONDS", "TraceEntry", "JobTrace"]
+__all__ = ["TRACE_PERIOD_SECONDS", "TraceEntry", "JobTrace", "CompiledTrace"]
 
 #: Aggregation period of one trace entry (the paper uses 5 minutes).
 TRACE_PERIOD_SECONDS = 300
@@ -183,3 +183,135 @@ class JobTrace:
         for data in dicts:
             trace.append(TraceEntry.from_dict(data))
         return trace
+
+    def compile(self) -> "CompiledTrace":
+        """Compile this trace into dense arrays for vectorized replay."""
+        return CompiledTrace.from_trace(self)
+
+
+@dataclass(frozen=True)
+class CompiledTrace:
+    """One job's trace as dense tensors (the vectorized-replay unit).
+
+    Replaying a trace needs, per interval, only ``colder_than(T)`` lookups
+    on the two histograms plus the working-set size — so a trace compiles
+    once into per-interval suffix-sum matrices (``suffix[t, i]`` is the
+    count with age >= ``bins.thresholds[i]`` during interval ``t``; column
+    ``len(bins)`` is an explicit zero so a threshold beyond the grid
+    indexes to zero, mirroring :meth:`AgeHistogram.colder_than`), a
+    working-set vector, and interval metadata.  All fields are plain
+    numpy arrays, so a compiled trace pickles cheaply and ships to
+    MapReduce workers once per model instead of once per configuration.
+
+    Attributes:
+        job_id: the compiled job.
+        bins: the candidate-threshold grid (None only for empty traces).
+        cold_suffix_sums: ``(intervals, len(bins) + 1)`` int64 matrix of
+            cold-age-histogram suffix sums.
+        promotion_suffix_sums: same shape, for the promotion histograms.
+        working_set_pages: ``(intervals,)`` int64 vector.
+        times: ``(intervals,)`` int64 vector of period start times.
+        resident_pages: ``(intervals,)`` int64 vector.
+        cpu_cores: ``(intervals,)`` float vector (overhead normalization).
+        interval_seconds: aggregation period of each interval.
+    """
+
+    job_id: str
+    bins: Optional[AgeBins]
+    cold_suffix_sums: np.ndarray
+    promotion_suffix_sums: np.ndarray
+    working_set_pages: np.ndarray
+    times: np.ndarray
+    resident_pages: np.ndarray
+    cpu_cores: np.ndarray
+    interval_seconds: int = TRACE_PERIOD_SECONDS
+
+    @property
+    def intervals(self) -> int:
+        return int(self.working_set_pages.size)
+
+    @classmethod
+    def from_trace(cls, trace: JobTrace) -> "CompiledTrace":
+        """Compile a :class:`JobTrace` (one pass; O(intervals * bins)).
+
+        Raises:
+            TraceError: if entries disagree on the threshold grid — the
+                scalar replay would reject such a trace mid-flight, the
+                compiler rejects it up front.
+        """
+        if not trace.entries:
+            empty = np.zeros((0, 1), dtype=np.int64)
+            vec = np.zeros(0, dtype=np.int64)
+            return cls(
+                job_id=trace.job_id,
+                bins=None,
+                cold_suffix_sums=empty,
+                promotion_suffix_sums=empty.copy(),
+                working_set_pages=vec,
+                times=vec.copy(),
+                resident_pages=vec.copy(),
+                cpu_cores=np.zeros(0, dtype=float),
+            )
+        bins = trace.entries[0].bins
+        for entry in trace.entries:
+            if entry.bins.thresholds != bins.thresholds:
+                raise TraceError(
+                    f"trace {trace.job_id} mixes threshold grids; "
+                    f"cannot compile"
+                )
+        cold_counts = np.stack(
+            [entry.cold_age_histogram.counts for entry in trace.entries]
+        )
+        promo_counts = np.stack(
+            [entry.promotion_histogram.counts for entry in trace.entries]
+        )
+        return cls(
+            job_id=trace.job_id,
+            bins=bins,
+            cold_suffix_sums=_suffix_sum_matrix(cold_counts),
+            promotion_suffix_sums=_suffix_sum_matrix(promo_counts),
+            working_set_pages=np.asarray(
+                [entry.working_set_pages for entry in trace.entries],
+                dtype=np.int64,
+            ),
+            times=np.asarray(
+                [entry.time for entry in trace.entries], dtype=np.int64
+            ),
+            resident_pages=np.asarray(
+                [entry.resident_pages for entry in trace.entries],
+                dtype=np.int64,
+            ),
+            cpu_cores=np.asarray(
+                [entry.cpu_cores for entry in trace.entries], dtype=float
+            ),
+        )
+
+    def colder_than(self, thresholds: np.ndarray, *, cold: bool) -> np.ndarray:
+        """Per-interval ``colder_than(thresholds[t])`` as one indexed lookup.
+
+        Args:
+            thresholds: ``(intervals,)`` per-interval thresholds; infinite
+                entries (DISABLED) yield 0.
+            cold: read the cold-age matrix (True) or the promotion matrix.
+        """
+        assert self.bins is not None
+        matrix = self.cold_suffix_sums if cold else self.promotion_suffix_sums
+        grid = np.asarray(self.bins.thresholds)
+        finite = np.isfinite(thresholds)
+        # DISABLED rows index the explicit zero column.
+        column = np.full(thresholds.shape, len(grid), dtype=np.int64)
+        column[finite] = np.searchsorted(grid, thresholds[finite], side="left")
+        return matrix[np.arange(matrix.shape[0]), column]
+
+
+def _suffix_sum_matrix(counts: np.ndarray) -> np.ndarray:
+    """Row-wise suffix sums with a trailing zero column.
+
+    ``result[t, i] == counts[t, i:].sum()`` — the matrix form of
+    :meth:`AgeHistogram.suffix_sums` — and ``result[t, -1] == 0`` so that
+    an index one past the grid (a threshold larger than every candidate)
+    reads zero.
+    """
+    suffix = np.cumsum(counts[:, ::-1], axis=1, dtype=np.int64)[:, ::-1]
+    zero = np.zeros((counts.shape[0], 1), dtype=np.int64)
+    return np.concatenate([suffix, zero], axis=1)

@@ -29,6 +29,7 @@ from repro.obs.tracing import (
     set_tracer,
 )
 from repro.obs.profiling import (
+    Stopwatch,
     SubsystemStats,
     flame_table,
     profile_to_registry,
@@ -49,6 +50,7 @@ __all__ = [
     "NULL_TRACER",
     "SpanRecord",
     "SpanStats",
+    "Stopwatch",
     "SubsystemStats",
     "Tracer",
     "flame_table",

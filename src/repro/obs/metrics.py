@@ -105,6 +105,11 @@ class MetricName:
     DEGRADED_MODE = "repro_degraded_mode"
     ENGINE_SHARD_FALLBACKS_TOTAL = "repro_engine_shard_fallbacks_total"
 
+    # Fast far memory model (paper §5.3)
+    MODEL_CONFIGS_EVALUATED_TOTAL = "repro_model_configs_evaluated_total"
+    MODEL_EVALUATION_SECONDS = "repro_model_evaluation_seconds"
+    MODEL_TRACES_COMPILED_TOTAL = "repro_model_traces_compiled_total"
+
     # Autotuner (paper §5.3)
     BANDIT_SUGGESTIONS_TOTAL = "repro_bandit_suggestions_total"
     BANDIT_OBSERVATIONS_TOTAL = "repro_bandit_observations_total"

@@ -17,17 +17,57 @@ exposition carries both the fleet SLIs and the timing profile.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List
 
 from repro.obs.metrics import MetricName, MetricRegistry
 from repro.obs.tracing import SpanStats, Tracer
 
 __all__ = [
+    "Stopwatch",
     "SubsystemStats",
     "flame_table",
     "subsystem_table",
     "profile_to_registry",
 ]
+
+
+class Stopwatch:
+    """A context manager measuring wall time (``time.perf_counter``).
+
+    Simulation code must never read the wall clock directly (the DET001
+    lint rule); code that wants to *observe* its own wall cost — e.g. the
+    fast far memory model's evaluation-seconds histogram — times the block
+    through this obs-layer helper instead::
+
+        with Stopwatch() as watch:
+            expensive()
+        histogram.observe(watch.seconds)
+
+    ``seconds`` reads as the running elapsed time while the block is still
+    open and freezes at exit.
+    """
+
+    __slots__ = ("_start", "_elapsed")
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._elapsed = perf_counter() - self._start
+        return False
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed wall seconds (running until the block exits)."""
+        if self._elapsed:
+            return self._elapsed
+        return perf_counter() - self._start
 
 
 @dataclass

@@ -5,10 +5,12 @@ import pytest
 
 from repro.common.errors import AutotunerError
 from repro.core.histograms import AgeHistogram, default_age_bins
+from repro.core.slo import PromotionRateSlo
 from repro.core.threshold_policy import ThresholdPolicyConfig
-from repro.model.replay import FarMemoryModel
+from repro.model.replay import FarMemoryModel, FleetReplayReport
 from repro.model.trace import JobTrace, TraceEntry
 from repro.autotuner.pipeline import AutotuningPipeline, TuningResult
+from repro.autotuner.search_space import config_from_values
 
 
 def make_fleet_traces(n_jobs=6, n_entries=16, seed=0):
@@ -101,3 +103,76 @@ class TestPipeline:
         )
         if gp.best and random.best:
             assert gp.best.objective >= 0.8 * random.best.objective
+
+
+class _InfeasibleModel:
+    """A model whose every evaluation violates the SLO."""
+
+    def __init__(self):
+        self.slo = PromotionRateSlo()
+
+    def evaluate_many(self, configs):
+        return [
+            FleetReplayReport(
+                config=config,
+                total_cold_pages=1.0,
+                promotion_rate_p98=self.slo.target_pct_per_min * 10.0,
+                slo_target=self.slo.target_pct_per_min,
+                job_results=[],
+            )
+            for config in configs
+        ]
+
+
+class _BatchRecordingModel:
+    """Delegating wrapper that records every evaluate_many batch size."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.slo = inner.slo
+        self.batch_sizes = []
+
+    def evaluate_many(self, configs):
+        configs = list(configs)
+        self.batch_sizes.append(len(configs))
+        return self._inner.evaluate_many(configs)
+
+
+class TestBatchedRuns:
+    def test_run_evaluates_one_batch_per_iteration(self):
+        recording = _BatchRecordingModel(FarMemoryModel(make_fleet_traces()))
+        pipeline = AutotuningPipeline(recording, batch_size=3, seed=0)
+        result = pipeline.run(iterations=2)
+        assert recording.batch_sizes == [3, 3]
+        assert len(result.trials) == 6
+
+    def test_random_baseline_batches_and_preserves_draws(self, model):
+        """Batching must not change which configurations the baseline
+        tries: the rng stream is drawn point by point, exactly as the
+        unbatched loop drew it."""
+        pipeline = AutotuningPipeline(model, batch_size=4, seed=0)
+        result = pipeline.run_random_baseline(n_trials=6, seed=3)
+        rng = np.random.default_rng(3)
+        expected = [
+            config_from_values(
+                pipeline.space.from_unit(rng.random(pipeline.space.dim))
+            )
+            for _ in range(6)
+        ]
+        assert [t.config for t in result.trials] == expected
+
+    def test_no_feasible_trial_leaves_best_none(self):
+        """Regression: a warm-started bandit can hold a feasible
+        observation while the current run produces only infeasible
+        trials — ``run`` used to crash with ``max() of empty sequence``
+        instead of reporting best=None."""
+        pipeline = AutotuningPipeline(_InfeasibleModel(), batch_size=2,
+                                      seed=0)
+        pipeline.bandit.observe(
+            np.full(pipeline.space.dim, 0.5), objective=100.0, constraint=0.0
+        )
+        result = pipeline.run(iterations=2)
+        assert len(result.trials) == 4
+        assert result.best is None
+        with pytest.raises(AutotunerError):
+            _ = result.best_config

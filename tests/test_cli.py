@@ -59,6 +59,14 @@ class TestParser:
         assert args.workers == 2
         assert args.output == "/tmp/b.json"
 
+    def test_bench_model_defaults(self):
+        args = build_parser().parse_args(["bench", "--model"])
+        assert args.model
+        assert args.jobs is None
+        assert args.intervals == 288
+        assert args.configs == 8
+        assert not build_parser().parse_args(["bench"]).model
+
     def test_chaos_defaults(self):
         args = build_parser().parse_args(["chaos"])
         assert args.scenario == "mixed"
@@ -82,6 +90,7 @@ class TestParser:
     def test_ci_defaults(self):
         args = build_parser().parse_args(["ci"])
         assert not args.skip_tests
+        assert not args.skip_bench
         assert args.pytest_args == []
         assert args.func.__name__ == "cmd_ci"
 
@@ -129,6 +138,17 @@ class TestExecution:
         assert report["equivalent"]
         assert report["serial"]["ticks_per_second"] > 0
         assert report["parallel"]["ticks_per_second"] > 0
+        assert "speedup" in capsys.readouterr().out.lower()
+
+    def test_bench_model_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "model.json"
+        code = main(["bench", "--model", "--quick", "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["equivalent"] is True
+        assert report["vectorized"]["configs_per_second"] > 0
         assert "speedup" in capsys.readouterr().out.lower()
 
     def test_figures_writes_directory(self, tmp_path, capsys):

@@ -14,6 +14,24 @@ def total(values):
     return sum(values)
 
 
+def identity_list(values):
+    return values
+
+
+#: In-process initializer scratch space (one key per test).
+_INIT_SCRATCH = {}
+
+
+def remember(key, value):
+    _INIT_SCRATCH.setdefault(key, {"calls": 0})
+    _INIT_SCRATCH[key]["calls"] += 1
+    _INIT_SCRATCH[key]["value"] = value
+
+
+def read_remembered(_item, key):
+    return _INIT_SCRATCH[key]["value"]
+
+
 class TestInProcess:
     def test_map_then_reduce(self):
         assert mapreduce([1, 2, 3, 4], square, total) == 30
@@ -50,3 +68,81 @@ class TestValidation:
     def test_bad_chunk_size(self):
         with pytest.raises(ConfigurationError):
             MapReduce(square, total, chunk_size=0)
+
+    def test_none_chunk_size_is_auto(self):
+        pipeline = MapReduce(square, total)
+        assert pipeline.chunk_size is None
+        # ceil(100 / (4 * 4)) = 7: thousands of tiny tasks amortize IPC.
+        assert pipeline._run_chunk_size(100, 4) == 7
+        # A handful of heavy batched tasks spread one per worker.
+        assert pipeline._run_chunk_size(3, 3) == 1
+
+    def test_explicit_chunk_size_wins(self):
+        pipeline = MapReduce(square, total, chunk_size=5)
+        assert pipeline._run_chunk_size(100, 4) == 5
+
+
+class TestPersistentPool:
+    def test_pool_persists_across_runs(self):
+        with MapReduce(square, total, workers=2) as pipeline:
+            assert pipeline.pool_size == 0
+            assert pipeline.run(list(range(10))) == total(
+                square(x) for x in range(10)
+            )
+            assert pipeline.pool_size == 2
+            first_pool = pipeline._pool
+            pipeline.run(list(range(4)))
+            assert pipeline._pool is first_pool
+        assert pipeline.pool_size == 0
+
+    def test_workers_clamped_to_inputs(self):
+        with MapReduce(square, total, workers=8) as pipeline:
+            assert pipeline.run([1, 2, 3]) == 14
+            assert pipeline.pool_size == 3
+
+    def test_close_idempotent_and_pool_restartable(self):
+        pipeline = MapReduce(square, total, workers=2)
+        pipeline.run(list(range(6)))
+        pipeline.close()
+        pipeline.close()
+        assert pipeline.pool_size == 0
+        assert pipeline.run(list(range(6))) == total(
+            square(x) for x in range(6)
+        )
+        assert pipeline.pool_size == 2
+        pipeline.close()
+
+    def test_started_pool_serves_single_input_runs(self):
+        with MapReduce(square, total, workers=2) as pipeline:
+            pipeline.run(list(range(8)))
+            assert pipeline.run([3]) == 9
+            assert pipeline.pool_size == 2
+
+
+class TestInitializer:
+    def test_spawn_workers_receive_payload(self):
+        import functools
+
+        pipeline = MapReduce(
+            functools.partial(read_remembered, key="spawn"),
+            identity_list,
+            workers=2,
+            initializer=remember,
+            initargs=("spawn", "shipped-once"),
+        )
+        with pipeline:
+            assert pipeline.run([1, 2, 3, 4]) == ["shipped-once"] * 4
+
+    def test_in_process_initializer_called_once(self):
+        import functools
+
+        _INIT_SCRATCH.pop("local", None)
+        pipeline = MapReduce(
+            functools.partial(read_remembered, key="local"),
+            identity_list,
+            initializer=remember,
+            initargs=("local", "payload"),
+        )
+        assert pipeline.run([1]) == ["payload"]
+        assert pipeline.run([2]) == ["payload"]
+        assert _INIT_SCRATCH["local"]["calls"] == 1

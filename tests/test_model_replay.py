@@ -6,8 +6,9 @@ import pytest
 from repro.core.histograms import AgeHistogram, default_age_bins
 from repro.core.slo import PromotionRateSlo
 from repro.core.threshold_policy import ThresholdPolicyConfig
-from repro.model.replay import FarMemoryModel, _replay_one_job
+from repro.model.replay import FarMemoryModel, _replay_one_job, replay_compiled
 from repro.model.trace import JobTrace, TraceEntry
+from repro.obs import MetricName, MetricRegistry
 
 
 def make_trace(job_id="j", n_entries=12, cold_pages=500, wss=1000,
@@ -34,6 +35,56 @@ def make_trace(job_id="j", n_entries=12, cold_pages=500, wss=1000,
             )
         )
     return trace
+
+
+def make_random_trace(rng, job_id="r", n_entries=40, zero_wss_at=(),
+                      promo_scale=60):
+    """A randomized trace whose statistics drift interval to interval."""
+    bins = default_age_bins()
+    trace = JobTrace(job_id)
+    for i in range(n_entries):
+        promo = AgeHistogram(bins)
+        promo.add_binned(rng.integers(0, promo_scale, size=len(bins)))
+        cold = AgeHistogram(bins)
+        cold.add_binned(rng.integers(0, 3000, size=len(bins)))
+        wss = 0 if i in zero_wss_at else int(rng.integers(1, 60_000))
+        trace.append(
+            TraceEntry(
+                job_id=job_id,
+                machine_id="m0",
+                time=i * 300,
+                working_set_pages=wss,
+                promotion_histogram=promo,
+                cold_age_histogram=cold,
+                resident_pages=wss + 1000,
+            )
+        )
+    return trace
+
+
+#: Configurations spanning every branch of the policy: percentile
+#: extremes, tiny/large history windows, warm-up edge cases, the
+#: fixed-threshold bypass, and spike reaction on/off.
+EQUIVALENCE_CONFIGS = [
+    ThresholdPolicyConfig(),
+    ThresholdPolicyConfig(percentile_k=0.0, warmup_seconds=0),
+    ThresholdPolicyConfig(percentile_k=100.0, history_length=1),
+    ThresholdPolicyConfig(percentile_k=50.0, warmup_seconds=300,
+                          history_length=3),
+    ThresholdPolicyConfig(percentile_k=98.0, history_length=2,
+                          spike_reaction=False),
+    ThresholdPolicyConfig(fixed_threshold_seconds=480.0),
+    ThresholdPolicyConfig(fixed_threshold_seconds=480.0, warmup_seconds=0),
+    ThresholdPolicyConfig(percentile_k=75.0, warmup_seconds=10**9),
+]
+
+
+def assert_bit_identical(scalar, vectorized):
+    __tracebackhide__ = True
+    assert scalar.job_id == vectorized.job_id
+    assert scalar.thresholds == vectorized.thresholds
+    assert scalar.cold_pages_captured == vectorized.cold_pages_captured
+    assert scalar.normalized_rates == vectorized.normalized_rates
 
 
 class TestReplayOneJob:
@@ -161,3 +212,122 @@ class TestFleetModel:
             policy.observe(entry.promotion_histogram,
                            entry.working_set_pages, 300)
         assert result.thresholds == expected
+
+
+class TestVectorizedEquivalence:
+    """The vectorized replay must be bit-identical to the scalar oracle —
+    not approximately equal: the autotuner ranks configurations by these
+    numbers, and a one-ulp divergence could flip a ranking."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 7])
+    def test_randomized_traces_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        slo = PromotionRateSlo()
+        trace = make_random_trace(
+            rng, n_entries=int(rng.integers(1, 200)), zero_wss_at=(0, 2, 9)
+        )
+        compiled = trace.compile()
+        vectorized = replay_compiled(compiled, EQUIVALENCE_CONFIGS, slo)
+        for config, vec in zip(EQUIVALENCE_CONFIGS, vectorized):
+            assert_bit_identical(_replay_one_job(trace, config, slo), vec)
+
+    def test_empty_trace(self):
+        slo = PromotionRateSlo()
+        compiled = JobTrace("empty").compile()
+        results = replay_compiled(compiled, EQUIVALENCE_CONFIGS, slo)
+        assert len(results) == len(EQUIVALENCE_CONFIGS)
+        for result in results:
+            assert result.intervals == 0
+            assert result.mean_cold_pages == 0.0
+
+    def test_all_intervals_disabled_by_warmup(self):
+        """A warm-up longer than the trace leaves every threshold DISABLED
+        and captures nothing, in both implementations."""
+        slo = PromotionRateSlo()
+        config = ThresholdPolicyConfig(warmup_seconds=10**9)
+        trace = make_trace(n_entries=10)
+        vec = replay_compiled(trace.compile(), [config], slo)[0]
+        assert_bit_identical(_replay_one_job(trace, config, slo), vec)
+        assert all(t == float("inf") for t in vec.thresholds)
+        assert all(c == 0.0 for c in vec.cold_pages_captured)
+
+    def test_zero_wss_without_promotions_rates_are_zero(self):
+        slo = PromotionRateSlo()
+        config = ThresholdPolicyConfig(percentile_k=90, warmup_seconds=0)
+        rng = np.random.default_rng(11)
+        trace = make_random_trace(
+            rng, n_entries=8, zero_wss_at=range(8), promo_scale=1
+        )
+        # promo_scale=1 keeps integers(0, 1) == 0: no promotions at all.
+        vec = replay_compiled(trace.compile(), [config], slo)[0]
+        assert_bit_identical(_replay_one_job(trace, config, slo), vec)
+        assert all(r == 0.0 for r in vec.normalized_rates)
+
+    def test_zero_wss_with_promotions_rates_are_inf(self):
+        """Promotions against an empty working set normalize to inf — the
+        'cannot meet any SLO' sentinel — and inf must survive the
+        vectorized where/errstate plumbing unchanged."""
+        slo = PromotionRateSlo()
+        config = ThresholdPolicyConfig(percentile_k=90, warmup_seconds=0,
+                                       fixed_threshold_seconds=120.0)
+        rng = np.random.default_rng(13)
+        trace = make_random_trace(rng, n_entries=8, zero_wss_at=range(8))
+        vec = replay_compiled(trace.compile(), [config], slo)[0]
+        assert_bit_identical(_replay_one_job(trace, config, slo), vec)
+        assert any(r == float("inf") for r in vec.normalized_rates)
+
+    def test_model_scalar_mode_matches_vectorized_mode(self):
+        traces = [make_random_trace(np.random.default_rng(s), job_id=f"j{s}",
+                                    n_entries=30)
+                  for s in range(3)] + [JobTrace("empty")]
+        config = ThresholdPolicyConfig(percentile_k=95, warmup_seconds=600)
+        vec_report = FarMemoryModel(traces).evaluate(config)
+        scalar_report = FarMemoryModel(traces, vectorized=False).evaluate(
+            config
+        )
+        assert vec_report == scalar_report
+
+
+class TestBatchedEvaluation:
+    def test_empty_batch(self):
+        assert FarMemoryModel([make_trace()]).evaluate_many([]) == []
+
+    def test_batch_matches_individual_evaluates(self):
+        model = FarMemoryModel([make_trace(promo_ages=[300.0] * 20)])
+        configs = [
+            ThresholdPolicyConfig(percentile_k=50, warmup_seconds=0),
+            ThresholdPolicyConfig(percentile_k=99),
+            ThresholdPolicyConfig(fixed_threshold_seconds=240.0),
+        ]
+        batched = model.evaluate_many(configs)
+        assert batched == [model.evaluate(c) for c in configs]
+
+    def test_throughput_metrics(self):
+        registry = MetricRegistry()
+        model = FarMemoryModel([make_trace()], registry=registry)
+        model.evaluate_many([ThresholdPolicyConfig(),
+                             ThresholdPolicyConfig(percentile_k=50.0)])
+        configs_total = registry.counter(
+            MetricName.MODEL_CONFIGS_EVALUATED_TOTAL
+        )
+        seconds = registry.histogram(MetricName.MODEL_EVALUATION_SECONDS)
+        compiled_total = registry.counter(
+            MetricName.MODEL_TRACES_COMPILED_TOTAL
+        )
+        assert configs_total.value == 2.0
+        assert seconds.count == 1
+        assert compiled_total.value == 1.0
+
+    def test_traces_compile_once(self):
+        model = FarMemoryModel([make_trace()])
+        first = model.compiled_traces
+        model.evaluate(ThresholdPolicyConfig())
+        assert model.compiled_traces is first
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        with FarMemoryModel([make_trace()]) as model:
+            model.evaluate(ThresholdPolicyConfig())
+        model.close()
+        # Still usable after close: the next evaluation rebuilds lazily.
+        report = model.evaluate(ThresholdPolicyConfig())
+        assert report.job_results
