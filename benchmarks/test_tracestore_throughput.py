@@ -1,0 +1,48 @@
+"""The columnar trace store at bench fleet size (``BENCH_trace.json``).
+
+The acceptance bar for ROADMAP open item 5's disk half: replaying the
+what-if batch from on-disk columns must be bit-identical to the object
+path, compile at least as fast, and — the reason the store exists —
+peak *lower* in memory, because no ``TraceEntry``/``JobTrace`` objects
+are ever materialized.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tracestore.bench import run_trace_bench
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def trace_report(results_dir):
+    """One default-sized trace bench run, persisted for inspection."""
+    report = run_trace_bench(output=results_dir / "BENCH_trace.json")
+    print("\n" + json.dumps(report, indent=2))
+    return report
+
+
+def test_columnar_replay_equivalent(trace_report):
+    assert trace_report["equivalent"]
+
+
+def test_columnar_peaks_lower_than_object_path(trace_report):
+    assert trace_report["peak_mem_ratio"] < 1.0
+
+
+def test_compile_from_columns_not_slower(trace_report):
+    # Generous bound: from_columns skips entry materialization entirely,
+    # so even on a loaded host it should never lose to the object path.
+    assert trace_report["compile_speedup"] >= 1.0
+
+
+def test_ingest_throughput(trace_report):
+    # The append path is pure python + numpy copies; tens of thousands of
+    # rows/s is the conservative floor on any host.
+    assert trace_report["ingest"]["rows_per_second"] > 5_000
+    assert trace_report["flush"]["segments"] >= 1
+    assert trace_report["flush"]["bytes_written"] > 0

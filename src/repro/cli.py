@@ -11,8 +11,12 @@ Commands:
 * ``metrics`` — run an instrumented fleet and print the health report,
   or the full metric exposition (``--format prom|json``).
 * ``bench`` — time the same fleet serially and under the parallel
-  engine (``BENCH_fleet.json``), or with ``--model`` the fast far memory
-  model scalar-vs-vectorized (``BENCH_model.json``).
+  engine (``BENCH_fleet.json``), with ``--model`` the fast far memory
+  model scalar-vs-vectorized (``BENCH_model.json``), or with ``--trace``
+  the columnar trace store against the object path
+  (``BENCH_trace.json``).
+* ``trace`` — inspect and convert columnar trace stores: ``stats``,
+  ``window``, ``export``/``import`` (jsonl <-> columnar), ``compact``.
 * ``chaos`` — run a named fault-injection scenario and report the SLO
   impact against a fault-free baseline of the same fleet and seed.
 * ``ci`` — the one-command gate: tier-1 tests with runtime invariants on
@@ -257,10 +261,13 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Throughput comparison: fleet engine (BENCH_fleet.json) or the fast
-    far memory model (``--model``, BENCH_model.json)."""
+    """Throughput comparison: fleet engine (BENCH_fleet.json), the fast
+    far memory model (``--model``, BENCH_model.json), or the columnar
+    trace store (``--trace``, BENCH_trace.json)."""
     if args.model:
         return _cmd_bench_model(args)
+    if args.trace:
+        return _cmd_bench_trace(args)
     from repro.engine.bench import run_bench
 
     kwargs = dict(
@@ -342,6 +349,112 @@ def _cmd_bench_model(args: argparse.Namespace) -> int:
     ))
     print(f"Wrote {output}")
     return 0 if report["equivalent"] else 1
+
+
+def _cmd_bench_trace(args: argparse.Namespace) -> int:
+    """The ``repro bench --trace`` half: columnar store vs object path."""
+    from repro.tracestore.bench import run_trace_bench
+
+    kwargs = dict(
+        jobs=args.jobs if args.jobs is not None else 24,
+        intervals=args.intervals,
+        configs=args.configs,
+        seed=args.seed,
+    )
+    if args.quick:
+        kwargs.update(jobs=6, intervals=48, configs=2)
+    # The fleet default filename would mislabel a trace-store report.
+    output = args.output
+    if output == "BENCH_fleet.json":
+        output = "BENCH_trace.json"
+    print(f"Benchmarking the trace store: {kwargs['jobs']} jobs x "
+          f"{kwargs['intervals']} intervals, replayed from objects and "
+          f"from on-disk columns...")
+    report = run_trace_bench(output=output, **kwargs)
+    obj, col = report["object_path"], report["columnar_path"]
+    print(render_table(
+        ["", "compile s", "evaluate s", "peak MiB"],
+        [
+            ("object path", f"{obj['compile_wall_seconds']:.3f}",
+             f"{obj['evaluate_wall_seconds']:.3f}",
+             f"{obj['peak_bytes'] / MIB:.1f}"),
+            ("columnar path", f"{col['compile_wall_seconds']:.3f}",
+             f"{col['evaluate_wall_seconds']:.3f}",
+             f"{col['peak_bytes'] / MIB:.1f}"),
+        ],
+        title=f"Trace store ({report['ingest']['rows_per_second']:.0f} "
+              f"rows/s ingest, compile speedup "
+              f"{report['compile_speedup']:.2f}x, peak-mem ratio "
+              f"{report['peak_mem_ratio']:.3f}, "
+              f"equivalent={report['equivalent']})",
+    ))
+    print(f"Wrote {output}")
+    return 0 if report["equivalent"] else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect/convert columnar trace stores (``repro trace ...``)."""
+    from repro.common.errors import TraceError
+    from repro.tracestore import ColumnarTraceDatabase, TraceStore
+
+    try:
+        if args.trace_command == "stats":
+            store = TraceStore(args.store, create=False)
+            time_range = store.time_range
+            rows = [
+                ("rows", f"{store.rows_total}"),
+                ("jobs", f"{len(store.jobs)}"),
+                ("machines", f"{len(store.machines)}"),
+                ("segments", f"{len(store.segments)}"),
+                ("segment bytes",
+                 f"{sum(seg.bytes for seg in store.segments)}"),
+                ("downsample factor", f"{store.downsample_factor()}"),
+                ("interval seconds", f"{store.interval_seconds}"),
+                ("time range",
+                 f"{time_range[0]}..{time_range[1]}"
+                 if time_range else "(empty)"),
+            ]
+            print(render_table(["metric", "value"], rows,
+                               title=f"Trace store {args.store}"))
+            return 0
+        if args.trace_command == "window":
+            store = TraceStore(args.store, create=False)
+            print(render_table(
+                ["start", "rows", "jobs", "wss pages", "cold pages",
+                 "promoted"],
+                [
+                    (f"{w.start}", f"{w.rows}", f"{w.jobs}",
+                     f"{w.working_set_pages}", f"{w.cold_pages}",
+                     f"{w.promoted_pages}")
+                    for w in store.window_summaries()
+                ],
+                title=f"Per-window aggregates "
+                      f"({store.window_seconds} s windows)",
+            ))
+            return 0
+        if args.trace_command == "export":
+            TraceStore(args.store, create=False)  # fail fast on bad stores
+            db = ColumnarTraceDatabase(args.store)
+            written = db.save_jsonl(args.output)
+            print(f"Exported {written} trace entries to {args.output}")
+            return 0
+        if args.trace_command == "import":
+            db = ColumnarTraceDatabase.load_jsonl(
+                args.input, args.store, buffer_rows=args.buffer_rows
+            )
+            print(f"Imported {len(db)} trace entries into {args.store} "
+                  f"({len(db.store.segments)} segments)")
+            return 0
+        if args.trace_command == "compact":
+            store = TraceStore(args.store, create=False)
+            removed = store.compact(args.factor, before=args.before)
+            print(f"Compacted {args.store}: merged away {removed} rows "
+                  f"(factor {args.factor}, {store.rows_total} rows remain)")
+            return 0
+    except TraceError as exc:
+        print(f"repro trace: error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -452,6 +565,21 @@ def cmd_ci(args: argparse.Namespace) -> int:
         else:
             print("ci: model bench smoke passed "
                   f"(speedup {report['speedup_vectorized']:.2f}x)")
+    if exit_code == 0 and not args.skip_bench:
+        # Same idea for the trace store: gate only on the columnar path
+        # reproducing the object path bit-identically, never on timing.
+        from repro.tracestore.bench import run_trace_bench
+
+        print("ci: running trace bench smoke (bench --trace --quick) ...")
+        report = run_trace_bench(jobs=6, intervals=48, configs=2)
+        if not report["equivalent"]:
+            print("ci: trace bench smoke FAILED "
+                  "(columnar replay diverged from the object path)",
+                  file=sys.stderr)
+            exit_code = 1
+        else:
+            print("ci: trace bench smoke passed "
+                  f"(peak-mem ratio {report['peak_mem_ratio']:.3f})")
     print("ci: " + ("clean" if exit_code == 0 else "FAILED"))
     return exit_code
 
@@ -533,11 +661,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("bench",
-                       help="fleet or fast-model throughput harness")
+                       help="fleet, fast-model, or trace-store throughput "
+                            "harness")
     p.add_argument("--model", action="store_true",
                    help="benchmark the fast far memory model (scalar "
                         "per-config vs batched vectorized evaluate_many) "
                         "instead of the fleet engine")
+    p.add_argument("--trace", action="store_true",
+                   help="benchmark the columnar trace store (ingest "
+                        "throughput, compile-from-columns vs the object "
+                        "path) instead of the fleet engine")
     p.add_argument("--clusters", type=int, default=4)
     p.add_argument("--machines", type=int, default=2,
                    help="machines per cluster")
@@ -559,8 +692,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="small fast configuration (CI smoke run)")
     p.add_argument("--output", default="BENCH_fleet.json",
                    help="report file (with --model the default becomes "
-                        "BENCH_model.json)")
+                        "BENCH_model.json; with --trace, "
+                        "BENCH_trace.json)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect/convert columnar trace stores",
+        description="Operate on repro.tracestore directories: summary "
+                    "stats, per-window aggregates, jsonl <-> columnar "
+                    "conversion, and downsampling. "
+                    "See docs/trace_store.md for the on-disk format.",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = tsub.add_parser("stats", help="summarize a store")
+    tp.add_argument("store", help="trace store directory")
+
+    tp = tsub.add_parser("window",
+                         help="print the incremental per-window aggregates")
+    tp.add_argument("store", help="trace store directory")
+
+    tp = tsub.add_parser("export",
+                         help="export a columnar store to JSON-lines")
+    tp.add_argument("store", help="trace store directory")
+    tp.add_argument("--output", default="traces.jsonl")
+
+    tp = tsub.add_parser("import",
+                         help="import a JSON-lines trace file into a new "
+                              "columnar store")
+    tp.add_argument("input", help="JSON-lines trace file")
+    tp.add_argument("store", help="trace store directory to create")
+    tp.add_argument("--buffer-rows", type=int, default=4096,
+                    help="rows per sealed segment")
+
+    tp = tsub.add_parser("compact",
+                         help="downsample raw segments in place")
+    tp.add_argument("store", help="trace store directory")
+    tp.add_argument("--factor", type=int, required=True,
+                    help="raw rows merged per output row")
+    tp.add_argument("--before", type=int, default=None,
+                    help="only segments older than this time (default: "
+                         "all sealed segments)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser(
         "chaos",

@@ -9,6 +9,8 @@ paper's telemetry warehouse.
 from __future__ import annotations
 
 import json
+import os
+from bisect import bisect_left
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -80,15 +82,23 @@ class TraceDatabase:
             return list(self._by_job.values())
         result = []
         for job_id, trace in self._by_job.items():
-            entries = [
-                e
-                for e in trace.entries
-                if (start is None or e.time >= start)
-                and (end is None or e.time < end)
-            ]
-            if entries:
+            # Entries are time-ordered per job, so the window is a
+            # contiguous slice — locate its edges with bisect instead of
+            # filtering every entry of every job.
+            entries = trace.entries
+            lo = (
+                bisect_left(entries, start, key=lambda e: e.time)
+                if start is not None
+                else 0
+            )
+            hi = (
+                bisect_left(entries, end, key=lambda e: e.time)
+                if end is not None
+                else len(entries)
+            )
+            if hi > lo:
                 windowed = JobTrace(job_id)
-                for entry in entries:
+                for entry in entries[lo:hi]:
                     windowed.append(entry)
                 result.append(windowed)
         return result
@@ -98,15 +108,27 @@ class TraceDatabase:
     # ------------------------------------------------------------------
 
     def save_jsonl(self, path: Union[str, Path]) -> int:
-        """Write every entry as one JSON line; returns lines written."""
+        """Write every entry as one JSON line; returns lines written.
+
+        The file appears atomically: entries stream to a temp file in
+        the same directory which is renamed into place only once every
+        line is out, so a crash mid-export (e.g. under fault injection)
+        can never leave a truncated trace file at ``path``.
+        """
         path = Path(path)
+        tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
         count = 0
-        with path.open("w", encoding="utf-8") as fh:
-            for trace in self._by_job.values():
-                for entry in trace.entries:
-                    fh.write(json.dumps(entry.to_dict()))
-                    fh.write("\n")
-                    count += 1
+        try:
+            with tmp.open("w", encoding="utf-8") as fh:
+                for trace in self._by_job.values():
+                    for entry in trace.entries:
+                        fh.write(json.dumps(entry.to_dict()))
+                        fh.write("\n")
+                        count += 1
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return count
 
     @classmethod

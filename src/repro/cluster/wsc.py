@@ -249,6 +249,7 @@ def quickfleet(
     churn_duration_range: Optional[tuple] = None,
     registry: Optional[MetricRegistry] = None,
     tracer: Optional[Tracer] = None,
+    trace_db=None,
 ) -> WSC:
     """Build a small, ready-to-run fleet with a calibrated job mix.
 
@@ -276,12 +277,19 @@ def quickfleet(
             (defaults to the process-global one).
         tracer: span tracer, likewise threaded (defaults to the global
             one).
+        trace_db: the telemetry sink shared by every cluster — any
+            object with the :class:`~repro.cluster.trace_db.TraceDatabase`
+            surface, e.g. a
+            :class:`~repro.tracestore.ColumnarTraceDatabase` to persist
+            traces to disk as they stream (defaults to a fresh in-memory
+            database).
 
     Returns:
         A :class:`WSC` with all jobs placed (and optionally warmed up).
     """
     seeds = SeedSequenceFactory(seed)
-    trace_db = TraceDatabase()
+    if trace_db is None:
+        trace_db = TraceDatabase()
     if job_pages_range is None:
         job_pages_range = ((4 * MIB) // PAGE_SIZE, (32 * MIB) // PAGE_SIZE)
 

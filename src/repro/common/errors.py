@@ -14,6 +14,7 @@ __all__ = [
     "OutOfMemoryError",
     "SchedulingError",
     "TraceError",
+    "TraceStoreError",
     "AutotunerError",
 ]
 
@@ -40,6 +41,10 @@ class SchedulingError(ReproError):
 
 class TraceError(ReproError):
     """A far-memory trace is malformed or inconsistent."""
+
+
+class TraceStoreError(TraceError):
+    """The on-disk columnar trace store is malformed or misused."""
 
 
 class AutotunerError(ReproError):

@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.common.errors import ConfigurationError
 from repro.common.units import MINUTE
 from repro.core.slo import PromotionRateSlo, normalized_promotion_rate
 from repro.core.threshold_policy import (
@@ -260,7 +261,11 @@ class FarMemoryModel:
     pool down.
 
     Args:
-        traces: per-job traces (e.g. ``trace_db.traces()``).
+        traces: per-job traces (e.g. ``trace_db.traces()``), or
+            already-compiled :class:`CompiledTrace` tensors (e.g. a
+            columnar store's ``compiled_traces()``) — the latter skip
+            object materialization entirely but require the vectorized
+            replay path.
         slo: the promotion-rate SLO used both inside the policy and as the
             fleet constraint.
         workers: MapReduce worker processes (1 = in-process).
@@ -273,14 +278,25 @@ class FarMemoryModel:
 
     def __init__(
         self,
-        traces: Sequence[JobTrace],
+        traces: Sequence[Union[JobTrace, CompiledTrace]],
         slo: Optional[PromotionRateSlo] = None,
         workers: int = 1,
         vectorized: bool = True,
         registry=None,
         tracer=None,
     ):
-        self.traces = list(traces)
+        items = list(traces)
+        precompiled = [t for t in items if isinstance(t, CompiledTrace)]
+        if precompiled and len(precompiled) != len(items):
+            raise ConfigurationError(
+                "traces must be all JobTrace or all CompiledTrace, not a mix"
+            )
+        if precompiled and not vectorized:
+            raise ConfigurationError(
+                "pre-compiled traces have no entries to drive the scalar "
+                "oracle; use vectorized=True"
+            )
+        self.traces = [] if precompiled else items
         self.slo = slo if slo is not None else PromotionRateSlo()
         self.workers = workers
         self.vectorized = vectorized
@@ -298,7 +314,9 @@ class FarMemoryModel:
             MetricName.MODEL_TRACES_COMPILED_TOTAL,
             "Job traces compiled into replay tensors.",
         )
-        self._compiled: Optional[List[CompiledTrace]] = None
+        self._compiled: Optional[List[CompiledTrace]] = (
+            precompiled if precompiled else None
+        )
         self._pipeline: Optional[MapReduce] = None
         self._token: Optional[str] = None
 
@@ -371,7 +389,9 @@ class FarMemoryModel:
         if not configs:
             return []
         pipeline = self._ensure_pipeline()
-        n_traces = len(self.traces)
+        n_traces = (
+            len(self.compiled_traces) if self.vectorized else len(self.traces)
+        )
         tasks = [(index, configs) for index in range(n_traces)]
         with self._tracer.span("model.evaluate_many", batch=len(configs)):
             with Stopwatch() as watch:

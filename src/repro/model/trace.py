@@ -286,6 +286,98 @@ class CompiledTrace:
             ),
         )
 
+    @classmethod
+    def from_columns(
+        cls,
+        job_id: str,
+        bins: Optional[AgeBins],
+        cold_counts: np.ndarray,
+        promotion_counts: np.ndarray,
+        working_set_pages: np.ndarray,
+        times: np.ndarray,
+        resident_pages: np.ndarray,
+        cpu_cores: np.ndarray,
+        interval_seconds: int = TRACE_PERIOD_SECONDS,
+    ) -> "CompiledTrace":
+        """Compile straight from columnar arrays (no ``TraceEntry`` objects).
+
+        The on-disk trace store (:mod:`repro.tracestore`) holds exactly
+        these columns per segment; this constructor builds the suffix-sum
+        tensors from them directly, bit-identical to routing the same
+        rows through :meth:`from_trace` (which stays as the oracle — the
+        equivalence is asserted in tier-1 tests).
+
+        Args:
+            job_id: the compiled job.
+            bins: the threshold grid shared by every row (None only when
+                ``times`` is empty).
+            cold_counts: ``(intervals, len(bins))`` cold-age histogram
+                counts, one row per interval, time-ascending.
+            promotion_counts: same shape, promotion histogram counts.
+            working_set_pages: ``(intervals,)`` working-set sizes.
+            times: ``(intervals,)`` period start times, ascending.
+            resident_pages: ``(intervals,)`` resident page counts.
+            cpu_cores: ``(intervals,)`` CPU usage in cores.
+            interval_seconds: aggregation period of each row (larger
+                than the raw 5-minute period for downsampled stores).
+
+        Raises:
+            TraceError: on shape mismatches between the columns, or a
+                missing grid for a non-empty trace.
+        """
+        times = np.asarray(times, dtype=np.int64)
+        if times.size == 0:
+            empty = np.zeros((0, 1), dtype=np.int64)
+            vec = np.zeros(0, dtype=np.int64)
+            return cls(
+                job_id=job_id,
+                bins=None,
+                cold_suffix_sums=empty,
+                promotion_suffix_sums=empty.copy(),
+                working_set_pages=vec,
+                times=vec.copy(),
+                resident_pages=vec.copy(),
+                cpu_cores=np.zeros(0, dtype=float),
+                interval_seconds=interval_seconds,
+            )
+        if bins is None:
+            raise TraceError(
+                f"trace {job_id}: non-empty columns need a threshold grid"
+            )
+        cold_counts = np.asarray(cold_counts, dtype=np.int64)
+        promotion_counts = np.asarray(promotion_counts, dtype=np.int64)
+        expected = (times.size, len(bins))
+        for name, matrix in (
+            ("cold_counts", cold_counts),
+            ("promotion_counts", promotion_counts),
+        ):
+            if matrix.shape != expected:
+                raise TraceError(
+                    f"trace {job_id}: {name} shape {matrix.shape} != "
+                    f"{expected}"
+                )
+        for name, vector in (
+            ("working_set_pages", working_set_pages),
+            ("resident_pages", resident_pages),
+            ("cpu_cores", cpu_cores),
+        ):
+            if np.asarray(vector).shape != times.shape:
+                raise TraceError(
+                    f"trace {job_id}: {name} has {np.asarray(vector).size} "
+                    f"rows, times has {times.size}"
+                )
+        return cls(
+            job_id=job_id,
+            bins=bins,
+            cold_suffix_sums=_suffix_sum_matrix(cold_counts),
+            promotion_suffix_sums=_suffix_sum_matrix(promotion_counts),
+            working_set_pages=np.asarray(working_set_pages, dtype=np.int64),
+            times=times,
+            resident_pages=np.asarray(resident_pages, dtype=np.int64),
+            cpu_cores=np.asarray(cpu_cores, dtype=float),
+            interval_seconds=interval_seconds,
+        )
+
     def colder_than(self, thresholds: np.ndarray, *, cold: bool) -> np.ndarray:
         """Per-interval ``colder_than(thresholds[t])`` as one indexed lookup.
 

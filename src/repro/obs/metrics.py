@@ -105,6 +105,16 @@ class MetricName:
     DEGRADED_MODE = "repro_degraded_mode"
     ENGINE_SHARD_FALLBACKS_TOTAL = "repro_engine_shard_fallbacks_total"
 
+    # Columnar trace store (repro.tracestore)
+    TRACESTORE_ROWS_TOTAL = "repro_tracestore_rows_total"
+    TRACESTORE_SEGMENTS_TOTAL = "repro_tracestore_segments_total"
+    TRACESTORE_BYTES_WRITTEN_TOTAL = "repro_tracestore_bytes_written_total"
+    TRACESTORE_FLUSH_SECONDS = "repro_tracestore_flush_seconds"
+    TRACESTORE_BUFFER_ROWS = "repro_tracestore_buffer_rows"
+    TRACESTORE_ROWS_DOWNSAMPLED_TOTAL = (
+        "repro_tracestore_rows_downsampled_total"
+    )
+
     # Fast far memory model (paper §5.3)
     MODEL_CONFIGS_EVALUATED_TOTAL = "repro_model_configs_evaluated_total"
     MODEL_EVALUATION_SECONDS = "repro_model_evaluation_seconds"

@@ -1,0 +1,180 @@
+"""The ``repro bench --trace`` harness behind ``BENCH_trace.json``.
+
+Measures the columnar trace store end to end on a synthetic fleet:
+ingest throughput (rows/s through ``append`` + segment sealing), segment
+flush latency, and — the headline — replaying the same what-if batch two
+ways from the same on-disk store:
+
+* the **object path**: materialize every ``TraceEntry``, build
+  ``JobTrace`` objects, compile, evaluate (what the in-memory database
+  forces);
+* the **columnar path**: ``CompiledTrace.from_columns`` straight from the
+  on-disk columns, evaluate (no entry objects at all).
+
+Both paths must produce bit-identical fleet reports (``equivalent``),
+and the report carries the compile speedup and the peak-memory ratio
+(columnar / object, tracemalloc peaks) — the number that shows a
+simulated week of a large fleet fits where the object path would not.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import tracemalloc
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.common.validation import check_positive
+from repro.core.slo import PromotionRateSlo
+from repro.model.bench import bench_configs, synthetic_fleet_traces
+from repro.model.replay import FarMemoryModel
+from repro.obs import Stopwatch
+from repro.tracestore.database import ColumnarTraceDatabase
+
+__all__ = ["run_trace_bench"]
+
+
+def _peak_bytes_during(fn):
+    """Run ``fn`` under tracemalloc; returns (result, peak_bytes)."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def run_trace_bench(
+    jobs: int = 24,
+    intervals: int = 288,
+    configs: int = 4,
+    buffer_rows: int = 2048,
+    seed: int = 17,
+    root: Optional[Union[str, Path]] = None,
+    output: Optional[Union[str, Path]] = None,
+) -> Dict:
+    """Benchmark the columnar store against the object path.
+
+    Args:
+        jobs: synthetic fleet size (one trace per job).
+        intervals: 5-minute periods per trace (288 = one day).
+        configs: candidate configurations in the what-if batch.
+        buffer_rows: store write-buffer size; the default seals several
+            segments at the default workload shape so flush latency is
+            actually exercised.
+        seed: trace-generation seed.
+        root: store directory (default: a temporary directory, removed
+            afterwards).
+        output: when given, the report is also written there as JSON
+            (conventionally ``BENCH_trace.json``).
+
+    Returns:
+        The report dict; ``equivalent`` is True iff both replay paths
+        returned bit-identical fleet reports, and ``peak_mem_ratio``
+        below 1.0 means the columnar path peaked lower.
+    """
+    check_positive(jobs, "jobs")
+    check_positive(intervals, "intervals")
+    check_positive(configs, "configs")
+    tmpdir: Optional[tempfile.TemporaryDirectory] = None
+    if root is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-tracebench-")
+        root = Path(tmpdir.name) / "store"
+    try:
+        traces = synthetic_fleet_traces(jobs, intervals, seed)
+        batch = bench_configs(configs)
+        slo = PromotionRateSlo()
+
+        # Ingest: every entry through the TraceSink surface.
+        db = ColumnarTraceDatabase(root, buffer_rows=buffer_rows)
+        with Stopwatch() as ingest_watch:
+            for trace in traces:
+                for entry in trace.entries:
+                    db.add(entry)
+            db.flush()
+        store = db.store
+        rows = store.rows_total
+
+        # Object path: disk -> TraceEntry objects -> JobTrace -> compile.
+        def _object_path():
+            with Stopwatch() as compile_watch:
+                materialized = db.traces()
+                model = FarMemoryModel(materialized, slo)
+                model.compiled_traces
+            with model, Stopwatch() as eval_watch:
+                reports = model.evaluate_many(batch)
+            return reports, compile_watch.seconds, eval_watch.seconds
+
+        (obj_reports, obj_compile, obj_eval), obj_peak = _peak_bytes_during(
+            _object_path
+        )
+
+        # Columnar path: disk -> CompiledTrace.from_columns -> evaluate.
+        def _columnar_path():
+            with Stopwatch() as compile_watch:
+                compiled = db.compiled_traces()
+                model = FarMemoryModel(compiled, slo)
+            with model, Stopwatch() as eval_watch:
+                reports = model.evaluate_many(batch)
+            return reports, compile_watch.seconds, eval_watch.seconds
+
+        (col_reports, col_compile, col_eval), col_peak = _peak_bytes_during(
+            _columnar_path
+        )
+
+        equivalent = obj_reports == col_reports
+        report = {
+            "workload": {
+                "jobs": jobs,
+                "intervals": intervals,
+                "configs": configs,
+                "buffer_rows": buffer_rows,
+                "seed": seed,
+            },
+            "ingest": {
+                "rows": rows,
+                "wall_seconds": round(ingest_watch.seconds, 4),
+                "rows_per_second": (
+                    round(rows / ingest_watch.seconds, 1)
+                    if ingest_watch.seconds > 0
+                    else 0.0
+                ),
+            },
+            "flush": {
+                "segments": store.flush_count,
+                "bytes_written": store.bytes_written,
+                "mean_seconds": (
+                    round(store.flush_seconds_total / store.flush_count, 5)
+                    if store.flush_count
+                    else 0.0
+                ),
+                "last_seconds": round(store.last_flush_seconds, 5),
+            },
+            "object_path": {
+                "compile_wall_seconds": round(obj_compile, 4),
+                "evaluate_wall_seconds": round(obj_eval, 4),
+                "peak_bytes": obj_peak,
+            },
+            "columnar_path": {
+                "compile_wall_seconds": round(col_compile, 4),
+                "evaluate_wall_seconds": round(col_eval, 4),
+                "peak_bytes": col_peak,
+            },
+            "compile_speedup": (
+                round(obj_compile / col_compile, 2) if col_compile > 0 else None
+            ),
+            "peak_mem_ratio": (
+                round(col_peak / obj_peak, 3) if obj_peak > 0 else None
+            ),
+            "equivalent": equivalent,
+        }
+        if output is not None:
+            Path(output).write_text(
+                json.dumps(report, indent=2) + "\n", encoding="utf-8"
+            )
+        return report
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()

@@ -259,3 +259,126 @@ class TestCiCommand:
         assert "repro lint --ci" in out
         assert "ci: clean" in out
         assert "tier-1 tests" not in out
+
+
+class TestTraceParser:
+    def test_bench_trace_flag(self):
+        args = build_parser().parse_args(["bench", "--trace"])
+        assert args.trace
+        assert not build_parser().parse_args(["bench"]).trace
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_subcommands_parsed(self):
+        args = build_parser().parse_args(["trace", "stats", "store"])
+        assert args.trace_command == "stats"
+        assert args.store == "store"
+        assert args.func.__name__ == "cmd_trace"
+        args = build_parser().parse_args(
+            ["trace", "import", "in.jsonl", "store", "--buffer-rows", "64"]
+        )
+        assert (args.input, args.store, args.buffer_rows) == (
+            "in.jsonl", "store", 64
+        )
+        args = build_parser().parse_args(
+            ["trace", "compact", "store", "--factor", "3", "--before", "900"]
+        )
+        assert (args.factor, args.before) == (3, 900)
+
+    def test_compact_requires_factor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "compact", "store"])
+
+
+class TestTraceCommand:
+    def _seed_jsonl(self, tmp_path):
+        from tests.test_tracestore import make_entry
+        from repro.cluster.trace_db import TraceDatabase
+
+        db = TraceDatabase()
+        for t in (0, 300, 600, 900):
+            db.add(make_entry("a", t, seed=t))
+        db.add(make_entry("b", 0, seed=99))
+        path = tmp_path / "in.jsonl"
+        db.save_jsonl(path)
+        return path
+
+    def test_import_stats_window_export_roundtrip(self, tmp_path, capsys):
+        import json
+
+        source = self._seed_jsonl(tmp_path)
+        store = tmp_path / "store"
+        assert main(
+            ["trace", "import", str(source), str(store),
+             "--buffer-rows", "2"]
+        ) == 0
+        assert "Imported 5 trace entries" in capsys.readouterr().out
+
+        assert main(["trace", "stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out and "5" in out
+
+        assert main(["trace", "window", str(store)]) == 0
+        assert "Per-window aggregates" in capsys.readouterr().out
+
+        back = tmp_path / "back.jsonl"
+        assert main(
+            ["trace", "export", str(store), "--output", str(back)]
+        ) == 0
+        capsys.readouterr()
+
+        def rows(path):
+            key = lambda d: (d["job_id"], d["time"])
+            return sorted(
+                (json.loads(line) for line in path.open() if line.strip()),
+                key=key,
+            )
+
+        assert rows(back) == rows(source)
+
+    def test_compact_reduces_rows(self, tmp_path, capsys):
+        source = self._seed_jsonl(tmp_path)
+        store = tmp_path / "store"
+        main(["trace", "import", str(source), str(store)])
+        capsys.readouterr()
+        assert main(
+            ["trace", "compact", str(store), "--factor", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merged away 2 rows" in out
+
+    def test_stats_on_missing_store_fails(self, tmp_path, capsys):
+        code = main(["trace", "stats", str(tmp_path / "ghost")])
+        assert code == 2
+        assert "not a trace store" in capsys.readouterr().err
+
+    def test_stats_on_corrupt_manifest_fails(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "manifest.json").write_text("{broken", encoding="utf-8")
+        code = main(["trace", "stats", str(root)])
+        assert code == 2
+        assert "unreadable manifest" in capsys.readouterr().err
+
+    def test_import_bad_jsonl_fails_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"not": "a trace entry"}\n', encoding="utf-8")
+        code = main(
+            ["trace", "import", str(bad), str(tmp_path / "store")]
+        )
+        assert code == 2
+        assert "bad.jsonl:1" in capsys.readouterr().err
+
+    def test_bench_trace_writes_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(["bench", "--trace", "--quick", "--output", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["equivalent"] is True
+        assert report["ingest"]["rows"] > 0
+        assert report["columnar_path"]["peak_bytes"] > 0
+        assert "peak-mem ratio" in capsys.readouterr().out
