@@ -90,6 +90,10 @@ class _JobState:
     policy: ColdAgeThresholdPolicy
     last_promotion_histogram: AgeHistogram
     last_promoted_total: int = 0
+    # Snapshot of the memcg's monotonic promotion-histogram event counter
+    # at the last diff; equality next round proves the interval histogram
+    # is identically zero (the quiet-round fast path).
+    last_promo_events: int = 0
 
 
 class NodeAgent:
@@ -201,6 +205,7 @@ class NodeAgent:
                 policy=policy,
                 last_promotion_histogram=state.last_promotion_histogram,
                 last_promoted_total=state.last_promoted_total,
+                last_promo_events=state.last_promo_events,
             )
 
     def maybe_control(self, now: int) -> bool:
@@ -231,6 +236,7 @@ class NodeAgent:
                     ),
                     last_promotion_histogram=memcg.promotion_histogram.copy(),
                     last_promoted_total=memcg.promoted_pages_total,
+                    last_promo_events=memcg.promo_hist_events,
                 )
                 self._jobs[job_id] = state
 
@@ -238,15 +244,28 @@ class NodeAgent:
                 self._rewarm_job(now, job_id, memcg, state)
                 continue
 
-            interval_hist = memcg.promotion_histogram.diff(
-                state.last_promotion_histogram
-            )
-            state.last_promotion_histogram = memcg.promotion_histogram.copy()
             wss = working_set_pages(
                 memcg.cold_age_histogram, self.slo.min_cold_age_seconds
             )
 
-            state.policy.observe(interval_hist, wss, self.control_period)
+            events = memcg.promo_hist_events
+            if events == state.last_promo_events:
+                # Quiet round: the kernel's monotonic event counter proves
+                # nothing entered the promotion histogram this interval, so
+                # the diff would be all zeros and the interval's best
+                # threshold is the most aggressive candidate.  Skip the
+                # histogram diff/copy pair entirely (both backends maintain
+                # the counter identically, so this is bit-equivalent).
+                state.policy.observe_zero(self.control_period)
+            else:
+                interval_hist = memcg.promotion_histogram.diff(
+                    state.last_promotion_histogram
+                )
+                state.last_promotion_histogram = (
+                    memcg.promotion_histogram.copy()
+                )
+                state.last_promo_events = events
+                state.policy.observe(interval_hist, wss, self.control_period)
             threshold = state.policy.threshold()
             memcg.zswap_enabled = state.policy.warmed_up
             memcg.cold_age_threshold = threshold
@@ -300,6 +319,7 @@ class NodeAgent:
         memcg.cold_age_threshold = DISABLED
         state.last_promotion_histogram = memcg.promotion_histogram.copy()
         state.last_promoted_total = memcg.promoted_pages_total
+        state.last_promo_events = memcg.promo_hist_events
         memcg.histograms_corrupt = False
         self._rewarming.add(job_id)
         self.rewarms += 1

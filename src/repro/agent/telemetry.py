@@ -238,6 +238,30 @@ class TelemetryExporter:
         self.entries_exported += 1
         self._m_entries.inc()
 
+    def _deliver_batch(self, now: int, entries: List[TraceEntry]) -> None:
+        """Ship one export window in a single ``sink.add_batch`` call.
+
+        Failure handling matches the per-entry path except that the
+        batch is all-or-nothing: ``add_batch`` appends no row on error,
+        so the whole window spills and is replayed in order later.
+        """
+        if not entries:
+            return
+        if self._spill:
+            # Never overtake queued entries: per-job order must hold.
+            for entry in entries:
+                self._spill_entry(now, entry)
+            return
+        try:
+            self.sink.add_batch(entries)
+        except Exception:
+            self._begin_outage(now)
+            for entry in entries:
+                self._spill_entry(now, entry)
+            return
+        self.entries_exported += len(entries)
+        self._m_entries.inc(len(entries))
+
     def export(self, now: int) -> None:
         """Emit one trace entry per job on the machine.
 
@@ -255,6 +279,16 @@ class TelemetryExporter:
         # boundary (t=0) observed no full period, so clamp at 0 rather
         # than stamping a negative time into the trace database.
         entry_time = max(0, now - self.period)
+        # With the columnar kernel and a batch-capable sink, the whole
+        # window ships as arrays in one add_batch call; otherwise entries
+        # deliver one by one exactly as before.  (A sink wrapper that
+        # only implements ``add`` — e.g. the fault injector's outage
+        # shim — keeps the per-entry path automatically.)
+        batch: Optional[List[TraceEntry]] = (
+            [] if (self.machine.pool is not None
+                   and hasattr(self.sink, "add_batch"))
+            else None
+        )
         with self._tracer.span("telemetry.export", sim_time=now):
             self._retry_spill(now)
             for job_id, memcg in self.machine.memcgs.items():
@@ -285,7 +319,12 @@ class TelemetryExporter:
                     resident_pages=memcg.resident_pages,
                     cpu_cores=self.cpu_lookup(job_id),
                 )
-                self._deliver(now, entry)
+                if batch is not None:
+                    batch.append(entry)
+                else:
+                    self._deliver(now, entry)
+            if batch is not None:
+                self._deliver_batch(now, batch)
 
             gone = set(self._last_promotion) - set(self.machine.memcgs)
             for job_id in gone:

@@ -4,9 +4,10 @@ Two halves:
 
 * **Static** — an AST lint engine (``repro lint``) with simulator-
   specific rules: DET001 wall-clock reads, DET002 unseeded randomness,
-  DET003 order-sensitive accumulation from unordered iteration, FORK001
-  pickle-safety at the fork boundary, ACC001 float equality in
-  accounting code, OBS001 metric/event name drift.  See
+  DET003 order-sensitive accumulation from unordered iteration, DET004
+  per-page Python loops in the columnar kernel, FORK001 pickle-safety at
+  the fork boundary, ACC001 float equality in accounting code, OBS001
+  metric/event name drift.  See
   ``docs/static_analysis.md`` for the rule catalogue and the
   ``# repro: noqa[RULE]`` / baseline workflows.
 * **Runtime** — :mod:`repro.checks.invariants`, accounting identities

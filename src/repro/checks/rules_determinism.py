@@ -18,16 +18,27 @@ serial ≡ parallel bit-equivalence contract makes all three load-bearing):
   the parallel engine rebuilds those containers per worker, so insertion
   order (and hence the accumulated order) can differ from a serial run.
   Wrap the view in ``sorted(...)`` or accumulate order-insensitively.
+* **DET004** — the columnar kernel's whole point is that per-page work
+  runs as whole-array sweeps; a Python ``for`` over the page axis
+  (a pool column, a mask over one, or a ``range`` sized by one) quietly
+  reintroduces the per-page interpreter cost the backend exists to
+  remove.  Loops over the *row/memcg* axis (``per_row`` bincounts, the
+  memcg list) are the intended granularity and are not flagged.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.checks.core import Rule, RuleVisitor, register
 
-__all__ = ["WallClockRule", "UnseededRandomnessRule", "UnorderedIterationRule"]
+__all__ = [
+    "PerPageLoopRule",
+    "UnorderedIterationRule",
+    "UnseededRandomnessRule",
+    "WallClockRule",
+]
 
 
 #: Wall-clock reads that make a run irreproducible.
@@ -198,3 +209,127 @@ class UnorderedIterationRule(Rule):
     title = "order-sensitive accumulation from unordered iteration"
     path_fragments = ("repro/engine/", "repro/kernel/", "fixtures/lint/")
     visitor_class = _UnorderedIterationVisitor
+
+
+#: The pooled per-page columns of ``repro.kernel.columnar`` (plus the
+#: page-count attributes that size them).  An expression touching one of
+#: these carries the *page axis*: machine-length, one element per page.
+_PAGE_AXIS_ATTRS = frozenset(
+    {
+        "resident", "age_scans", "accessed", "state", "incompressible",
+        "dirtied", "unevictable", "payload_bytes", "lru_active",
+        "huge_group", "hist_bin", "reclaim_mask", "owner_row",
+        "used", "capacity_pages",
+    }
+)
+
+#: Calls whose result keeps the page axis of their array argument.
+#: Anything else (``np.bincount``, ``np.unique``, reductions, ``list``,
+#: ``zip``...) collapses or re-partitions the axis, so its result is
+#: *not* treated as per-page — that is what keeps the row-axis
+#: ``np.flatnonzero(per_row)`` loop and the per-memcg loops clean.
+_PAGE_AXIS_PRESERVING = frozenset(
+    {
+        "range",
+        "numpy.flatnonzero",
+        "numpy.nonzero",
+        "numpy.where",
+        "numpy.sort",
+        "numpy.minimum",
+        "numpy.maximum",
+        "numpy.clip",
+        "numpy.abs",
+        "numpy.asarray",
+        "numpy.copy",
+        "numpy.ascontiguousarray",
+    }
+)
+
+
+class _PerPageLoopVisitor(RuleVisitor):
+    """Flags ``for``/comprehension iteration over page-axis expressions.
+
+    Page-axis-ness is tracked through simple local assignments
+    (``res = self.resident[:u]`` makes ``res`` page-axis; a later
+    rebinding to a non-page expression clears it), through subscripts,
+    boolean/arithmetic combinations, and the axis-preserving numpy
+    calls above.  Tuples and lists are never page-axis: iterating a
+    tuple *of* arrays visits the arrays, not the pages.
+    """
+
+    def __init__(self, rule: Rule, ctx) -> None:
+        super().__init__(rule, ctx)
+        self._page_names: Set[str] = set()
+
+    def _is_page_axis(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._page_names
+        if isinstance(node, ast.Attribute):
+            return node.attr in _PAGE_AXIS_ATTRS
+        if isinstance(node, ast.Subscript):
+            return self._is_page_axis(node.value)
+        if isinstance(node, ast.BinOp):
+            return self._is_page_axis(node.left) or self._is_page_axis(
+                node.right
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._is_page_axis(node.operand)
+        if isinstance(node, ast.BoolOp):
+            return any(self._is_page_axis(v) for v in node.values)
+        if isinstance(node, ast.Compare):
+            return self._is_page_axis(node.left) or any(
+                self._is_page_axis(c) for c in node.comparators
+            )
+        if isinstance(node, ast.Call):
+            name = self.dotted_name(node.func)
+            if name in _PAGE_AXIS_PRESERVING:
+                return any(self._is_page_axis(arg) for arg in node.args)
+            return False
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if self._is_page_axis(node.value):
+                self._page_names.add(name)
+            else:
+                self._page_names.discard(name)
+        self.generic_visit(node)
+
+    def _report_loop(self, node: ast.AST, iterable: ast.AST) -> None:
+        described = ast.unparse(iterable)
+        if len(described) > 48:
+            described = described[:45] + "..."
+        self.report(
+            node,
+            f"Python loop over the page axis (`{described}`); the "
+            f"columnar kernel must sweep per-page state with whole-"
+            f"array ops (see MachinePagePool.scan_all)",
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_page_axis(node.iter):
+            self._report_loop(node, node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_page_axis(gen.iter):
+                self._report_loop(node, gen.iter)
+                break
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+    visit_DictComp = _check_comprehension
+
+
+@register
+class PerPageLoopRule(Rule):
+    """DET004: per-page Python loops in the columnar kernel."""
+
+    id = "DET004"
+    title = "per-page Python loop in the columnar kernel"
+    path_fragments = ("repro/kernel/columnar.py", "fixtures/lint/kernel/")
+    visitor_class = _PerPageLoopVisitor

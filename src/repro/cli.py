@@ -280,13 +280,36 @@ def cmd_bench(args: argparse.Namespace) -> int:
         barrier_seconds=args.barrier_seconds,
     )
     if kwargs["jobs"] is None:
-        kwargs["jobs"] = 3
+        kwargs["jobs"] = 1
     if args.quick:
-        kwargs.update(hours=0.5, clusters=4, machines=1, jobs=2)
+        kwargs.update(hours=0.5, clusters=2, machines=10, jobs=1,
+                      tick_machines=10, tick_jobs=16, tick_ticks=10,
+                      equivalence_hours=0.25, thousand_machines=0)
     print(f"Benchmarking {kwargs['clusters']} clusters x "
           f"{kwargs['machines']} machines for {kwargs['hours']:g} "
-          f"simulated hours (serial, then parallel)...")
+          f"simulated hours (tick path, equivalence, serial vs "
+          f"parallel)...")
     report = run_bench(output=args.output, **kwargs)
+    tick = report["tick_path"]
+    print(render_table(
+        ["", "wall s", "ticks/s"],
+        [
+            ("scalar", f"{tick['scalar']['wall_seconds']:.2f}",
+             f"{tick['scalar']['ticks_per_second']:.1f}"),
+            ("columnar", f"{tick['columnar']['wall_seconds']:.2f}",
+             f"{tick['columnar']['ticks_per_second']:.1f}"),
+        ],
+        title=f"Tick path, {tick['machines']} machines x "
+              f"{tick['jobs_per_machine']} jobs (columnar "
+              f"{tick['speedup_columnar']:.1f}x, "
+              f"equivalent={tick['equivalent']})",
+    ))
+    eq = report["equivalence"]
+    print(f"equivalence: scalar == columnar/machine == columnar/cluster "
+          f"over {eq['simulated_hours']:g} h of churn: {eq['equivalent']} "
+          f"({eq['sli_samples']} SLI samples)")
+    speedup = report["speedup"]
+    speedup_text = "n/a" if speedup is None else f"{speedup:.2f}x"
     print(render_table(
         ["", "wall s", "ticks/s", "pages scanned/s"],
         [
@@ -298,11 +321,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
              f"{report['parallel']['ticks_per_second']:.1f}",
              f"{report['parallel']['pages_scanned_per_second']:.0f}"),
         ],
-        title=f"Fleet throughput (speedup {report['speedup']:.2f}x, "
+        title=f"Fleet throughput (speedup {speedup_text}, "
               f"equivalent={report['equivalent']})",
     ))
+    if report["note"]:
+        print(f"note: {report['note']}")
     if report["parallel"]["fallback_reason"]:
         print(f"note: ran serially — {report['parallel']['fallback_reason']}")
+    thousand = report["thousand_machine_hour"]
+    if thousand is not None:
+        line = (f"thousand-machine hour: {thousand['machines']} machines "
+                f"on one core in {thousand['wall_seconds']:.2f}s")
+        if "under_scalar_8_machine_bench" in thousand:
+            line += (f" — under the 8-machine scalar bench "
+                     f"({thousand['scalar_8_machine_wall_seconds']:.2f}s): "
+                     f"{thousand['under_scalar_8_machine_bench']}")
+        print(line)
     print(f"Wrote {args.output}")
     return 0 if report["equivalent"] else 1
 
@@ -580,6 +614,24 @@ def cmd_ci(args: argparse.Namespace) -> int:
         else:
             print("ci: trace bench smoke passed "
                   f"(peak-mem ratio {report['peak_mem_ratio']:.3f})")
+    if exit_code == 0 and not args.skip_bench:
+        # And for the fleet kernel: the columnar backends (machine- and
+        # cluster-pooled) must replay a churning fleet bit-identically
+        # to the scalar oracle.  Equivalence only — never timing.
+        from repro.engine.bench import columnar_equivalence
+
+        print("ci: running columnar kernel equivalence smoke ...")
+        report = columnar_equivalence(clusters=1, machines=2, jobs=4,
+                                      hours=0.25)
+        if not report["equivalent"]:
+            print("ci: columnar equivalence smoke FAILED "
+                  "(pooled kernel diverged from the scalar oracle)",
+                  file=sys.stderr)
+            exit_code = 1
+        else:
+            print("ci: columnar equivalence smoke passed "
+                  f"({report['sli_samples']} SLI samples identical "
+                  "across scalar, machine-pooled, cluster-pooled)")
     print("ci: " + ("clean" if exit_code == 0 else "FAILED"))
     return exit_code
 
@@ -672,12 +724,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "throughput, compile-from-columns vs the object "
                         "path) instead of the fleet engine")
     p.add_argument("--clusters", type=int, default=4)
-    p.add_argument("--machines", type=int, default=2,
-                   help="machines per cluster")
+    p.add_argument("--machines", type=int, default=50,
+                   help="machines per cluster (fleet section)")
     p.add_argument("--jobs", type=int, default=None,
-                   help="jobs per machine (fleet, default 3) or traces "
+                   help="jobs per machine (fleet, default 1) or traces "
                         "in the synthetic fleet (--model, default 24)")
-    p.add_argument("--hours", type=float, default=2.0,
+    p.add_argument("--hours", type=float, default=1.0,
                    help="simulated hours per run")
     p.add_argument("--intervals", type=int, default=288,
                    help="5-minute periods per trace (--model only)")
@@ -768,7 +820,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--skip-tests", action="store_true",
                    help="run only the lint half of the gate")
     p.add_argument("--skip-bench", action="store_true",
-                   help="skip the quick model-bench equivalence smoke")
+                   help="skip the quick equivalence smokes (model bench, "
+                        "trace bench, columnar kernel)")
     p.add_argument("pytest_args", nargs=argparse.REMAINDER,
                    help="extra arguments forwarded to pytest verbatim "
                         "(put them after any ci flags)")

@@ -45,6 +45,16 @@ class TraceDatabase:
         trace.append(entry)
         self.entries_total += 1
 
+    def add_batch(self, entries: List[TraceEntry]) -> None:
+        """Store a whole export window (the batched sink protocol).
+
+        The in-memory database has no columnar representation to
+        exploit, so this is a plain loop — it exists so exporters can
+        use one code path against either database.
+        """
+        for entry in entries:
+            self.add(entry)
+
     def mark(self) -> Dict[str, int]:
         """An opaque position marker for :meth:`entries_since`."""
         return {job_id: len(trace.entries) for job_id, trace in self._by_job.items()}

@@ -242,6 +242,10 @@ def quickfleet(
     machine_dram_gib: float = 4.0,
     job_pages_range: Optional[tuple] = None,
     mode: FarMemoryMode = FarMemoryMode.PROACTIVE,
+    kernel: str = "scalar",
+    pool_scope: str = "machine",
+    scan_period: Optional[int] = None,
+    control_period: Optional[int] = None,
     policy_config: Optional[ThresholdPolicyConfig] = None,
     mean_cold_fraction: float = 0.32,
     warmup_hours: float = 0.0,
@@ -262,6 +266,17 @@ def quickfleet(
         job_pages_range: (min_pages, max_pages) clip for job sizes;
             defaults to 4-32 MiB jobs so examples run in seconds.
         mode: far-memory mode for every machine.
+        kernel: page-state backend for every machine — ``"scalar"`` or
+            ``"columnar"`` (machine-pooled arrays, bit-equivalent; see
+            :mod:`repro.kernel.columnar`).
+        pool_scope: columnar pool placement — ``"machine"`` (private pool
+            per machine) or ``"cluster"`` (one shared pool per cluster;
+            scans and reclaim batch across all of a cluster's machines).
+            Ignored for the scalar kernel.
+        scan_period: kstaled period override in seconds (defaults to the
+            kernel default, 120 s).
+        control_period: node-agent control round period override in
+            seconds (defaults to the paper's one-minute cadence).
         policy_config: initial (K, S); defaults to the paper defaults.
         mean_cold_fraction: target fleet-mean cold share.
         warmup_hours: optionally run the fleet forward before returning,
@@ -300,9 +315,12 @@ def quickfleet(
         max_pages=job_pages_range[1],
         duration_range=churn_duration_range,
     )
-    machine_config = MachineConfig(
-        dram_bytes=int(machine_dram_gib * GIB), mode=mode
+    config_kwargs = dict(
+        dram_bytes=int(machine_dram_gib * GIB), mode=mode, kernel=kernel
     )
+    if scan_period is not None:
+        config_kwargs["scan_period"] = int(scan_period)
+    machine_config = MachineConfig(**config_kwargs)
     built = []
     for c in range(clusters):
         cluster = Cluster(
@@ -314,6 +332,8 @@ def quickfleet(
             policy_config=policy_config,
             overcommit=0.0,
             placement=placement,
+            pool_scope=pool_scope,
+            control_period=control_period,
             registry=registry,
             tracer=tracer,
         )

@@ -20,6 +20,7 @@ without re-running the fleet.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
@@ -55,6 +56,13 @@ class AgeBins:
             self.thresholds[0] >= KSTALED_SCAN_PERIOD,
             "the smallest threshold cannot be below the kstaled scan period "
             f"({KSTALED_SCAN_PERIOD} s), got {self.thresholds[0]} s",
+        )
+        # Cached array form of the grid: ``np.searchsorted`` against the
+        # raw tuple would re-convert it on every call, and ``bin_of_age``
+        # sits on the per-promotion fault path.
+        object.__setattr__(
+            self, "_thresholds_array",
+            np.asarray(self.thresholds, dtype=np.int64),
         )
 
     def __len__(self) -> int:
@@ -92,7 +100,7 @@ class AgeBins:
         that the age meets or exceeds.
         """
         ages = np.asarray(age_seconds)
-        return np.searchsorted(self.thresholds, ages, side="right") - 1
+        return np.searchsorted(self._thresholds_array, ages, side="right") - 1
 
     def scan_periods(self, scan_period: int = KSTALED_SCAN_PERIOD) -> np.ndarray:
         """Each threshold expressed in whole kstaled scans (ceil)."""
@@ -183,7 +191,10 @@ class AgeHistogram:
 
     def colder_than(self, threshold_seconds: float) -> int:
         """Total count with age >= ``threshold_seconds`` (a suffix sum)."""
-        idx = int(np.searchsorted(self.bins.thresholds, threshold_seconds, "left"))
+        # bisect over the thresholds tuple: ``np.searchsorted`` would
+        # convert the tuple to an array on every call, and this runs once
+        # per job per agent round.
+        idx = bisect_left(self.bins.thresholds, threshold_seconds)
         return int(self.counts[idx:].sum())
 
     def suffix_sums(self) -> np.ndarray:

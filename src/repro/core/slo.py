@@ -14,6 +14,7 @@ rate (from a promotion histogram).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.common.units import (
@@ -74,10 +75,14 @@ def working_set_pages(
 
     Per §4.2, the working set is all pages *not* cold under the most
     aggressive candidate threshold, i.e. total resident pages minus pages
-    whose age is at least ``min_cold_age_seconds``.
+    whose age is at least ``min_cold_age_seconds``: the young bucket plus
+    every bin strictly below the window (``total - colder_than`` computed
+    with a single prefix sum — this runs once per job per agent round).
     """
-    return cold_age_histogram.total - cold_age_histogram.colder_than(
-        min_cold_age_seconds
+    idx = bisect_left(cold_age_histogram.bins.thresholds, min_cold_age_seconds)
+    return int(
+        cold_age_histogram.young_count
+        + sum(cold_age_histogram.counts.tolist()[:idx])
     )
 
 

@@ -20,9 +20,11 @@ far memory model (§5.3) replay it offline over recorded traces.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Deque, Optional, Sequence
 
 import numpy as np
 
@@ -43,6 +45,29 @@ __all__ = [
 DISABLED: float = float("inf")
 
 
+def _sorted_percentile(values: Sequence[float], k: float) -> float:
+    """``np.percentile(values, k)`` over an already-sorted sequence.
+
+    The node agent evaluates one percentile per job per minute over a pool
+    of at most ``history_length`` floats; ``np.percentile``'s dispatch
+    overhead dominates at that size.  This reimplements numpy's default
+    linear interpolation — including its ``gamma >= 0.5`` symmetric-lerp
+    fixup — in plain Python, bit-identically (asserted over randomized
+    inputs in the test suite).
+    """
+    n = len(values)
+    virtual_index = (k / 100.0) * (n - 1)
+    if virtual_index >= n - 1:
+        return values[-1]
+    lower = int(virtual_index)
+    gamma = virtual_index - lower
+    a = values[lower]
+    b = values[lower + 1]
+    if gamma >= 0.5:
+        return b - (b - a) * (1.0 - gamma)
+    return a + (b - a) * gamma
+
+
 def best_threshold(
     promotion_histogram: AgeHistogram,
     working_set_size_pages: float,
@@ -57,9 +82,17 @@ def best_threshold(
     SLO (the job touched essentially all of its cold memory).
     """
     budget = slo.allowed_promotions_per_min(working_set_size_pages)
-    suffix = promotion_histogram.suffix_sums() * (MINUTE / interval_seconds)
-    for threshold, rate in zip(promotion_histogram.bins.thresholds, suffix):
-        if rate <= budget:
+    scale = MINUTE / interval_seconds
+    # The grid has ~10 candidates; plain-Python suffix sums beat the numpy
+    # round trip at this size, and this runs once per job per minute.
+    counts = promotion_histogram.counts.tolist()
+    suffixes = [0] * len(counts)
+    running = 0
+    for i in range(len(counts) - 1, -1, -1):
+        running += counts[i]
+        suffixes[i] = running
+    for threshold, events in zip(promotion_histogram.bins.thresholds, suffixes):
+        if events * scale <= budget:
             return float(threshold)
     return DISABLED
 
@@ -109,6 +142,24 @@ class ColdAgeThresholdPolicy:
         self._pool: Deque[float] = deque(maxlen=config.history_length)
         self._elapsed_seconds = 0
         self._last_best: float = DISABLED
+        # DISABLED entries are encoded as a finite sentinel far above the
+        # grid (see :meth:`threshold`); the encoded pool is kept sorted
+        # incrementally so each percentile read is O(log n) instead of a
+        # fresh sort.
+        self._sentinel = float(bins.max_threshold) * 1e9
+        self._sorted_pool: list = []
+
+    def _append(self, best: float) -> None:
+        """Record one interval's best threshold, keeping the sorted
+        encoded mirror of the history pool in sync with the deque."""
+        encoded = best if math.isfinite(best) else self._sentinel
+        if len(self._pool) == self._pool.maxlen:
+            oldest = self._pool[0]
+            old_encoded = oldest if math.isfinite(oldest) else self._sentinel
+            del self._sorted_pool[bisect_left(self._sorted_pool, old_encoded)]
+        self._pool.append(best)
+        insort(self._sorted_pool, encoded)
+        self._last_best = best
 
     @property
     def warmed_up(self) -> bool:
@@ -145,8 +196,22 @@ class ColdAgeThresholdPolicy:
         best = best_threshold(
             promotion_histogram, working_set_size_pages, self.slo, interval_seconds
         )
-        self._pool.append(best)
-        self._last_best = best
+        self._append(best)
+        return best
+
+    def observe_zero(self, interval_seconds: float = MINUTE) -> float:
+        """Ingest an interval whose promotion histogram is all zeros.
+
+        A zero interval's best threshold is always the most aggressive
+        candidate (zero promotions fit any budget), so callers that can
+        prove the interval histogram is empty — e.g. the node agent via
+        the memcg's ``promo_hist_events`` counter — skip the histogram
+        diff entirely.  State transitions are exactly those of
+        :meth:`observe` with an empty histogram.
+        """
+        self._elapsed_seconds += int(interval_seconds)
+        best = float(self.bins.min_threshold)
+        self._append(best)
         return best
 
     def threshold(self) -> float:
@@ -167,15 +232,12 @@ class ColdAgeThresholdPolicy:
         # They are mapped to a finite sentinel far above the grid so the
         # percentile interpolation stays warning-free; any result beyond
         # the grid decodes back to DISABLED.
-        pool = np.asarray(self._pool, dtype=float)
-        sentinel = float(self.bins.max_threshold) * 1e9
-        pool = np.where(np.isfinite(pool), pool, sentinel)
-        kth = float(np.percentile(pool, self.config.percentile_k))
+        kth = _sorted_percentile(self._sorted_pool, self.config.percentile_k)
         if kth > self.bins.max_threshold:
             return DISABLED
         # Snap up to the nearest candidate threshold: the kernel can only
         # enforce thresholds on the candidate grid.
-        idx = int(np.searchsorted(self.bins.thresholds, kth, side="left"))
+        idx = bisect_left(self.bins.thresholds, kth)
         if idx >= len(self.bins.thresholds):
             kth_snapped = float(self.bins.max_threshold)
         else:
@@ -187,6 +249,7 @@ class ColdAgeThresholdPolicy:
     def reset(self) -> None:
         """Forget all history (job restart)."""
         self._pool.clear()
+        self._sorted_pool.clear()
         self._elapsed_seconds = 0
         self._last_best = DISABLED
 
@@ -200,6 +263,9 @@ class ColdAgeThresholdPolicy:
         """
         for best in other._pool:
             self._pool.append(best)
+        self._sorted_pool = sorted(
+            v if math.isfinite(v) else self._sentinel for v in self._pool
+        )
         self._elapsed_seconds = other._elapsed_seconds
         self._last_best = other._last_best
 

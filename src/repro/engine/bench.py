@@ -1,15 +1,32 @@
 """The ``repro bench`` throughput harness behind ``BENCH_fleet.json``.
 
-Times the same fleet workload twice — once through the serial
-:meth:`WSC.run` loop, once through :class:`FleetEngine` — and reports
-throughput (ticks/sec, simulated pages scanned per wall-clock second),
-the parallel speedup, and whether the two runs produced identical
-results.  ``docs/performance.md`` explains how to read the output.
+Four sections, all produced by :func:`run_bench`:
+
+* **tick_path** — the same machines ticked through one kstaled/kreclaimd
+  cycle per simulated minute, once with the scalar per-page kernel and
+  once with the columnar pooled kernel.  This is the number the columnar
+  kernel exists for: ticks/sec on the online tick path, with the
+  speedup recorded as ``speedup_columnar``.
+* **equivalence** — a full churning simulation run under all three
+  backends (scalar, columnar with per-machine pools, columnar with
+  cluster-scoped pools); ``equivalent`` is true only when coverage
+  reports and complete SLI histories are identical.
+* **serial / parallel** — a hundreds-of-machines fleet timed through the
+  serial :meth:`WSC.run` loop and again under :class:`FleetEngine`.
+  When the host cannot give the parallel run more than one physical
+  core, ``speedup`` is ``null`` and ``note`` says why — a 1-core
+  "speedup" is noise, not signal.
+* **thousand_machine_hour** — one simulated hour over a 1,000-machine
+  fleet on a single core via the cluster-pooled columnar kernel,
+  compared against the wall time of the legacy 8-machine scalar bench.
+
+``docs/performance.md`` explains how to read the output.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -20,10 +37,21 @@ from repro.common.validation import check_positive
 from repro.engine.parallel import FleetEngine, default_worker_count
 from repro.obs import MetricName, MetricRegistry, Tracer
 
-__all__ = ["run_bench"]
+__all__ = [
+    "columnar_equivalence",
+    "run_bench",
+    "thousand_machine_hour",
+    "tick_path_bench",
+]
+
+#: Fleet shape of the original serial-vs-parallel bench; its scalar wall
+#: time is the budget the thousand-machine hour must beat.
+_LEGACY_SHAPE = {"clusters": 4, "machines": 2, "jobs": 3, "hours": 2.0}
 
 
-def _build_fleet(clusters: int, machines: int, jobs: int, seed: int):
+def _build_fleet(clusters: int, machines: int, jobs: int, seed: int,
+                 kernel: str = "scalar", pool_scope: str = "machine"):
+    """The legacy bench workload: 8 GiB machines, 16-64 MiB jobs, churn."""
     return quickfleet(
         clusters=clusters,
         machines_per_cluster=machines,
@@ -33,8 +61,39 @@ def _build_fleet(clusters: int, machines: int, jobs: int, seed: int):
         mean_cold_fraction=0.20,
         job_pages_range=((16 * MIB) // PAGE_SIZE, (64 * MIB) // PAGE_SIZE),
         churn_duration_range=(2 * HOUR, 12 * HOUR),
+        kernel=kernel,
+        pool_scope=pool_scope,
         registry=MetricRegistry(),
         tracer=Tracer(),
+    )
+
+
+def _build_dense_fleet(clusters: int, machines: int, jobs: int, seed: int,
+                       kernel: str, pool_scope: str = "machine"):
+    """The dense fleet workload: many small machines, mostly-cold jobs.
+
+    This is the shape the columnar kernel targets — hundreds to
+    thousands of machines per core — so both the serial-vs-parallel
+    section and the thousand-machine hour use it.  The tracer is
+    disabled and the kstaled/agent periods are stretched (240 s scans,
+    5-minute control rounds): at this scale span bookkeeping and
+    per-minute control dispatch would dominate the numbers for both
+    kernels without telling us anything about either.
+    """
+    return quickfleet(
+        clusters=clusters,
+        machines_per_cluster=machines,
+        jobs_per_machine=jobs,
+        seed=seed,
+        machine_dram_gib=0.25,
+        mean_cold_fraction=0.90,
+        job_pages_range=(16, 64),
+        kernel=kernel,
+        pool_scope=pool_scope,
+        scan_period=240,
+        control_period=300,
+        registry=MetricRegistry(),
+        tracer=Tracer(enabled=False),
     )
 
 
@@ -46,34 +105,198 @@ def _pages_scanned(fleet) -> float:
     return total
 
 
+def tick_path_bench(machines: int = 20, jobs: int = 384, ticks: int = 10,
+                    seed: int = 42) -> Dict:
+    """Scalar vs columnar throughput on the machine tick path.
+
+    Ticks every machine through ``ticks`` simulated minutes of
+    kstaled/kreclaimd work (no job stepping, no node agents — just the
+    per-minute kernel path the columnar backend vectorizes) and reports
+    ticks/sec for each kernel plus the columnar speedup.  The default
+    shape is many small memcgs per machine — the regime warehouse-scale
+    machines actually run in, and the one where the scalar kernel's cost
+    is per-memcg dispatch rather than per-page work.  As a cheap
+    equivalence check the total pages scanned and pages in far memory
+    must match bit-for-bit between the two kernels.
+    """
+    sections: Dict[str, Dict] = {}
+    state = {}
+    for kernel in ("scalar", "columnar"):
+        fleet = quickfleet(
+            clusters=1,
+            machines_per_cluster=machines,
+            jobs_per_machine=jobs,
+            seed=seed,
+            machine_dram_gib=0.25,
+            mean_cold_fraction=0.90,
+            job_pages_range=(4, 16),
+            kernel=kernel,
+            scan_period=60,
+            registry=MetricRegistry(),
+            tracer=Tracer(enabled=False),
+        )
+        cluster = fleet.clusters[0]
+        start = time.perf_counter()
+        now = 0
+        for _ in range(ticks):
+            for machine in cluster.machines:
+                machine.tick(now)
+                machine.run_reclaim()
+            now += 60
+        wall = time.perf_counter() - start
+        state[kernel] = (
+            sum(m.kstaled.pages_scanned for m in cluster.machines),
+            sum(m.far_pages for m in cluster.machines),
+        )
+        sections[kernel] = {
+            "wall_seconds": round(wall, 3),
+            "ticks_per_second": round(ticks / wall, 2),
+        }
+    speedup = (sections["scalar"]["wall_seconds"]
+               / max(sections["columnar"]["wall_seconds"], 1e-9))
+    return {
+        "machines": machines,
+        "jobs_per_machine": jobs,
+        "ticks": ticks,
+        "seed": seed,
+        "scalar": sections["scalar"],
+        "columnar": sections["columnar"],
+        "speedup_columnar": round(speedup, 2),
+        "pages_scanned": state["scalar"][0],
+        "equivalent": state["scalar"] == state["columnar"],
+    }
+
+
+def columnar_equivalence(clusters: int = 2, machines: int = 4,
+                         jobs: int = 12, hours: float = 1.0,
+                         seed: int = 77) -> Dict:
+    """Full-simulation equivalence across all three kernel backends.
+
+    Runs the same churning fleet — job arrivals, node agents, telemetry,
+    the lot — under the scalar kernel, the columnar kernel with
+    per-machine pools, and the columnar kernel with cluster-scoped
+    pools.  ``equivalent`` is true only when all three produce identical
+    coverage reports *and* identical SLI histories, sample by sample.
+    """
+    check_positive(hours, "hours")
+    seconds = int(hours * HOUR)
+    walls: Dict[str, float] = {}
+    snapshots = []
+    for kernel, scope in (("scalar", "machine"),
+                          ("columnar", "machine"),
+                          ("columnar", "cluster")):
+        fleet = quickfleet(
+            clusters=clusters,
+            machines_per_cluster=machines,
+            jobs_per_machine=jobs,
+            seed=seed,
+            machine_dram_gib=1.0,
+            job_pages_range=((1 * MIB) // PAGE_SIZE,
+                             (4 * MIB) // PAGE_SIZE),
+            kernel=kernel,
+            pool_scope=scope,
+            scan_period=60,
+            churn_duration_range=(1800, 7200),
+            registry=MetricRegistry(),
+            tracer=Tracer(),
+        )
+        start = time.perf_counter()
+        fleet.run(seconds)
+        walls[f"{kernel}/{scope}"] = round(time.perf_counter() - start, 3)
+        sli = tuple(
+            (s.job_id, s.time, s.working_set_pages, s.promotions,
+             s.normalized_rate_pct_per_min, s.threshold)
+            for s in fleet.sli_history
+        )
+        snapshots.append((fleet.coverage_report(), sli))
+    return {
+        "clusters": clusters,
+        "machines_per_cluster": machines,
+        "jobs_per_machine": jobs,
+        "simulated_hours": hours,
+        "seed": seed,
+        "wall_seconds": walls,
+        "sli_samples": len(snapshots[0][1]),
+        "equivalent": all(s == snapshots[0] for s in snapshots[1:]),
+    }
+
+
+def thousand_machine_hour(machines: int = 1000, seed: int = 42,
+                          budget_seconds: Optional[float] = None) -> Dict:
+    """One simulated hour, ``machines`` machines, one core, columnar.
+
+    Uses cluster-scoped pools (one shared page pool per 100-machine
+    cluster) so each cluster's scan and reclaim run as a handful of
+    array sweeps instead of hundreds of per-machine calls.  When
+    ``budget_seconds`` is given (the legacy 8-machine scalar bench
+    wall), ``under_scalar_8_machine_bench`` records whether the
+    thousand-machine hour beat it.
+    """
+    check_positive(machines, "machines")
+    clusters = max(1, machines // 100)
+    fleet = _build_dense_fleet(clusters, machines // clusters, 1, seed,
+                               kernel="columnar", pool_scope="cluster")
+    start = time.perf_counter()
+    fleet.run(HOUR, collect_sli=False)
+    wall = time.perf_counter() - start
+    report = {
+        "machines": clusters * (machines // clusters),
+        "jobs_per_machine": 1,
+        "simulated_hours": 1.0,
+        "kernel": "columnar",
+        "pool_scope": "cluster",
+        "scan_period_seconds": 240,
+        "control_period_seconds": 300,
+        "workers": 1,
+        "seed": seed,
+        "wall_seconds": round(wall, 3),
+        "ticks_per_second": round((HOUR // 60) / wall, 2),
+    }
+    if budget_seconds is not None:
+        report["scalar_8_machine_wall_seconds"] = round(budget_seconds, 3)
+        report["under_scalar_8_machine_bench"] = wall < budget_seconds
+    return report
+
+
 def run_bench(
-    hours: float = 2.0,
+    hours: float = 1.0,
     clusters: int = 4,
-    machines: int = 2,
-    jobs: int = 3,
+    machines: int = 50,
+    jobs: int = 1,
     seed: int = 42,
     workers: Optional[int] = None,
     barrier_seconds: int = 60,
+    tick_machines: int = 20,
+    tick_jobs: int = 384,
+    tick_ticks: int = 10,
+    equivalence_hours: float = 1.0,
+    thousand_machines: int = 1000,
     output: Optional[Union[str, Path]] = None,
 ) -> Dict:
-    """Run the serial-vs-parallel throughput comparison.
+    """Run the full fleet benchmark and assemble the report.
 
     Args:
-        hours: simulated hours per run.
-        clusters / machines / jobs: fleet shape (machines and jobs are
-            per-cluster and per-machine respectively).
-        seed: root seed; both runs use it, which is what makes the
-            equivalence check meaningful.
-        workers: parallel worker count (default: usable CPUs capped at 4,
-            matching the acceptance target's 4-worker configuration).
+        hours: simulated hours for the serial-vs-parallel section.
+        clusters / machines / jobs: serial-vs-parallel fleet shape
+            (machines and jobs are per-cluster and per-machine); the
+            defaults give a 200-machine dense fleet.
+        seed: root seed for every section.
+        workers: parallel worker count (default: usable CPUs capped
+            at 4).
         barrier_seconds: engine barrier interval.
+        tick_machines / tick_jobs / tick_ticks: tick-path section shape.
+        equivalence_hours: simulated hours for the three-backend
+            equivalence section.
+        thousand_machines: machine count for the thousand-machine-hour
+            section; 0 skips it (and the legacy reference run it is
+            compared against).
         output: when given, the report is also written there as JSON
             (conventionally ``BENCH_fleet.json``).
 
     Returns:
-        The report dict: fleet shape, per-mode wall seconds / ticks/sec /
-        pages-scanned/sec, ``speedup``, and ``equivalent`` (identical
-        coverage reports and SLI histories).
+        The report dict described in the module docstring.  The
+        top-level ``equivalent`` is the conjunction of every section's
+        equivalence check.
     """
     check_positive(hours, "hours")
     if workers is None:
@@ -81,23 +304,57 @@ def run_bench(
 
     seconds = int(hours * HOUR)
 
-    serial_fleet = _build_fleet(clusters, machines, jobs, seed)
+    tick_path = tick_path_bench(tick_machines, tick_jobs, tick_ticks, seed)
+    equivalence = columnar_equivalence(hours=equivalence_hours, seed=seed + 35)
+
+    # Serial vs parallel on the dense hundreds-of-machines fleet.  The
+    # columnar cluster-pooled kernel is the production configuration at
+    # this scale, so that is what both runs use.
+    serial_fleet = _build_dense_fleet(clusters, machines, jobs, seed,
+                                      kernel="columnar",
+                                      pool_scope="cluster")
     start = time.perf_counter()
     serial_fleet.run(seconds)
     serial_wall = time.perf_counter() - start
 
-    parallel_fleet = _build_fleet(clusters, machines, jobs, seed)
+    parallel_fleet = _build_dense_fleet(clusters, machines, jobs, seed,
+                                        kernel="columnar",
+                                        pool_scope="cluster")
     engine = FleetEngine(parallel_fleet, workers=workers,
                          barrier_seconds=barrier_seconds)
     start = time.perf_counter()
     stats = engine.run(seconds)
     parallel_wall = time.perf_counter() - start
 
-    equivalent = (
+    parallel_equivalent = (
         serial_fleet.coverage_report() == parallel_fleet.coverage_report()
         and serial_fleet.sli_history == parallel_fleet.sli_history
     )
     pages = _pages_scanned(serial_fleet)
+
+    host_cores = os.cpu_count() or 1
+    # A parallel "speedup" only means something when the engine actually
+    # had more than one physical core to spread workers across.
+    if stats.workers > 1 and stats.workers <= host_cores:
+        speedup = round(serial_wall / parallel_wall, 3)
+        note = None
+    else:
+        speedup = None
+        note = (f"parallel ran with {stats.workers} worker(s) on "
+                f"{host_cores} physical core(s); workers cannot exceed "
+                f"physical cores, so no speedup is measurable")
+
+    thousand = None
+    if thousand_machines:
+        reference = _build_fleet(_LEGACY_SHAPE["clusters"],
+                                 _LEGACY_SHAPE["machines"],
+                                 _LEGACY_SHAPE["jobs"], seed)
+        start = time.perf_counter()
+        reference.run(int(_LEGACY_SHAPE["hours"] * HOUR))
+        reference_wall = time.perf_counter() - start
+        thousand = thousand_machine_hour(thousand_machines, seed,
+                                         budget_seconds=reference_wall)
+
     report = {
         "fleet": {
             "clusters": clusters,
@@ -105,10 +362,17 @@ def run_bench(
             "jobs_per_machine": jobs,
             "simulated_hours": hours,
             "seed": seed,
+            "kernel": "columnar",
+            "pool_scope": "cluster",
         },
-        "host_cpus": default_worker_count(),
+        "host": {
+            "physical_cores": host_cores,
+            "usable_cpus": default_worker_count(),
+        },
         "barrier_seconds": barrier_seconds,
         "ticks": stats.ticks,
+        "tick_path": tick_path,
+        "equivalence": equivalence,
         "serial": {
             "wall_seconds": round(serial_wall, 3),
             "ticks_per_second": round(stats.ticks / serial_wall, 2),
@@ -123,8 +387,12 @@ def run_bench(
             "ticks_per_second": round(stats.ticks / parallel_wall, 2),
             "pages_scanned_per_second": round(pages / parallel_wall, 0),
         },
-        "speedup": round(serial_wall / parallel_wall, 3),
-        "equivalent": equivalent,
+        "speedup": speedup,
+        "note": note,
+        "thousand_machine_hour": thousand,
+        "equivalent": (tick_path["equivalent"]
+                       and equivalence["equivalent"]
+                       and parallel_equivalent),
     }
     if output is not None:
         Path(output).write_text(

@@ -1,6 +1,11 @@
 """Simulated Linux kernel substrate: memcg, kstaled, kreclaimd, zswap,
 zsmalloc, direct reclaim, and the machine that composes them (paper §5.1)."""
 
+from repro.kernel.columnar import (
+    ColumnarMemCg,
+    MachinePagePool,
+    PooledAgeHistogram,
+)
 from repro.kernel.compression import (
     DEFAULT_LATENCY_MODEL,
     CompressionLatencyModel,
@@ -35,10 +40,13 @@ __all__ = [
     "ZSSD_DEVICE",
     "ZSWAP_ACCEL_DEVICE",
     "ZSWAP_DEVICE",
+    "ColumnarMemCg",
     "CompressionLatencyModel",
     "ContentProfile",
     "DEFAULT_LATENCY_MODEL",
     "DirectReclaim",
+    "MachinePagePool",
+    "PooledAgeHistogram",
     "FarMemoryMode",
     "Kreclaimd",
     "Kstaled",

@@ -62,6 +62,11 @@ class ContentProfile:
             self.max_ratio >= self.min_ratio,
             f"max_ratio {self.max_ratio} < min_ratio {self.min_ratio}",
         )
+        # Cached lognormal location: ``sample_payload_bytes`` runs on every
+        # zswap store and the log of a frozen field never changes.
+        object.__setattr__(
+            self, "_log_median_ratio", float(np.log(self.median_ratio))
+        )
 
     def sample_payload_bytes(
         self, n_pages: int, rng: np.random.Generator
@@ -73,18 +78,27 @@ class ContentProfile:
         """
         if n_pages == 0:
             return np.zeros(0, dtype=np.int32)
-        ratios = np.exp(
-            rng.normal(np.log(self.median_ratio), self.sigma, size=n_pages)
-        )
-        ratios = np.clip(ratios, self.min_ratio, self.max_ratio)
-        payloads = np.minimum(PAGE_SIZE, np.ceil(PAGE_SIZE / ratios)).astype(np.int32)
+        # One buffer end to end: exp/clip/divide/ceil all run in place on
+        # the normal draw (this sits on every zswap store, so the
+        # temporaries add up).  The RNG call sequence — one normal draw,
+        # one uniform draw, one conditional integer draw — is part of the
+        # replay contract and must not change.
+        ratios = rng.normal(self._log_median_ratio, self.sigma, size=n_pages)
+        np.exp(ratios, out=ratios)
+        np.maximum(ratios, self.min_ratio, out=ratios)
+        np.minimum(ratios, self.max_ratio, out=ratios)
+        np.divide(PAGE_SIZE, ratios, out=ratios)
+        np.ceil(ratios, out=ratios)
+        np.minimum(ratios, PAGE_SIZE, out=ratios)
+        payloads = ratios.astype(np.int32)
         incompressible = rng.random(n_pages) < self.incompressible_fraction
-        if incompressible.any():
+        count = int(np.count_nonzero(incompressible))
+        if count:
             # lzo on high-entropy data yields ~page-size output (it can even
             # expand slightly; we cap at PAGE_SIZE since zswap rejects it
             # either way).
             payloads[incompressible] = rng.integers(
-                3200, PAGE_SIZE + 1, size=int(incompressible.sum())
+                3200, PAGE_SIZE + 1, size=count
             ).astype(np.int32)
         return payloads
 

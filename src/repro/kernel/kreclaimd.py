@@ -10,11 +10,16 @@ way reactive direct reclaim does — that contrast is the §3.2 ablation).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
 
 from repro.common.validation import check_positive
 from repro.kernel.memcg import MemCg
 from repro.kernel.zswap import Zswap
+
+if TYPE_CHECKING:
+    from repro.kernel.columnar import MachinePagePool
 from repro.obs import (
     MetricName,
     MetricRegistry,
@@ -74,22 +79,41 @@ class Kreclaimd:
         self._tracer = tracer
         self._bind_metrics(registry)
 
-    def run(self, memcgs: Iterable[MemCg]) -> int:
+    def run(
+        self,
+        memcgs: Iterable[MemCg],
+        pool: Optional["MachinePagePool"] = None,
+        pairs: Optional[Iterable[Tuple[MemCg, np.ndarray]]] = None,
+    ) -> int:
         """One reclaim pass; returns pages moved to far memory.
 
         Per memcg: skip jobs whose zswap is disabled (warm-up or at their
         memory limit), collect LRU candidates at the current threshold,
-        oldest first, and compress within the remaining budget.
+        oldest first, and compress within the remaining budget.  With a
+        columnar ``pool``, candidate collection runs as one machine-wide
+        mask pass instead of per-memcg array work; ordering, budgeting and
+        compression are identical either way.  ``pairs`` supplies
+        pre-computed ``(memcg, candidates)`` pairs instead — the cluster
+        layer uses it to evaluate one shared cluster-scoped pool mask and
+        hand each machine its slice, keeping budget and metrics
+        per-machine.
         """
+        if pairs is not None and isinstance(pairs, list) and not pairs:
+            # Nothing eligible this pass.  Book the run (the scalar path
+            # books empty passes too) without paying for span and stream
+            # setup — at cluster scope most machines hit this every round.
+            self.runs += 1
+            self._m_runs.inc()
+            return 0
         budget = self.pages_per_run
         moved = 0
+        stream = (
+            iter(pairs)
+            if pairs is not None
+            else self._candidate_stream(memcgs, pool)
+        )
         with self._tracer.span("kreclaimd.run"):
-            for memcg in memcgs:
-                if not memcg.zswap_enabled:
-                    continue
-                candidates = memcg.reclaim_candidates(memcg.cold_age_threshold)
-                if candidates.size == 0:
-                    continue
+            for memcg, candidates in stream:
                 # LRU walk order: inactive list first, oldest first.
                 candidates = memcg.reclaim_order(candidates)
                 if budget is not None:
@@ -107,3 +131,21 @@ class Kreclaimd:
         self._m_runs.inc()
         self._m_pages.inc(moved)
         return moved
+
+    @staticmethod
+    def _candidate_stream(
+        memcgs: Iterable[MemCg],
+        pool: Optional["MachinePagePool"],
+    ) -> Iterator[Tuple[MemCg, np.ndarray]]:
+        """Yield ``(memcg, candidates)`` in LRU-walk order, skipping
+        zswap-disabled memcgs and empty candidate sets."""
+        if pool is not None:
+            yield from pool.reclaim_pairs(memcgs)
+            return
+        for memcg in memcgs:
+            if not memcg.zswap_enabled:
+                continue
+            candidates = memcg.reclaim_candidates(memcg.cold_age_threshold)
+            if candidates.size == 0:
+                continue
+            yield memcg, candidates

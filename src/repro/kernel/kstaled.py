@@ -10,12 +10,15 @@ logical core), and exposes scan counters for tests and monitoring.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.common.simtime import PeriodicSchedule
 from repro.common.units import KSTALED_SCAN_PERIOD
 from repro.common.validation import check_positive
 from repro.kernel.memcg import MemCg
+
+if TYPE_CHECKING:
+    from repro.kernel.columnar import MachinePagePool
 from repro.obs import (
     MetricName,
     MetricRegistry,
@@ -83,7 +86,12 @@ class Kstaled:
         self._tracer = tracer
         self._bind_metrics(registry)
 
-    def maybe_scan(self, now: int, memcgs: Iterable[MemCg]) -> bool:
+    def maybe_scan(
+        self,
+        now: int,
+        memcgs: Iterable[MemCg],
+        pool: Optional["MachinePagePool"] = None,
+    ) -> bool:
         """Run a scan if the period boundary has been crossed.
 
         Returns True when a scan ran.
@@ -91,15 +99,38 @@ class Kstaled:
         if not self._schedule.due(now):
             return False
         with self._tracer.span("kstaled.scan", sim_time=now):
-            self.scan(memcgs)
+            self.scan(memcgs, pool=pool)
         return True
 
-    def scan(self, memcgs: Iterable[MemCg]) -> None:
-        """Unconditionally scan every memcg once."""
-        pages = 0
-        for memcg in memcgs:
-            memcg.scan_update()
-            pages += memcg.resident_pages
+    def scan(
+        self,
+        memcgs: Iterable[MemCg],
+        pool: Optional["MachinePagePool"] = None,
+    ) -> None:
+        """Unconditionally scan every memcg once.
+
+        With a columnar ``pool``, the whole machine is aged and re-binned
+        in one array sweep (:meth:`MachinePagePool.scan_all`); otherwise
+        each memcg runs its own ``scan_update``.  Both paths are
+        bit-equivalent.
+        """
+        if pool is not None:
+            pages = pool.scan_all(memcgs)
+        else:
+            pages = 0
+            for memcg in memcgs:
+                memcg.scan_update()
+                pages += memcg.resident_pages
+        self.record_scan(pages)
+
+    def record_scan(self, pages: int) -> None:
+        """Book one completed scan of ``pages`` resident pages.
+
+        Used by :meth:`scan` and by the cluster layer when a shared
+        cluster-scoped pool runs the scan externally: the sweep happens
+        once for all machines, but each machine's kstaled still accounts
+        its own pages, CPU cost, and metrics.
+        """
         self.pages_scanned += pages
         self.cpu_seconds += pages * SCAN_SECONDS_PER_PAGE
         self.scans_completed += 1

@@ -32,6 +32,7 @@ from repro.kernel.compression import (
     CompressionLatencyModel,
     ContentProfile,
 )
+from repro.kernel.columnar import ColumnarMemCg, MachinePagePool
 from repro.kernel.direct_reclaim import DirectReclaim
 from repro.kernel.kreclaimd import Kreclaimd
 from repro.kernel.kstaled import Kstaled
@@ -71,6 +72,9 @@ class MachineConfig:
         latency_model: compression cost model.
         zswap_max_pool_fraction: cap on the arena footprint as a fraction
             of DRAM (0 = uncapped; upstream zswap defaults to 20 %).
+        kernel: page-state backend — ``"scalar"`` (one array set per
+            memcg) or ``"columnar"`` (machine-pooled arrays; see
+            :mod:`repro.kernel.columnar`).  Bit-equivalent by contract.
     """
 
     dram_bytes: int = 256 << 30
@@ -80,10 +84,15 @@ class MachineConfig:
     kreclaimd_pages_per_run: Optional[int] = None
     latency_model: CompressionLatencyModel = DEFAULT_LATENCY_MODEL
     zswap_max_pool_fraction: float = 0.0
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         check_positive(self.dram_bytes, "dram_bytes")
         check_positive(self.scan_period, "scan_period")
+        require(
+            self.kernel in ("scalar", "columnar"),
+            f'kernel must be "scalar" or "columnar", got {self.kernel!r}',
+        )
         require(
             0.0 <= self.reclaim_watermark_fraction < 1.0,
             "reclaim_watermark_fraction must be in [0, 1)",
@@ -107,6 +116,14 @@ class Machine:
             with this machine's id as the ``machine`` label (defaults to
             the process-global registry).
         tracer: span tracer for the daemons (defaults to the global one).
+        pool: an externally owned cluster-scoped
+            :class:`~repro.kernel.columnar.MachinePagePool` shared by
+            every machine in a cluster (requires ``kernel="columnar"``).
+            A shared pool changes who *drives* the kernel fast paths —
+            the cluster scans and reclaims all machines in one pooled
+            sweep — but not their results: accounting falls back to the
+            per-memcg view reductions, which are bit-identical.  Omitted
+            (the default), a columnar machine owns a private pool.
     """
 
     def __init__(
@@ -118,6 +135,7 @@ class Machine:
         events: Optional[EventLog] = None,
         registry: Optional[MetricRegistry] = None,
         tracer: Optional[Tracer] = None,
+        pool: Optional[MachinePagePool] = None,
     ):
         self.machine_id = machine_id
         self.config = config
@@ -128,6 +146,25 @@ class Machine:
         self.tracer = tracer if tracer is not None else get_tracer()
 
         self.memcgs: Dict[str, MemCg] = {}
+        #: Columnar backend: the page pool holding this machine's memcg
+        #: segments (None = scalar).  ``pool_shared`` marks a
+        #: cluster-scoped pool: segments of *other* machines live in the
+        #: same arrays, so machine-wide reductions, scans, and reclaim
+        #: must not sweep the whole pool from here.
+        if pool is not None:
+            require(
+                config.kernel == "columnar",
+                "a shared pool requires the columnar kernel",
+            )
+            self.pool: Optional[MachinePagePool] = pool
+            self.pool_shared = True
+        else:
+            self.pool = (
+                MachinePagePool(self.bins, config.scan_period)
+                if config.kernel == "columnar"
+                else None
+            )
+            self.pool_shared = False
         self.arena = ZsmallocArena(machine_id=machine_id,
                                    registry=self.registry,
                                    tracer=self.tracer)
@@ -190,9 +227,24 @@ class Machine:
     # ------------------------------------------------------------------
 
     @property
+    def _private_pool(self) -> Optional[MachinePagePool]:
+        """The pool, when whole-pool sweeps equal machine-wide answers.
+
+        A cluster-scoped pool also holds other machines' segments, so the
+        accounting reductions fall back to per-memcg sums over the views
+        (same arithmetic, restricted to this machine's segments).
+        """
+        return None if self.pool_shared else self.pool
+
+    @property
     def near_bytes(self) -> int:
         """DRAM used by uncompressed pages."""
-        return sum(m.near_bytes for m in self.memcgs.values())
+        if self._private_pool is not None:
+            return self._private_pool.near_pages() * PAGE_SIZE
+        total = 0
+        for memcg in self.memcgs.values():
+            total += memcg.near_pages
+        return total * PAGE_SIZE
 
     @property
     def used_bytes(self) -> int:
@@ -207,7 +259,12 @@ class Machine:
     @property
     def far_pages(self) -> int:
         """Pages currently stored compressed, machine-wide."""
-        return sum(m.far_pages for m in self.memcgs.values())
+        if self._private_pool is not None:
+            return self._private_pool.far_pages()
+        total = 0
+        for memcg in self.memcgs.values():
+            total += memcg.far_pages
+        return total
 
     def saved_bytes(self) -> int:
         """DRAM reclaimed by compression: far bytes minus arena footprint."""
@@ -215,6 +272,8 @@ class Machine:
 
     def cold_pages(self, threshold_seconds: float) -> int:
         """Machine-wide pages idle at least ``threshold_seconds``."""
+        if self._private_pool is not None:
+            return self._private_pool.cold_pages(threshold_seconds)
         return sum(
             m.cold_pages(threshold_seconds) for m in self.memcgs.values()
         )
@@ -232,7 +291,8 @@ class Machine:
         """Create a memcg for a newly scheduled job."""
         require(job_id not in self.memcgs, f"job {job_id} already on machine")
         profile = content_profile if content_profile is not None else ContentProfile()
-        memcg = MemCg(
+        memcg_class = MemCg if self.pool is None else ColumnarMemCg
+        memcg = memcg_class(
             job_id=job_id,
             capacity_pages=capacity_pages,
             content_profile=profile,
@@ -241,6 +301,8 @@ class Machine:
                                    job=hash(job_id) & 0xFFFFFF),
             scan_period=self.config.scan_period,
         )
+        if self.pool is not None:
+            self.pool.add(memcg)
         memcg.start_time = self.now
         memcg.promoted_counter = self._m_promoted
         # Proactive mode: zswap is enabled per job after warm-up by the node
@@ -258,6 +320,8 @@ class Machine:
             raise SimulationError(f"job {job_id} not on machine {self.machine_id}")
         far = np.flatnonzero(memcg.far_mask())
         self.zswap.evict_job(memcg, far)
+        if self.pool is not None:
+            self.pool.remove(memcg)
         self.events.record(self.now, EventKind.MACHINE_JOB_REMOVED, job=job_id,
                            machine=self.machine_id)
         return self.zswap.stats_for(job_id)
@@ -330,17 +394,40 @@ class Machine:
         """
         require(now >= self.now, "time went backwards")
         self.now = now
-        self.kstaled.maybe_scan(now, self.memcgs.values())
+        if not self.pool_shared:
+            # With a cluster-scoped pool the cluster runs one pooled scan
+            # for all machines (Cluster._pooled_scan) and books pages back
+            # via Kstaled.record_scan; scanning here would age everyone
+            # else's segments too.
+            self.kstaled.maybe_scan(now, self.memcgs.values(), pool=self.pool)
         self._g_arena.set(self.arena.footprint_bytes)
         self._g_far.set(self.far_pages)
         if invariants_enabled():
             check_machine_accounting(self)
 
     def run_reclaim(self) -> int:
-        """One kreclaimd pass (proactive mode only); returns pages moved."""
-        if self.config.mode is not FarMemoryMode.PROACTIVE:
+        """One kreclaimd pass (proactive mode only); returns pages moved.
+
+        With a cluster-scoped pool this is a no-op: the cluster batches
+        one reclaim round for every machine whose agent just controlled
+        (:meth:`Cluster._pooled_reclaim`), evaluating the shared candidate
+        mask once instead of per machine.
+        """
+        if self.config.mode is not FarMemoryMode.PROACTIVE or self.pool_shared:
             return 0
-        return self.kreclaimd.run(self.memcgs.values())
+        return self.kreclaimd.run(self.memcgs.values(), pool=self.pool)
+
+    def __setstate__(self, state: dict) -> None:
+        # The parallel engine ships machines by pickle.  Columnar memcgs
+        # arrive without their view arrays (see
+        # ``ColumnarMemCg.__getstate__``); the pool carries the data, so
+        # rebind every memcg to its segment on this side of the fork.  A
+        # cluster-scoped pool is referenced by many machines; the
+        # staleness flag makes the rebind run once, not once per machine.
+        self.__dict__.update(state)
+        pool = self.__dict__.get("pool")
+        if pool is not None and getattr(pool, "_views_stale", True):
+            pool.rebind_all()
 
     def _memcg(self, job_id: str) -> MemCg:
         memcg = self.memcgs.get(job_id)

@@ -55,6 +55,14 @@ class PageState(enum.IntEnum):
     FAR = 1  #: compressed in the zswap arena
 
 
+# Plain-int copies for the accounting hot paths: ``PageState.NEAR`` goes
+# through ``EnumType.__getattr__`` on every lookup, which is measurable
+# when every machine reads tier counts every tick.  Values are identical
+# (IntEnum), so numpy comparisons are unchanged.
+_NEAR = int(PageState.NEAR)
+_FAR = int(PageState.FAR)
+
+
 class MemCg:
     """One job's memory cgroup.
 
@@ -139,6 +147,14 @@ class MemCg:
         #: job's warm-up; the histogram *data* is left intact.
         self.histograms_corrupt: bool = False
 
+        #: Monotonic count of entries ever added to the promotion
+        #: histogram (scan-time would-be promotions and actual promotion
+        #: faults alike).  The node agent compares it against its last
+        #: seen value to skip the histogram copy/diff on rounds where the
+        #: histogram cannot have changed; both kernel backends maintain
+        #: it identically.
+        self.promo_hist_events = 0
+
         #: SLI counters (monotonic; readers keep their own last-seen copy).
         self.promoted_pages_total = 0
         self.compressed_pages_total = 0
@@ -158,17 +174,17 @@ class MemCg:
     @property
     def resident_pages(self) -> int:
         """Total resident pages (near + far)."""
-        return int(self.resident.sum())
+        return int(np.count_nonzero(self.resident))
 
     @property
     def near_pages(self) -> int:
         """Pages held uncompressed in DRAM."""
-        return int((self.resident & (self.state == PageState.NEAR)).sum())
+        return int(np.count_nonzero(self.resident & (self.state == _NEAR)))
 
     @property
     def far_pages(self) -> int:
         """Pages held compressed in the zswap arena."""
-        return int((self.resident & (self.state == PageState.FAR)).sum())
+        return int(np.count_nonzero(self.resident & (self.state == _FAR)))
 
     @property
     def near_bytes(self) -> int:
@@ -177,7 +193,7 @@ class MemCg:
 
     def far_mask(self) -> np.ndarray:
         """Boolean mask over slots currently in far memory."""
-        return self.resident & (self.state == PageState.FAR)
+        return self.resident & (self.state == _FAR)
 
     def cold_pages(self, threshold_seconds: float) -> int:
         """Resident pages idle for at least ``threshold_seconds``.
@@ -188,7 +204,7 @@ class MemCg:
         """
         threshold_scans = int(np.ceil(threshold_seconds / self.scan_period))
         return int(
-            (self.resident & (self.age_scans >= threshold_scans)).sum()
+            np.count_nonzero(self.resident & (self.age_scans >= threshold_scans))
         )
 
     # ------------------------------------------------------------------
@@ -239,7 +255,7 @@ class MemCg:
         if indices.size == 0:
             return indices
         require(bool(self.resident[indices].all()), "releasing non-resident pages")
-        far = indices[self.state[indices] == PageState.FAR]
+        far = indices[self.state[indices] == _FAR]
         self.resident[indices] = False
         self.accessed[indices] = False
         self.state[indices] = PageState.NEAR
@@ -265,7 +281,7 @@ class MemCg:
         self.accessed[live] = True
         if write:
             self.dirtied[live] = True
-        return live[self.state[live] == PageState.FAR]
+        return live[self.state[live] == _FAR]
 
     def record_promotions(self, indices: np.ndarray) -> None:
         """Account faults on far pages: age-at-access into the promotion
@@ -279,6 +295,7 @@ class MemCg:
             return
         ages_seconds = self.age_scans[indices] * self.scan_period
         self.promotion_histogram.add_ages(ages_seconds)
+        self.promo_hist_events += int(indices.size)
         self.age_scans[indices] = 0
         self.promoted_pages_total += int(indices.size)
         if self.promoted_counter is not None:
@@ -398,7 +415,7 @@ class MemCg:
             return np.zeros(0, dtype=np.int64)
         threshold_scans = int(np.ceil(threshold_seconds / self.scan_period))
         if not self._reclaim_mask_valid:
-            np.logical_and(self.resident, self.state == PageState.NEAR,
+            np.logical_and(self.resident, self.state == _NEAR,
                            out=self._reclaim_mask)
             self._reclaim_mask &= ~self.unevictable
             self._reclaim_mask &= ~self.incompressible
@@ -441,6 +458,7 @@ class MemCg:
 
         prev_age_seconds = self.age_scans[acc] * self.scan_period
         self.promotion_histogram.add_ages(prev_age_seconds)
+        self.promo_hist_events += int(prev_age_seconds.size)
 
         self.age_scans[acc] = 0
         self.age_scans[idle] = np.minimum(
@@ -454,8 +472,8 @@ class MemCg:
 
         # Only NEAR pages can have live PTE dirty bits: swap-out removed the
         # mapping of FAR pages (and compression consumed their dirty state).
-        dirty = res & self.dirtied & (self.state == PageState.NEAR)
-        n_dirty = int(dirty.sum())
+        dirty = res & self.dirtied & (self.state == _NEAR)
+        n_dirty = int(np.count_nonzero(dirty))
         if n_dirty:
             self.incompressible[dirty] = False
             self.payload_bytes[dirty] = self.content_profile.sample_payload_bytes(
@@ -496,7 +514,10 @@ class MemCg:
         if new_binned.size:
             hist.counts += np.bincount(new_binned, minlength=len(self.bins))
         hist.young_count += int((new == _HIST_YOUNG).sum())
-        self._hist_bin = new_bins
+        # In-place so the cache array keeps its identity: the columnar
+        # kernel aliases ``_hist_bin`` into a machine-wide pool, and a
+        # rebind here would silently detach the memcg from the pool.
+        self._hist_bin[:] = new_bins
 
     def _rebuild_cold_histogram(self) -> None:
         """Snapshot page ages into the cold-age histogram from scratch.
@@ -507,8 +528,7 @@ class MemCg:
         self.cold_age_histogram.clear()
         res = self.resident
         ages = np.minimum(self.age_scans[res], MAX_PAGE_AGE_SCANS)
-        self._hist_bin = np.full(self.capacity_pages, _HIST_NO_PAGE,
-                                 dtype=np.int16)
+        self._hist_bin.fill(_HIST_NO_PAGE)
         self._hist_bin[res] = self._bin_lut[ages]
         binned = self._hist_bin[res]
         self.cold_age_histogram.young_count = int((binned == _HIST_YOUNG).sum())

@@ -87,21 +87,6 @@ class _SizeClass:
     def footprint_bytes(self) -> int:
         return self.zspages * ZSPAGE_BYTES
 
-    def alloc(self, payload: int) -> None:
-        if self.holes > 0:
-            self.holes -= 1
-        self.live += 1
-        self.payload_bytes += payload
-
-    def free(self, payload: int) -> None:
-        if self.live <= 0:
-            raise SimulationError(
-                f"size class {self.class_bytes}: free with no live objects"
-            )
-        self.live -= 1
-        self.holes += 1
-        self.payload_bytes -= payload
-
     def compact(self) -> int:
         """Squeeze out holes; returns bytes released."""
         before = self.footprint_bytes
@@ -134,6 +119,15 @@ class ZsmallocArena:
         self._classes: Dict[int, _SizeClass] = {}
         self.machine_id = machine_id
         self.compactions = 0
+        # Running accounting totals, updated on every store/release/compact.
+        # ``Machine.tick`` reads ``footprint_bytes`` (and the node agent
+        # reads ``stats()``) every tick, so summing over all size classes
+        # per read would put an O(classes) Python loop on the tick path.
+        self._live_total = 0
+        self._payload_total = 0
+        self._footprint_total = 0
+        self._internal_total = 0
+        self._external_total = 0
 
         registry = registry if registry is not None else get_registry()
         self._tracer = tracer if tracer is not None else get_tracer()
@@ -173,32 +167,44 @@ class ZsmallocArena:
     # ------------------------------------------------------------------
 
     def _grouped(self, payload_bytes: np.ndarray):
-        """Yield ``(class_bytes, object_count, payload_sum)`` per size class."""
+        """Yield ``(class_bytes, object_count, payload_sum)`` per size class.
+
+        Payloads never exceed a page, so the class *indices* live in a
+        small dense range and two ``np.bincount`` calls replace the sort
+        inside ``np.unique``; ascending-class yield order is preserved.
+        """
         payloads = np.asarray(payload_bytes, dtype=np.int64)
         if payloads.size == 0:
             return
         require(bool((payloads > 0).all()), "payloads must be positive")
-        classes = self._step * np.ceil(
-            (payloads + OBJECT_METADATA_BYTES) / self._step
-        ).astype(np.int64)
-        unique, inverse, counts = np.unique(
-            classes, return_inverse=True, return_counts=True
-        )
-        sums = np.bincount(inverse, weights=payloads, minlength=unique.size)
-        for class_bytes, count, payload_sum in zip(unique, counts, sums):
-            yield int(class_bytes), int(count), int(payload_sum)
+        step = self._step
+        class_index = (payloads + (OBJECT_METADATA_BYTES + step - 1)) // step
+        counts = np.bincount(class_index)
+        sums = np.bincount(class_index, weights=payloads)
+        for index in np.flatnonzero(counts):
+            yield int(index) * step, int(counts[index]), int(sums[index])
 
     def store(self, payload_bytes: np.ndarray) -> None:
         """Store one object per entry of ``payload_bytes``."""
         for class_bytes, count, payload_sum in self._grouped(payload_bytes):
             cls = self._class(class_bytes)
+            zspages_before = cls.zspages
             reused = min(cls.holes, count)
             cls.holes -= reused
             cls.live += count
             cls.payload_bytes += payload_sum
+            self._footprint_total += (cls.zspages - zspages_before) * ZSPAGE_BYTES
+            self._live_total += count
+            self._payload_total += payload_sum
+            self._internal_total += count * class_bytes - payload_sum
+            self._external_total -= reused * class_bytes
 
     def release(self, payload_bytes: np.ndarray) -> None:
-        """Free the objects previously stored with these payload sizes."""
+        """Free the objects previously stored with these payload sizes.
+
+        Freeing turns live slots into holes, so the zspage count (and the
+        footprint) is unchanged until compaction squeezes the holes out.
+        """
         for class_bytes, count, payload_sum in self._grouped(payload_bytes):
             cls = self._classes.get(class_bytes)
             if cls is None or cls.live < count:
@@ -209,11 +215,19 @@ class ZsmallocArena:
             cls.live -= count
             cls.holes += count
             cls.payload_bytes -= payload_sum
+            self._live_total -= count
+            self._payload_total -= payload_sum
+            self._internal_total -= count * class_bytes - payload_sum
+            self._external_total += count * class_bytes
 
     def compact(self) -> int:
         """Explicit compaction (node-agent triggered); returns bytes freed."""
         with self._tracer.span("zsmalloc.compact"):
-            released = sum(cls.compact() for cls in self._classes.values())
+            released = 0
+            for cls in self._classes.values():
+                self._external_total -= cls.holes * cls.class_bytes
+                released += cls.compact()
+            self._footprint_total -= released
         self.compactions += 1
         self._m_compactions.inc()
         self._m_compaction_bytes.inc(released)
@@ -226,20 +240,34 @@ class ZsmallocArena:
     @property
     def footprint_bytes(self) -> int:
         """DRAM the arena currently pins."""
-        return sum(cls.footprint_bytes for cls in self._classes.values())
+        return self._footprint_total
 
     @property
     def payload_bytes(self) -> int:
         """Logical bytes stored (sum of payload sizes)."""
-        return sum(cls.payload_bytes for cls in self._classes.values())
+        return self._payload_total
 
     @property
     def live_objects(self) -> int:
         """Number of stored objects."""
-        return sum(cls.live for cls in self._classes.values())
+        return self._live_total
 
     def stats(self) -> ArenaStats:
-        """Full accounting snapshot."""
+        """Full accounting snapshot (O(1) — from the running totals)."""
+        return ArenaStats(
+            live_objects=self._live_total,
+            payload_bytes=self._payload_total,
+            footprint_bytes=self._footprint_total,
+            internal_fragmentation_bytes=self._internal_total,
+            external_fragmentation_bytes=self._external_total,
+        )
+
+    def recounted_stats(self) -> ArenaStats:
+        """Recompute :meth:`stats` from per-class state (test oracle).
+
+        The running totals must always agree with a fresh per-class sweep;
+        the property tests assert this after randomized operation mixes.
+        """
         live = payload = footprint = internal = external = 0
         for cls in self._classes.values():
             live += cls.live

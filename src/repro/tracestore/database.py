@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.common.errors import TraceError
 from repro.model.trace import CompiledTrace, JobTrace, TraceEntry
@@ -83,6 +83,16 @@ class ColumnarTraceDatabase:
         """Store one entry (the :class:`~repro.agent.telemetry.TraceSink`
         protocol)."""
         self.store.append(entry)
+
+    def add_batch(self, entries: Sequence[TraceEntry]) -> None:
+        """Store a whole export window as one columnar chunk.
+
+        The batched half of the sink protocol: the columnar kernel's
+        telemetry exporter ships each machine's window in a single call
+        and the entries go straight to column arrays — no per-entry
+        buffer appends.  Equivalent to calling :meth:`add` per entry.
+        """
+        self.store.append_batch(entries)
 
     def flush(self) -> int:
         """Seal buffered rows into a segment; returns rows sealed."""

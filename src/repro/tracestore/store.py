@@ -42,7 +42,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 import numpy as np
 
@@ -258,6 +258,10 @@ class TraceStore:
         self._next_segment_id = 0
         self._windows: Dict[int, WindowSummary] = {}
         self._buffer: Dict[str, list] = {name: [] for name in COLUMNS}
+        #: Whole-window column chunks appended via :meth:`append_batch`,
+        #: awaiting the next segment seal alongside the row buffer.
+        self._chunks: List[Dict[str, np.ndarray]] = []
+        self._chunk_rows = 0
         #: Entries currently stored (sealed + buffered).
         self.rows_total = 0
 
@@ -417,6 +421,8 @@ class TraceStore:
             return 0
         sealed = self._job_sealed_rows[ordinal]
         buffered = sum(1 for j in self._buffer["job"] if j == ordinal)
+        for chunk in self._chunks:
+            buffered += int(np.count_nonzero(chunk["job"] == ordinal))
         return sealed + buffered
 
     def _intern_job(self, job_id: str) -> int:
@@ -481,8 +487,118 @@ class TraceStore:
         self.rows_total += 1
         if self._is_owner:
             self._m_rows.inc()
-            self._g_buffer.set(len(buf["time"]))
-        if len(buf["time"]) >= self.buffer_rows:
+            self._g_buffer.set(self._pending_rows)
+        if self._pending_rows >= self.buffer_rows:
+            self.flush()
+
+    def append_batch(self, entries: Sequence[TraceEntry]) -> None:
+        """Buffer a whole export window of entries as one column chunk.
+
+        The batch half of the sink protocol: instead of per-entry list
+        appends, the window's entries become numpy column arrays
+        immediately and travel to the sealed segment as a single chunk.
+        The columnar kernel's telemetry path uses this to ship each
+        machine's 5-minute window in one call.  Store contents are
+        identical to calling :meth:`append` once per entry, in order.
+
+        Raises:
+            TraceError: same contracts as :meth:`append` (threshold-grid
+                match, per-job monotonic time).  The batch is rejected
+                whole — on error nothing is appended.
+        """
+        if not entries:
+            return
+        if self.bins is None:
+            self.bins = entries[0].bins
+        # Validate the full batch before touching any store state, so a
+        # bad batch cannot leave rows half-appended.
+        watermark: Dict[str, int] = {}
+        for entry in entries:
+            if entry.bins.thresholds != self.bins.thresholds:
+                raise TraceError(
+                    f"entry for job {entry.job_id} uses threshold grid "
+                    f"{list(entry.bins.thresholds)}, store is fixed to "
+                    f"{list(self.bins.thresholds)}"
+                )
+            prev = watermark.get(entry.job_id)
+            if prev is None:
+                ordinal = self._job_index.get(entry.job_id)
+                if ordinal is not None:
+                    prev = self._job_last_time[ordinal]
+            if prev is not None and entry.time < prev:
+                raise TraceError(
+                    f"out-of-order trace entry for job {entry.job_id} at "
+                    f"t={entry.time} after t={prev}"
+                )
+            watermark[entry.job_id] = entry.time
+
+        # Keep append order intact across mixed append/append_batch use:
+        # everything buffered so far becomes a chunk ahead of this one.
+        if self._buffer["time"]:
+            sealed = self._buffer_arrays()
+            self._chunks.append(sealed)
+            self._chunk_rows += int(sealed["time"].size)
+            for column in self._buffer.values():
+                column.clear()
+
+        n = len(entries)
+        jobs = np.empty(n, dtype=np.int64)
+        machines = np.empty(n, dtype=np.int64)
+        for i, entry in enumerate(entries):
+            job = self._intern_job(entry.job_id)
+            jobs[i] = job
+            machines[i] = self._intern_machine(entry.machine_id)
+            self._job_last_time[job] = entry.time
+        chunk = {
+            "time": np.fromiter(
+                (e.time for e in entries), dtype=np.int64, count=n),
+            "job": jobs,
+            "machine": machines,
+            "working_set_pages": np.fromiter(
+                (e.working_set_pages for e in entries),
+                dtype=np.int64, count=n),
+            "resident_pages": np.fromiter(
+                (e.resident_pages for e in entries),
+                dtype=np.int64, count=n),
+            "promotion_young": np.fromiter(
+                (e.promotion_histogram.young_count for e in entries),
+                dtype=np.int64, count=n),
+            "cold_young": np.fromiter(
+                (e.cold_age_histogram.young_count for e in entries),
+                dtype=np.int64, count=n),
+            "cpu_cores": np.fromiter(
+                (e.cpu_cores for e in entries), dtype=np.float64, count=n),
+            # np.stack copies, so the chunk never aliases live kernel
+            # histograms.
+            "promotion_counts": np.stack(
+                [e.promotion_histogram.counts for e in entries]
+            ).astype(np.int64),
+            "cold_counts": np.stack(
+                [e.cold_age_histogram.counts for e in entries]
+            ).astype(np.int64),
+        }
+
+        starts = (chunk["time"] // self.window_seconds) * self.window_seconds
+        for start in np.unique(starts):
+            window = self._windows.get(int(start))
+            if window is None:
+                window = WindowSummary(start=int(start))
+                self._windows[int(start)] = window
+            sel = starts == start
+            window.rows += int(np.count_nonzero(sel))
+            window.job_ordinals.update(int(j) for j in jobs[sel])
+            window.working_set_pages += int(
+                chunk["working_set_pages"][sel].sum())
+            window.cold_pages += int(chunk["cold_counts"][sel].sum())
+            window.promoted_pages += int(chunk["promotion_counts"][sel].sum())
+
+        self._chunks.append(chunk)
+        self._chunk_rows += n
+        self.rows_total += n
+        if self._is_owner:
+            self._m_rows.inc(n)
+            self._g_buffer.set(self._pending_rows)
+        if self._pending_rows >= self.buffer_rows:
             self.flush()
 
     def _observe_window(self, entry: TraceEntry, job: int) -> None:
@@ -504,11 +620,11 @@ class TraceStore:
         writes: the buffer simply keeps accumulating in memory, exactly
         like the in-memory staging database it replaces.
         """
-        n = len(self._buffer["time"])
+        n = self._pending_rows
         if n == 0 or not self._is_owner:
             return 0
         with Stopwatch() as watch:
-            arrays = self._buffer_arrays()
+            arrays = self._pending_arrays()
             name = f"seg-{self._next_segment_id:06d}.npz"
             path = self.root / name
             tmp = self.root / f".{name}.tmp"
@@ -532,6 +648,8 @@ class TraceStore:
                 self._job_sealed_rows[ordinal] += int(count)
             for column in self._buffer.values():
                 column.clear()
+            self._chunks.clear()
+            self._chunk_rows = 0
             self._write_manifest()
         self.bytes_written += info.bytes
         self.flush_count += 1
@@ -552,6 +670,26 @@ class TraceStore:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+    @property
+    def _pending_rows(self) -> int:
+        """Rows awaiting the next seal (chunks plus the row buffer)."""
+        return self._chunk_rows + len(self._buffer["time"])
+
+    def _pending_arrays(self) -> Optional[Dict[str, np.ndarray]]:
+        """Everything unsealed as one column dict, in append order
+        (chunks always precede the live row buffer); None when empty."""
+        parts: List[Dict[str, np.ndarray]] = list(self._chunks)
+        if self._buffer["time"]:
+            parts.append(self._buffer_arrays())
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return dict(parts[0])
+        return {
+            name: np.concatenate([p[name] for p in parts])
+            for name in COLUMNS
+        }
 
     def _buffer_arrays(self) -> Dict[str, np.ndarray]:
         buf = self._buffer
@@ -583,10 +721,12 @@ class TraceStore:
             ) from exc
 
     def _iter_column_sources(self):
-        """Sealed segment arrays in order, then the live buffer."""
+        """Sealed segment arrays in order, then unsealed chunks and the
+        live row buffer."""
         for info in self.segments:
             with self._open_segment(info) as seg:
                 yield {name: seg[name] for name in COLUMNS}
+        yield from self._chunks
         if self._buffer["time"]:
             yield self._buffer_arrays()
 
@@ -654,11 +794,11 @@ class TraceStore:
         if ordinal is None:
             raise TraceError(f"no trace recorded for job {job_id}")
         if start >= self._job_sealed_rows[ordinal]:
-            # Fast path: only buffered rows are needed.
+            # Fast path: only unsealed rows are needed.
             skip = start - self._job_sealed_rows[ordinal]
-            if not self._buffer["time"]:
+            cols = self._pending_arrays()
+            if cols is None:
                 return []
-            cols = self._buffer_arrays()
             idx = np.flatnonzero(cols["job"] == ordinal)[skip:]
             return [self._entry_from_columns(cols, int(i)) for i in idx]
         cols = self.job_columns(job_id)
@@ -676,7 +816,7 @@ class TraceStore:
                 store to restore uniformity).
         """
         factors = {seg.downsample for seg in self.segments if seg.rows}
-        if self._buffer["time"]:
+        if self._pending_rows:
             factors.add(1)
         if not factors:
             return 1
@@ -760,6 +900,9 @@ class TraceStore:
         if self._buffer["time"]:
             lows.append(min(self._buffer["time"]))
             highs.append(max(self._buffer["time"]))
+        for chunk in self._chunks:
+            lows.append(int(chunk["time"].min()))
+            highs.append(int(chunk["time"].max()))
         if not lows:
             return None
         return (min(lows), max(highs))

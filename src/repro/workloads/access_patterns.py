@@ -84,12 +84,19 @@ class HeterogeneousPoissonPattern(AccessPattern):
         check_fraction(write_fraction, "write_fraction")
         self.rates = rates
         self.write_fraction = write_fraction
+        self._touch_prob_interval: Optional[int] = None
+        self._touch_prob: Optional[np.ndarray] = None
 
     def step(
         self, now: int, interval_seconds: int, rng: np.random.Generator
     ) -> Tuple[np.ndarray, np.ndarray]:
-        touch_prob = -np.expm1(-self.rates * interval_seconds)
-        touched = np.flatnonzero(rng.random(self.n_pages) < touch_prob)
+        # The rates are fixed and the simulator ticks at a constant
+        # interval, so the per-page touch probabilities are computed once
+        # and reused every tick.
+        if interval_seconds != self._touch_prob_interval:
+            self._touch_prob_interval = interval_seconds
+            self._touch_prob = -np.expm1(-self.rates * interval_seconds)
+        touched = np.flatnonzero(rng.random(self.n_pages) < self._touch_prob)
         if touched.size == 0:
             return touched, touched
         writes = touched[rng.random(touched.size) < self.write_fraction]
@@ -216,7 +223,13 @@ class ZipfianPattern(AccessPattern):
         # pages already touched this tick (the accessed bit is idempotent).
         n_draw = int(min(n_accesses, 4 * self.n_pages))
         pages = np.searchsorted(self._cdf, rng.random(n_draw))
-        touched = np.unique(pages)
+        # Sorted-unique via a scatter mask: O(draws + pages) instead of the
+        # O(draws log draws) sort inside ``np.unique``, same result.  The
+        # mask has one spare slot because a draw landing exactly on the
+        # CDF's floating-point tail maps to index ``n_pages``.
+        mask = np.zeros(self.n_pages + 1, dtype=bool)
+        mask[pages] = True
+        touched = np.flatnonzero(mask)
         writes = touched[rng.random(touched.size) < self.write_fraction]
         return touched, writes
 
@@ -303,10 +316,18 @@ class PhasedPattern(AccessPattern):
             self._phase_index = phase
             self._hot_start = int(rng.integers(0, self.n_pages))
         hot_size = max(1, int(self.hot_fraction * self.n_pages))
-        hot = (self._hot_start + np.arange(hot_size)) % self.n_pages
         prob = -np.expm1(-self.background_rate * interval_seconds)
-        background = np.flatnonzero(rng.random(self.n_pages) < prob)
-        touched = np.union1d(hot, background)
+        # Union of the (wrapping) hot window and the background draws via a
+        # scatter mask — same sorted-unique result as ``np.union1d`` without
+        # its concatenate-and-sort.
+        mask = rng.random(self.n_pages) < prob
+        end = self._hot_start + hot_size
+        if end <= self.n_pages:
+            mask[self._hot_start : end] = True
+        else:
+            mask[self._hot_start :] = True
+            mask[: end - self.n_pages] = True
+        touched = np.flatnonzero(mask)
         writes = touched[rng.random(touched.size) < 0.2]
         return touched, writes
 
@@ -350,5 +371,13 @@ class DiurnalModulation(AccessPattern):
             return reads, writes
         keep = rng.random(reads.size) < level
         kept_reads = reads[keep]
-        kept_writes = np.intersect1d(writes, kept_reads, assume_unique=False)
+        if writes.size == 0:
+            return kept_reads, writes
+        # Every pattern in this module returns sorted-unique reads with
+        # writes a subset of them, so the surviving writes are just the
+        # writes whose position in ``reads`` kept its page — no need for
+        # ``np.intersect1d``'s sort.  Writes absent from ``reads`` (foreign
+        # patterns) are dropped, exactly as the intersection would.
+        pos = np.minimum(np.searchsorted(reads, writes), reads.size - 1)
+        kept_writes = writes[(reads[pos] == writes) & keep[pos]]
         return kept_reads, kept_writes

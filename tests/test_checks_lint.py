@@ -42,7 +42,8 @@ def rules_fired(findings) -> set:
 class TestRegistry:
     def test_all_rules_registered(self):
         assert set(RULES) == {
-            "ACC001", "DET001", "DET002", "DET003", "FORK001", "OBS001",
+            "ACC001", "DET001", "DET002", "DET003", "DET004", "FORK001",
+            "OBS001",
         }
 
     def test_unknown_rule_rejected(self):
@@ -101,6 +102,33 @@ class TestDet003:
         assert rule.applies_to("repro/engine/parallel.py")
         assert rule.applies_to("repro/kernel/memcg.py")
         assert not rule.applies_to("repro/analysis/reporting.py")
+
+
+class TestDet004:
+    def test_positive(self):
+        findings = lint(FIXTURES / "kernel" / "det004_bad.py", "DET004")
+        assert len(findings) == 4
+        assert rules_fired(findings) == {"DET004"}
+        messages = " ".join(f.message for f in findings)
+        assert "page axis" in messages
+        assert "range(self.used)" in messages
+        assert "whole-array ops" in messages
+
+    def test_negative(self):
+        assert lint(FIXTURES / "kernel" / "det004_ok.py", "DET004") == []
+
+    def test_scoped_to_the_columnar_kernel(self):
+        rule = RULES["DET004"]
+        assert rule.applies_to("repro/kernel/columnar.py")
+        assert not rule.applies_to("repro/kernel/memcg.py")
+        assert not rule.applies_to("repro/engine/parallel.py")
+
+    def test_real_columnar_kernel_is_clean(self):
+        # The promo-events loop (`for r in np.flatnonzero(per_row)`) and
+        # the dirty-resample loop (`for memcg in memcg_list`) iterate the
+        # row/memcg axis and must NOT be flagged.
+        engine = LintEngine(root=SRC_TREE.parent.parent, rules=["DET004"])
+        assert engine.run([SRC_TREE / "kernel" / "columnar.py"]) == []
 
 
 class TestFork001:

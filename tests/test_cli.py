@@ -130,14 +130,24 @@ class TestExecution:
 
         out = tmp_path / "bench.json"
         code = main(
-            ["bench", "--clusters", "2", "--machines", "1", "--jobs", "2",
-             "--hours", "0.25", "--workers", "2", "--output", str(out)]
+            ["bench", "--quick", "--workers", "2", "--output", str(out)]
         )
         assert code == 0
         report = json.loads(out.read_text())
         assert report["equivalent"]
+        assert report["tick_path"]["equivalent"]
+        assert report["tick_path"]["columnar"]["ticks_per_second"] > 0
+        assert report["equivalence"]["equivalent"]
         assert report["serial"]["ticks_per_second"] > 0
         assert report["parallel"]["ticks_per_second"] > 0
+        assert report["host"]["physical_cores"] >= 1
+        # --quick skips the thousand-machine-hour section.
+        assert report["thousand_machine_hour"] is None
+        # On a 1-core host the parallel run cannot beat serial, so the
+        # report must say "no measurable speedup" rather than invent one.
+        if report["parallel"]["workers"] <= 1:
+            assert report["speedup"] is None
+            assert report["note"]
         assert "speedup" in capsys.readouterr().out.lower()
 
     def test_bench_model_writes_report(self, tmp_path, capsys):

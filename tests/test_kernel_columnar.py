@@ -1,0 +1,515 @@
+"""Randomized property tests: the columnar kernel vs the scalar oracle.
+
+The columnar backend (:mod:`repro.kernel.columnar`) promises
+*bit-equivalence* with the scalar kernel: pooled scan, pooled reclaim,
+promotion, huge-page propagation, churn and compaction must all produce
+exactly the per-page state, histograms, and daemon counters the scalar
+kernel produces.  These tests drive both backends through identical
+randomized operation scripts — at machine scope and at cluster scope
+(one shared pool, scanned and reclaimed the way ``Cluster`` drives it) —
+and assert full-state equality along the way.  A chaos scenario at the
+engine level checks the same property end to end.
+
+Two helper contracts promised elsewhere are property-tested here too:
+``_sorted_percentile`` is bit-identical to ``np.percentile`` and the
+zsmalloc arena's running totals always match a fresh per-class recount.
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster.wsc import quickfleet
+from repro.common.rng import SeedSequenceFactory
+from repro.common.simtime import PeriodicSchedule
+from repro.common.units import MIB, PAGE_SIZE
+from repro.core.threshold_policy import _sorted_percentile
+from repro.faults import attach_scenario
+from repro.kernel.columnar import _NEVER_SCANS, MachinePagePool
+from repro.kernel.compression import ContentProfile
+from repro.kernel.machine import FarMemoryMode, Machine, MachineConfig
+from repro.kernel.memcg import PageState
+from repro.kernel.zsmalloc import ZsmallocArena
+from repro.obs import MetricRegistry, Tracer
+
+SCAN_PERIOD = 120
+PAGES_PER_HUGE = 8
+
+#: Mildly incompressible, mildly compressible: exercises both the
+#: incompressible-skip and the payload-resample paths.
+_PROFILE = ContentProfile(incompressible_fraction=0.15, min_ratio=1.3)
+
+_THRESHOLDS = (120.0, 240.0, 480.0, 960.0, float("inf"))
+
+_PAGE_ATTRS = (
+    "resident", "age_scans", "accessed", "state", "incompressible",
+    "dirtied", "unevictable", "payload_bytes", "lru_active", "huge_group",
+)
+
+
+def _make_machine(kernel, index, seed, shared_pool=None, dram=64 * MIB):
+    """A machine whose RNG streams depend only on (index, seed), so a
+    scalar machine and its columnar twin draw identical sequences."""
+    config = MachineConfig(
+        dram_bytes=dram,
+        mode=FarMemoryMode.PROACTIVE,
+        kernel=kernel,
+        scan_period=SCAN_PERIOD,
+    )
+    return Machine(
+        f"m{index}",
+        config,
+        seeds=SeedSequenceFactory(seed * 1000 + index),
+        registry=MetricRegistry(),
+        tracer=Tracer(),
+        pool=shared_pool,
+    )
+
+
+def _memcg_state(memcg):
+    """Every per-page column plus histograms and counters, as a
+    comparable value (bytes, so dtype differences would also fail)."""
+    arrays = tuple(
+        np.asarray(getattr(memcg, attr)).tobytes() for attr in _PAGE_ATTRS
+    )
+    return arrays + (
+        tuple(int(c) for c in memcg.cold_age_histogram.counts),
+        int(memcg.cold_age_histogram.young_count),
+        tuple(int(c) for c in memcg.promotion_histogram.counts),
+        int(memcg.promotion_histogram.young_count),
+        int(memcg.promo_hist_events),
+        int(memcg.resident_pages),
+        int(memcg.far_pages),
+        float(memcg.cold_age_threshold),
+        bool(memcg.zswap_enabled),
+    )
+
+
+def _machine_state(machine):
+    return {
+        "jobs": {
+            job_id: _memcg_state(memcg)
+            for job_id, memcg in machine.memcgs.items()
+        },
+        "far_pages": machine.far_pages,
+        "used_bytes": machine.used_bytes,
+        "pages_scanned": machine.kstaled.pages_scanned,
+        "scans_completed": machine.kstaled.scans_completed,
+        "reclaim_runs": machine.kreclaimd.runs,
+        "pages_reclaimed": machine.kreclaimd.pages_reclaimed,
+        "arena": machine.arena.stats(),
+    }
+
+
+class _Backend:
+    """A list of machines ticked and reclaimed the standalone way
+    (each machine drives its own kstaled/kreclaimd — the scalar kernel
+    and the columnar kernel with private per-machine pools)."""
+
+    def __init__(self, machines):
+        self.machines = machines
+
+    def tick(self, now):
+        for machine in self.machines:
+            machine.tick(now)
+
+    def reclaim(self):
+        for machine in self.machines:
+            machine.run_reclaim()
+
+    def state(self):
+        return [_machine_state(machine) for machine in self.machines]
+
+
+class _PooledBackend(_Backend):
+    """Machines sharing one cluster-scoped pool, driven exactly the way
+    ``Cluster._pooled_scan`` / ``Cluster._pooled_reclaim`` drive them:
+    one pool-wide scan booked back per machine, one pool-wide candidate
+    mask sliced back to each machine's kreclaimd."""
+
+    def __init__(self, machines, pool):
+        super().__init__(machines)
+        self.pool = pool
+        self._schedule = PeriodicSchedule(SCAN_PERIOD)
+
+    def tick(self, now):
+        if self._schedule.due(now):
+            memcgs = [
+                memcg
+                for machine in self.machines
+                for memcg in machine.memcgs.values()
+            ]
+            self.pool.scan_all(memcgs)
+            per_row = self.pool.last_scan_row_pages
+            for machine in self.machines:
+                pages = sum(
+                    int(per_row[memcg._pool_row])
+                    for memcg in machine.memcgs.values()
+                )
+                machine.kstaled.record_scan(pages)
+        for machine in self.machines:
+            machine.tick(now)
+
+    def reclaim(self):
+        pairs = self.pool.reclaim_pairs(
+            [
+                memcg
+                for machine in self.machines
+                for memcg in machine.memcgs.values()
+            ]
+        )
+        index = 0
+        for machine in self.machines:
+            own = machine.memcgs
+            mine = []
+            while (
+                index < len(pairs)
+                and own.get(pairs[index][0].job_id) is pairs[index][0]
+            ):
+                mine.append(pairs[index])
+                index += 1
+            machine.kreclaimd.run(own.values(), pairs=mine)
+
+
+def _apply_random_ops(rng, oracle, candidate, steps):
+    """One random op script applied to both backends simultaneously.
+
+    Every state-dependent draw (which pages to release, where a huge
+    mapping fits) reads the *oracle's* state; because the backends are
+    bit-equivalent the script is equally valid for the candidate — and
+    if they ever diverge, the periodic full-state comparison fails.
+    """
+    fleets = (oracle, candidate)
+    n_machines = len(oracle.machines)
+    now = 0
+    next_job = 0
+    for step in range(steps):
+        mi = int(rng.integers(n_machines))
+        target = oracle.machines[mi]
+        jobs = sorted(target.memcgs)
+        op = int(rng.integers(10))
+        if op == 0 or not jobs:
+            cap = int(rng.integers(32, 129))
+            pages = int(rng.integers(1, cap + 1))
+            job = f"m{mi}-j{next_job}"
+            next_job += 1
+            for fleet in fleets:
+                fleet.machines[mi].add_job(job, cap, _PROFILE)
+                fleet.machines[mi].allocate(job, pages)
+        elif op == 1:
+            job = jobs[int(rng.integers(len(jobs)))]
+            for fleet in fleets:
+                fleet.machines[mi].remove_job(job)
+        elif op == 2:
+            job = jobs[int(rng.integers(len(jobs)))]
+            memcg = target.memcgs[job]
+            free = memcg.capacity_pages - memcg.resident_pages
+            if free:
+                pages = int(rng.integers(1, free + 1))
+                for fleet in fleets:
+                    fleet.machines[mi].allocate(job, pages)
+        elif op in (3, 4):
+            job = jobs[int(rng.integers(len(jobs)))]
+            resident = np.flatnonzero(target.memcgs[job].resident)
+            if resident.size:
+                take = np.sort(rng.choice(
+                    resident,
+                    size=int(rng.integers(1, resident.size + 1)),
+                    replace=False,
+                ))
+                if op == 3:
+                    for fleet in fleets:
+                        fleet.machines[mi].release(job, take)
+                else:
+                    write = bool(rng.integers(2))
+                    for fleet in fleets:
+                        fleet.machines[mi].touch(job, take, write=write)
+        elif op == 5:
+            job = jobs[int(rng.integers(len(jobs)))]
+            threshold = float(_THRESHOLDS[int(rng.integers(len(_THRESHOLDS)))])
+            for fleet in fleets:
+                fleet.machines[mi].memcgs[job].cold_age_threshold = threshold
+        elif op == 6:
+            job = jobs[int(rng.integers(len(jobs)))]
+            enabled = not target.memcgs[job].zswap_enabled
+            for fleet in fleets:
+                fleet.machines[mi].memcgs[job].zswap_enabled = enabled
+        elif op == 7:
+            job = jobs[int(rng.integers(len(jobs)))]
+            memcg = target.memcgs[job]
+            starts = [
+                s
+                for s in range(
+                    0, memcg.capacity_pages - PAGES_PER_HUGE + 1,
+                    PAGES_PER_HUGE,
+                )
+                if memcg.resident[s:s + PAGES_PER_HUGE].all()
+                and (memcg.state[s:s + PAGES_PER_HUGE]
+                     == PageState.NEAR).all()
+                and (memcg.huge_group[s:s + PAGES_PER_HUGE] == -1).all()
+            ]
+            if starts:
+                start = starts[int(rng.integers(len(starts)))]
+                for fleet in fleets:
+                    fleet.machines[mi].memcgs[job].map_huge(
+                        start, PAGES_PER_HUGE
+                    )
+            else:
+                groups = np.unique(memcg.huge_group[memcg.huge_group >= 0])
+                if groups.size:
+                    group = int(groups[int(rng.integers(groups.size))])
+                    for fleet in fleets:
+                        fleet.machines[mi].memcgs[job].split_huge(group)
+        elif op == 8:
+            for _ in range(int(rng.integers(1, 4))):
+                now += 60
+                for fleet in fleets:
+                    fleet.tick(now)
+        else:
+            for fleet in fleets:
+                fleet.reclaim()
+        if step % 10 == 0:
+            assert candidate.state() == oracle.state(), f"diverged at {step}"
+    assert candidate.state() == oracle.state()
+
+
+class TestRandomizedEquivalence:
+    """Columnar == scalar over randomized operation mixes."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_machine_scope(self, seed):
+        rng = np.random.default_rng(seed)
+        oracle = _Backend([_make_machine("scalar", 0, seed)])
+        candidate = _Backend([_make_machine("columnar", 0, seed)])
+        _apply_random_ops(rng, oracle, candidate, steps=120)
+
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_cluster_scope(self, seed):
+        rng = np.random.default_rng(seed)
+        oracle = _Backend(
+            [_make_machine("scalar", i, seed) for i in range(2)]
+        )
+        scalars = oracle.machines
+        pool = MachinePagePool(scalars[0].bins, SCAN_PERIOD)
+        candidate = _PooledBackend(
+            [
+                _make_machine("columnar", i, seed, shared_pool=pool)
+                for i in range(2)
+            ],
+            pool,
+        )
+        _apply_random_ops(rng, oracle, candidate, steps=100)
+
+
+class TestThresholdMirroring:
+    """The ColumnarMemCg property setters keep ``row_reclaim_thr`` in
+    sync — the pooled reclaim mask never walks memcgs to gather gates."""
+
+    def _machine(self):
+        return _make_machine("columnar", 0, 9)
+
+    def test_threshold_encodes_in_scans(self):
+        machine = self._machine()
+        memcg = machine.add_job("j", 64, _PROFILE)
+        memcg.cold_age_threshold = 600.0
+        row = memcg._pool_row
+        assert machine.pool.row_reclaim_thr[row] == math.ceil(
+            600.0 / SCAN_PERIOD
+        )
+
+    def test_disabled_zswap_is_the_never_sentinel(self):
+        machine = self._machine()
+        memcg = machine.add_job("j", 64, _PROFILE)
+        memcg.cold_age_threshold = 600.0
+        row = memcg._pool_row
+        memcg.zswap_enabled = False
+        assert machine.pool.row_reclaim_thr[row] == _NEVER_SCANS
+        memcg.zswap_enabled = True
+        assert machine.pool.row_reclaim_thr[row] == math.ceil(
+            600.0 / SCAN_PERIOD
+        )
+
+    def test_infinite_threshold_is_the_never_sentinel(self):
+        machine = self._machine()
+        memcg = machine.add_job("j", 64, _PROFILE)
+        memcg.cold_age_threshold = float("inf")
+        assert (
+            machine.pool.row_reclaim_thr[memcg._pool_row] == _NEVER_SCANS
+        )
+
+
+class TestPoolCompaction:
+    """Removing a memcg compacts the pool and freezes the departing
+    memcg's state as private copies."""
+
+    def test_remove_middle_job_compacts_and_detaches(self):
+        machine = _make_machine("columnar", 0, 10)
+        for job, cap in (("a", 32), ("b", 48), ("c", 16)):
+            machine.add_job(job, cap, _PROFILE)
+            machine.allocate(job, cap)
+        pool = machine.pool
+        departing = machine.memcgs["b"]
+        machine.remove_job("b")
+        assert departing._pool is None
+        assert departing.resident.base is None  # owns private copies now
+        frozen = departing.resident.copy()
+        assert pool.used == 32 + 16
+        for job in ("a", "c"):
+            memcg = machine.memcgs[job]
+            assert memcg.resident.base is pool.resident  # still a view
+            assert memcg.resident.all()
+        # Later pool activity cannot disturb the frozen snapshot.
+        machine.add_job("d", 64, _PROFILE)
+        machine.allocate("d", 64)
+        assert (departing.resident == frozen).all()
+
+
+class TestChaosReplay:
+    """A mixed chaos scenario replays identically under every backend:
+    same coverage report, same SLI history, sample for sample."""
+
+    def test_mixed_scenario_identical_across_backends(self):
+        snapshots = []
+        for kernel, scope in (
+            ("scalar", "machine"),
+            ("columnar", "machine"),
+            ("columnar", "cluster"),
+        ):
+            fleet = quickfleet(
+                clusters=1,
+                machines_per_cluster=3,
+                jobs_per_machine=6,
+                seed=11,
+                machine_dram_gib=0.5,
+                job_pages_range=(
+                    (1 * MIB) // PAGE_SIZE, (4 * MIB) // PAGE_SIZE
+                ),
+                kernel=kernel,
+                pool_scope=scope,
+                scan_period=60,
+                churn_duration_range=(1800, 5400),
+                registry=MetricRegistry(),
+                tracer=Tracer(),
+            )
+            attach_scenario(fleet, "mixed", duration_seconds=7200, seed=7)
+            fleet.run(7200)
+            sli = tuple(
+                (s.job_id, s.time, s.working_set_pages, s.promotions,
+                 s.normalized_rate_pct_per_min, s.threshold)
+                for s in fleet.sli_history
+            )
+            snapshots.append((fleet.coverage_report(), sli))
+        assert len(snapshots[0][1]) > 0
+        assert snapshots[1] == snapshots[0]
+        assert snapshots[2] == snapshots[0]
+
+
+class TestSharedPoolPickle:
+    """The parallel engine ships clusters by pickle; a cluster-scoped
+    pool must rebind its memcg views exactly once on arrival and the
+    clone must continue bit-identically."""
+
+    def _fleet(self):
+        return quickfleet(
+            clusters=1,
+            machines_per_cluster=3,
+            jobs_per_machine=4,
+            seed=5,
+            machine_dram_gib=0.5,
+            kernel="columnar",
+            pool_scope="cluster",
+            scan_period=60,
+            registry=MetricRegistry(),
+            tracer=Tracer(),
+        )
+
+    def test_unpickle_rebinds_shared_pool_once(self):
+        fleet = self._fleet()
+        fleet.run(1800)
+        blob = pickle.dumps(fleet.clusters[0])
+        calls = []
+        original = MachinePagePool.rebind_all
+
+        def counting(self):
+            calls.append(self)
+            return original(self)
+
+        MachinePagePool.rebind_all = counting
+        try:
+            clone = pickle.loads(blob)
+        finally:
+            MachinePagePool.rebind_all = original
+        assert len(calls) == 1  # one pool, many machines: one rebind
+        pool = clone.machines[0].pool
+        assert all(machine.pool is pool for machine in clone.machines)
+        for machine in clone.machines:
+            for memcg in machine.memcgs.values():
+                assert memcg.resident.base is pool.resident
+
+    def test_clone_continues_identically(self):
+        fleet = self._fleet()
+        fleet.run(1800)
+        cluster = fleet.clusters[0]
+        clone = pickle.loads(pickle.dumps(cluster))
+        cluster.run(1800)
+        clone.run(1800)
+        for machine, twin in zip(cluster.machines, clone.machines):
+            assert _machine_state(twin) == _machine_state(machine)
+
+
+class TestSortedPercentile:
+    """``_sorted_percentile`` reimplements numpy's default linear
+    interpolation bit-identically (the docstring's promise)."""
+
+    def test_matches_numpy_on_randomized_inputs(self):
+        rng = np.random.default_rng(123)
+        for _ in range(300):
+            n = int(rng.integers(1, 40))
+            values = np.sort(rng.uniform(-1000.0, 1000.0, n))
+            k = float(rng.uniform(0.0, 100.0))
+            assert _sorted_percentile(values.tolist(), k) == float(
+                np.percentile(values, k)
+            )
+
+    @pytest.mark.parametrize("k", [0.0, 25.0, 50.0, 75.0, 98.0, 100.0])
+    def test_matches_numpy_at_grid_points(self, k):
+        values = [1.0, 1.0, 2.0, 3.5, 3.5, 3.5, 10.0]
+        assert _sorted_percentile(values, k) == float(
+            np.percentile(values, k)
+        )
+
+    def test_single_element(self):
+        assert _sorted_percentile([42.0], 63.0) == 42.0
+
+
+class TestArenaRecount:
+    """The zsmalloc arena's O(1) running totals always agree with a
+    fresh per-class recount (the docstring's promise), under randomized
+    store/release/compact mixes."""
+
+    def test_running_totals_match_recount(self):
+        rng = np.random.default_rng(7)
+        arena = ZsmallocArena(registry=MetricRegistry(), tracer=Tracer())
+        live = []
+        for _ in range(200):
+            op = int(rng.integers(3))
+            if op == 0 or not live:
+                payloads = rng.integers(
+                    1, PAGE_SIZE + 1, int(rng.integers(1, 64))
+                )
+                arena.store(payloads)
+                live.extend(int(p) for p in payloads)
+            elif op == 1:
+                take = rng.choice(
+                    len(live),
+                    size=int(rng.integers(1, len(live) + 1)),
+                    replace=False,
+                )
+                arena.release(np.array([live[i] for i in take]))
+                for i in sorted(take, reverse=True):
+                    live.pop(i)
+            else:
+                arena.compact()
+            assert arena.stats() == arena.recounted_stats()
