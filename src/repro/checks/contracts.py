@@ -1,0 +1,75 @@
+"""Runtime column-contract verification (the dynamic half of CON001).
+
+The static pass (:mod:`repro.checks.flow.contracts`) checks the
+assignments it can see; anything built dynamically — ``np.bincount``
+results, ``setattr`` loops over a field table, arrays arriving from
+disk — is invisible to it.  This module closes the gap: owning modules
+pass their ``COLUMN_CONTRACTS`` table and a live object, and every
+declared column is checked for dtype and rank against the real array.
+
+Call sites guard with :func:`repro.checks.invariants.invariants_enabled`
+so the check is free unless ``REPRO_CHECKS=1`` — same discipline as the
+accounting invariants.  This module deliberately imports nothing from
+``kernel``/``model`` (they import *us*); objects are duck-typed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.checks.invariants import InvariantViolation
+
+__all__ = ["verify_column_contracts"]
+
+
+def verify_column_contracts(
+    obj: Any,
+    contracts: Mapping[str, Mapping[str, object]],
+    where: str = "",
+) -> None:
+    """Assert every declared column of ``obj`` matches its contract.
+
+    Args:
+        obj: the live instance (e.g. a ``MachinePagePool`` or a
+            ``CompiledTrace``).  Contract keys are matched against the
+            names of every class in ``type(obj).__mro__``, so contracts
+            bind to subclasses too.
+        contracts: the owning module's ``COLUMN_CONTRACTS`` literal:
+            ``"Class.attr" -> {"dtype": str, "ndim": int}``.
+        where: context string for the violation message (call site).
+
+    Raises:
+        InvariantViolation: a column is missing, is not an ndarray, or
+            has the wrong dtype/rank.
+    """
+    class_names = {cls.__name__ for cls in type(obj).__mro__}
+    context = f" [{where}]" if where else ""
+    for key, contract in contracts.items():
+        cls_name, _, attr = key.partition(".")
+        if cls_name not in class_names:
+            continue
+        array = getattr(obj, attr, None)
+        if array is None:
+            raise InvariantViolation(
+                f"column contract {key!r} violated{context}: attribute "
+                f"missing on live {type(obj).__name__}"
+            )
+        if not isinstance(array, np.ndarray):
+            raise InvariantViolation(
+                f"column contract {key!r} violated{context}: expected an "
+                f"ndarray, found {type(array).__name__}"
+            )
+        want_dtype = contract.get("dtype")
+        if want_dtype is not None and array.dtype != np.dtype(str(want_dtype)):
+            raise InvariantViolation(
+                f"column contract {key!r} violated{context}: declared "
+                f"dtype={want_dtype}, live array is {array.dtype}"
+            )
+        want_ndim = contract.get("ndim")
+        if want_ndim is not None and array.ndim != int(want_ndim):  # type: ignore[call-overload]
+            raise InvariantViolation(
+                f"column contract {key!r} violated{context}: declared "
+                f"ndim={want_ndim}, live array has shape {array.shape}"
+            )

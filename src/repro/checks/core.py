@@ -58,31 +58,51 @@ _RULE_ID_RE = re.compile(r"^[A-Z]{3,6}\d{3}$")
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a specific source location."""
+    """One rule violation at a specific source location.
+
+    Local (per-file) rules produce single-line findings.  The flow passes
+    (``repro.checks.flow``) produce *multi-line* diagnostics: the finding
+    anchors at the **sink** line — where nondeterminism enters the tick
+    path, or where an unpicklable attribute lands — and :attr:`chain`
+    carries the source→sink call chain, one hop per entry.  Suppression
+    (``# repro: noqa[RULE]``) and baseline identity both key on the sink:
+    the chain is rendered for humans but excluded from
+    :meth:`baseline_key`, because its file:line hops drift with every
+    edit of any file along the chain.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    #: Call-chain context, outermost hop first (flow findings only).
+    chain: Tuple[str, ...] = ()
 
     def render(self) -> str:
-        """``path:line:col: RULE message`` (the human reporter's line)."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        """``path:line:col: RULE message`` plus indented chain lines."""
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if not self.chain:
+            return head
+        return "\n".join([head, *(f"    {hop}" for hop in self.chain)])
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation."""
-        return {
+        document: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
         }
+        if self.chain:
+            document["chain"] = list(self.chain)
+        return document
 
     def baseline_key(self) -> str:
         """Identity used by the baseline workflow (line numbers drift as
-        files are edited, so the key is path + rule + message)."""
+        files are edited, so the key is path + rule + message; the chain
+        of a flow finding is context, not identity)."""
         return f"{self.path}::{self.rule}::{self.message}"
 
 

@@ -1,0 +1,137 @@
+"""Call-graph caching under ``.repro-cache/`` (the warm-path contract).
+
+Flow analysis is whole-program: every ``repro lint --flow`` / ``repro
+ci`` invocation needs summaries for *all* package files, even when only
+one changed.  Parsing ~100 files dominates the cold cost, so summaries
+are cached on disk keyed by each file's content hash:
+
+* cache hit (same sha256) — the stored JSON summary is deserialized,
+  the file is never read beyond hashing, never parsed;
+* cache miss — the file is re-extracted and the entry replaced;
+* deleted files simply drop out (the key set is rebuilt every run, so
+  stale entries cannot resurrect a removed module).
+
+The linked :class:`~repro.checks.flow.callgraph.CallGraph` is rebuilt
+from summaries every run — linking is pure dictionary work and cheap —
+which keeps the cache format independent of resolver internals.
+
+The cache file is ``<cache_dir>/flow_callgraph.json``; ``cache_dir`` is
+``<repo root>/.repro-cache`` by default (created on demand, safe to
+delete at any time).  A version stamp invalidates everything when the
+summary schema changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.checks.flow.callgraph import (
+    SUMMARY_FORMAT_VERSION,
+    ModuleSummary,
+    extract_module,
+    iter_package_files,
+)
+
+__all__ = ["CACHE_FILENAME", "CacheStats", "load_summaries"]
+
+CACHE_FILENAME = "flow_callgraph.json"
+
+
+@dataclass
+class CacheStats:
+    """What one :func:`load_summaries` call did (observable by tests)."""
+
+    files: int = 0
+    hits: int = 0
+    extracted: int = 0
+    cache_path: Optional[Path] = None
+    wrote: bool = False
+    #: files that failed to parse: rel_path -> error message.
+    errors: Dict[str, str] = field(default_factory=dict)
+
+
+def _read_cache(cache_path: Path, package: str) -> Dict[str, Dict[str, object]]:
+    try:
+        document = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, ValueError):
+        return {}
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != SUMMARY_FORMAT_VERSION
+        or document.get("package") != package
+    ):
+        return {}
+    files = document.get("files")
+    return files if isinstance(files, dict) else {}
+
+
+def load_summaries(
+    package_root: Path, cache_dir: Optional[Path] = None
+) -> tuple:
+    """Summaries for every file in a package, via the cache when possible.
+
+    Args:
+        package_root: the package to analyze.
+        cache_dir: directory for the cache file; None disables caching
+            entirely (every file is extracted fresh).
+
+    Returns:
+        ``(summaries, stats)`` — a list of :class:`ModuleSummary` in
+        sorted-path order and a :class:`CacheStats`.
+    """
+    package = package_root.name
+    cached: Dict[str, Dict[str, object]] = {}
+    cache_path: Optional[Path] = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / CACHE_FILENAME
+        cached = _read_cache(cache_path, package)
+
+    stats = CacheStats(cache_path=cache_path)
+    summaries: List[ModuleSummary] = []
+    fresh_files: Dict[str, Dict[str, object]] = {}
+    changed = False
+    for path in iter_package_files(package_root):
+        stats.files += 1
+        source = path.read_text(encoding="utf-8")
+        sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        rel = path.resolve().relative_to(package_root.parent).as_posix()
+        entry = cached.get(rel)
+        if entry is not None and entry.get("sha256") == sha:
+            summary = ModuleSummary.from_dict(entry["summary"])  # type: ignore[arg-type]
+            stats.hits += 1
+            fresh_files[rel] = entry
+        else:
+            try:
+                summary = extract_module(package_root, path, source=source)
+            except Exception as exc:  # parse failure: report, keep going
+                stats.errors[rel] = str(exc)
+                changed = True
+                continue
+            stats.extracted += 1
+            changed = True
+            fresh_files[rel] = {"sha256": sha, "summary": summary.to_dict()}
+        summaries.append(summary)
+    if set(fresh_files) != set(cached):
+        changed = True
+
+    if cache_path is not None and changed:
+        document = {
+            "version": SUMMARY_FORMAT_VERSION,
+            "package": package,
+            "files": fresh_files,
+        }
+        try:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = cache_path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(document, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(cache_path)
+            stats.wrote = True
+        except OSError:
+            pass  # read-only checkout: run uncached, never fail the lint
+    return summaries, stats

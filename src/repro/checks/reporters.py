@@ -1,17 +1,24 @@
 """Finding reporters and the baseline workflow.
 
-Two output formats:
+Three output formats:
 
-* **text** — ``path:line:col: RULE message`` per finding, a summary
-  line, and a per-rule tally (human / CI-log consumption);
+* **text** — ``path:line:col: RULE message`` per finding (indented
+  call-chain lines for flow findings), a summary line, and a per-rule
+  tally (human / CI-log consumption);
 * **json** — a stable document with the engine version, rule catalogue,
-  and findings (machine consumption, e.g. code-review bots).
+  and findings (machine consumption, e.g. code-review bots);
+* **sarif** — SARIF 2.1.0, the interchange format code-hosting review
+  UIs ingest natively (``repro lint --format sarif``).
 
 The baseline workflow makes adoption incremental: ``repro lint
 --update-baseline`` snapshots today's findings to
 ``checks_baseline.json``; later runs with ``--baseline`` report only
 *new* findings.  Keys are ``path::rule::message`` — line numbers drift
-as files are edited, so they are deliberately not part of the identity.
+as files are edited, so they are deliberately not part of the identity,
+and multi-line flow diagnostics keep their chains (which embed line
+numbers) out of the key for the same reason.  Baseline entries may be
+bare key strings or ``{"key": ..., "reason": ...}`` objects, so every
+accepted finding can carry a one-line justification.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ __all__ = [
     "filter_baseline",
     "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "save_baseline",
 ]
@@ -67,15 +75,94 @@ def render_json(findings: Sequence[Finding]) -> str:
     return json.dumps(document, indent=2, sort_keys=True)
 
 
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 report (one run, driver ``reprolint``).
+
+    Flow findings carry their source→sink chain appended to the result
+    message (SARIF messages are multi-line by contract), so review UIs
+    show the full path without needing codeFlows support.
+    """
+    rule_ids = sorted({f.rule for f in findings} | set(RULES))
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": RULES[rule_id].title
+                if rule_id in RULES
+                else "parse failure"
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in findings:
+        text = finding.message
+        if finding.chain:
+            text += "\n" + "\n".join(finding.chain)
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index[finding.rule],
+                "level": "warning",
+                "message": {"text": text},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "docs/static_analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
 def save_baseline(findings: Sequence[Finding], path: Path) -> None:
-    """Snapshot findings as a baseline file (sorted, deduplicated keys)."""
+    """Snapshot findings as a baseline file (sorted, deduplicated keys).
+
+    Entries are written as bare key strings; accepted findings can then
+    be annotated in place by replacing a string with a ``{"key": ...,
+    "reason": ...}`` object — :func:`load_baseline` reads both.
+    """
     keys = sorted({f.baseline_key() for f in findings})
     document = {"version": REPORT_FORMAT_VERSION, "suppressed": keys}
     path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
 
 
 def load_baseline(path: Path) -> Set[str]:
-    """Read a baseline file back into a set of finding keys."""
+    """Read a baseline file back into a set of finding keys.
+
+    Each entry of the ``suppressed`` list is either a bare key string or
+    an object ``{"key": <key>, "reason": <justification>}`` — the object
+    form lets a reviewed-and-accepted finding document *why* it is okay
+    right next to its suppression.
+    """
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
@@ -83,7 +170,18 @@ def load_baseline(path: Path) -> Set[str]:
     suppressed = document.get("suppressed")
     if not isinstance(suppressed, list):
         raise LintError(f"baseline {path} has no 'suppressed' list")
-    return set(suppressed)
+    keys: Set[str] = set()
+    for entry in suppressed:
+        if isinstance(entry, str):
+            keys.add(entry)
+        elif isinstance(entry, dict) and isinstance(entry.get("key"), str):
+            keys.add(entry["key"])
+        else:
+            raise LintError(
+                f"baseline {path}: entries must be key strings or "
+                f"{{'key', 'reason'}} objects, got {entry!r}"
+            )
+    return keys
 
 
 def filter_baseline(

@@ -1,11 +1,12 @@
 """High-level lint entry points used by the CLI and the tier-1 test.
 
 ``run_lint`` is the library face of ``repro lint``: resolve paths, run
-the engine, apply an optional baseline, and return findings plus the
-rendered report.  ``run_external_tools`` drives the optional ruff/mypy
-pass for ``repro lint --ci`` — both tools are *gated on availability*
-(this environment does not ship them and nothing may be installed), so
-CI degrades gracefully to reprolint alone.
+the per-file engine (and, with ``flow=True``, the whole-program flow
+passes from :mod:`repro.checks.flow`), apply an optional baseline, and
+return findings plus the rendered report.  ``run_external_tools``
+drives the optional ruff/mypy pass for ``repro lint --ci`` — both tools
+are *gated on availability* (this environment does not ship them and
+nothing may be installed), so CI degrades gracefully to reprolint alone.
 """
 
 from __future__ import annotations
@@ -26,10 +27,12 @@ from repro.checks import (  # noqa: F401  (imported for registration)
     rules_obs,
 )
 from repro.checks.core import Finding, LintEngine, iter_python_files
+from repro.checks.flow import FLOW_RULE_IDS, run_flow
 from repro.checks.reporters import (
     filter_baseline,
     load_baseline,
     render_json,
+    render_sarif,
     render_text,
     save_baseline,
 )
@@ -38,6 +41,7 @@ from repro.obs.metrics import KNOWN_METRIC_NAMES
 __all__ = [
     "LintResult",
     "check_docs_drift",
+    "default_flow_cache_dir",
     "default_lint_paths",
     "run_external_tools",
     "run_lint",
@@ -100,6 +104,13 @@ def check_docs_drift(docs_path: Path) -> List[Finding]:
     return findings
 
 
+def default_flow_cache_dir() -> Optional[Path]:
+    """``<checkout>/.repro-cache`` when running from a checkout, else None
+    (installed trees run the flow passes uncached)."""
+    checkout = repo_root()
+    return checkout / ".repro-cache" if checkout is not None else None
+
+
 def run_lint(
     paths: Optional[Sequence[Path]] = None,
     *,
@@ -109,13 +120,15 @@ def run_lint(
     update_baseline: Optional[Path] = None,
     root: Optional[Path] = None,
     docs: bool = True,
+    flow: bool = False,
+    flow_cache: Optional[Path] = None,
 ) -> LintResult:
     """Run reprolint and render a report.
 
     Args:
         paths: files/directories to lint (default: the installed package).
         rules: restrict to these rule ids.
-        output_format: ``"text"`` or ``"json"``.
+        output_format: ``"text"``, ``"json"`` or ``"sarif"``.
         baseline: only report findings absent from this baseline file.
         update_baseline: write current findings to this baseline and
             report clean (the adoption workflow).
@@ -123,6 +136,13 @@ def run_lint(
         docs: also run the docs/observability.md drift check when the
             docs tree is reachable (checkout runs; skipped from an
             installed wheel, and skipped when ``rules`` excludes OBS001).
+        flow: also run the whole-program flow passes (FLOW001/FLOW002/
+            CON001/CON002) over the package(s) containing ``paths``.
+            Flow findings join the local ones before baseline filtering,
+            so the baseline/suppression workflow covers both uniformly.
+        flow_cache: call-graph cache directory for the flow passes
+            (default: ``<checkout>/.repro-cache``; None there means no
+            checkout was found and the flow run is simply uncached).
     """
     lint_paths = list(paths) if paths else default_lint_paths()
     if root is None:
@@ -130,6 +150,29 @@ def run_lint(
     engine = LintEngine(root=root, rules=rules)
     findings = engine.run(lint_paths)
     notes: List[str] = []
+
+    if flow:
+        flow_rules = (
+            [r for r in rules if r in FLOW_RULE_IDS]
+            if rules is not None
+            else None
+        )
+        if flow_rules is None or flow_rules:
+            flow_result = run_flow(
+                lint_paths,
+                cache_dir=(
+                    flow_cache if flow_cache is not None
+                    else default_flow_cache_dir()
+                ),
+                rules=flow_rules,
+            )
+            findings = sorted(findings + flow_result.findings)
+            notes.extend(flow_result.notes)
+            for stats in flow_result.cache_stats:
+                notes.append(
+                    f"flow: {stats.files} file(s), {stats.hits} cached, "
+                    f"{stats.extracted} extracted"
+                )
 
     if docs and any(rule.id == "OBS001" for rule in engine.rules):
         checkout = repo_root()
@@ -151,9 +194,8 @@ def run_lint(
     elif baseline is not None:
         findings = filter_baseline(findings, load_baseline(baseline))
 
-    report = (
-        render_json(findings) if output_format == "json" else render_text(findings)
-    )
+    renderers = {"json": render_json, "sarif": render_sarif}
+    report = renderers.get(output_format, render_text)(findings)
     return LintResult(
         findings=findings,
         raw_findings=raw,

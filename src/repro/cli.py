@@ -577,10 +577,12 @@ def cmd_ci(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return proc.returncode
         print("ci: tests passed")
-    print("ci: running repro lint --ci ...")
+    flow = not args.skip_flow
+    print("ci: running repro lint --ci"
+          + (" --flow ..." if flow else " (flow passes skipped) ..."))
     lint_args = argparse.Namespace(
         paths=[], format="text", rule=None, baseline=None,
-        update_baseline=None, ci=True,
+        update_baseline=None, ci=True, flow=flow,
     )
     exit_code = max(exit_code, cmd_lint(lint_args))
     if exit_code == 0 and not args.skip_bench:
@@ -650,6 +652,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
             update_baseline=(
                 Path(args.update_baseline) if args.update_baseline else None
             ),
+            flow=getattr(args, "flow", False),
         )
     except LintError as exc:
         print(f"repro lint: error: {exc}", file=sys.stderr)
@@ -819,6 +822,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--skip-tests", action="store_true",
                    help="run only the lint half of the gate")
+    p.add_argument("--skip-flow", action="store_true",
+                   help="skip the whole-program flow passes "
+                        "(FLOW001/FLOW002/CON001/CON002); local per-file "
+                        "rules still run")
     p.add_argument("--skip-bench", action="store_true",
                    help="skip the quick equivalence smokes (model bench, "
                         "trace bench, columnar kernel)")
@@ -837,9 +844,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint "
                         "(default: the installed repro package)")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text")
     p.add_argument("--rule", action="append", metavar="RULE",
                    help="run only this rule id (repeatable)")
+    p.add_argument("--flow", action="store_true",
+                   help="also run the whole-program flow passes "
+                        "(FLOW001 taint, FLOW002 fork closure, "
+                        "CON001/CON002 column contracts); the call graph "
+                        "is cached under .repro-cache/")
     p.add_argument("--baseline", default=None, metavar="FILE",
                    help="report only findings absent from this baseline")
     p.add_argument("--update-baseline", default=None, metavar="FILE",

@@ -38,6 +38,7 @@ from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.checks.contracts import verify_column_contracts
 from repro.checks.invariants import check_memcg_histogram, invariants_enabled
 from repro.common.units import MAX_PAGE_AGE_SCANS
 from repro.core.histograms import AgeBins, AgeHistogram
@@ -85,6 +86,39 @@ _VIEW_BINDINGS: Tuple[Tuple[str, str], ...] = (
 #: Per-row reclaim-threshold sentinel no page age can meet (ages saturate
 #: at MAX_PAGE_AGE_SCANS); also clamps huge finite thresholds.
 _NEVER_SCANS = 1 << 62
+
+#: The pool's array layout promise, one entry per pooled column.  The
+#: static pass (``repro lint --flow``, rules CON001/CON002) checks every
+#: visible assignment against this table; the runtime half
+#: (:func:`repro.checks.contracts.verify_column_contracts`) re-verifies
+#: the live arrays in :meth:`MachinePagePool.scan_all` under
+#: ``REPRO_CHECKS=1`` — covering the ``setattr`` loops the static pass
+#: cannot see.  Must stay a pure literal (both halves parse it).
+COLUMN_CONTRACTS = {
+    # Per-page columns (mirror _PAGE_FIELDS; dense [0, cap) arrays).
+    "MachinePagePool.resident": {"dtype": "bool", "ndim": 1},
+    "MachinePagePool.age_scans": {"dtype": "int32", "ndim": 1},
+    "MachinePagePool.accessed": {"dtype": "bool", "ndim": 1},
+    "MachinePagePool.state": {"dtype": "uint8", "ndim": 1},
+    "MachinePagePool.incompressible": {"dtype": "bool", "ndim": 1},
+    "MachinePagePool.dirtied": {"dtype": "bool", "ndim": 1},
+    "MachinePagePool.unevictable": {"dtype": "bool", "ndim": 1},
+    "MachinePagePool.payload_bytes": {"dtype": "int32", "ndim": 1},
+    "MachinePagePool.lru_active": {"dtype": "bool", "ndim": 1},
+    "MachinePagePool.huge_group": {"dtype": "int64", "ndim": 1},
+    "MachinePagePool.hist_bin": {"dtype": "int16", "ndim": 1},
+    "MachinePagePool.reclaim_mask": {"dtype": "bool", "ndim": 1},
+    "MachinePagePool.owner_row": {"dtype": "int32", "ndim": 1},
+    # Per-memcg rows (histogram matrices + bookkeeping vectors).
+    "MachinePagePool.row_base": {"dtype": "int64", "ndim": 1},
+    "MachinePagePool.row_size": {"dtype": "int64", "ndim": 1},
+    "MachinePagePool.cold_counts": {"dtype": "int64", "ndim": 2},
+    "MachinePagePool.cold_young": {"dtype": "int64", "ndim": 1},
+    "MachinePagePool.promo_counts": {"dtype": "int64", "ndim": 2},
+    "MachinePagePool.promo_young": {"dtype": "int64", "ndim": 1},
+    "MachinePagePool.row_reclaim_thr": {"dtype": "int64", "ndim": 1},
+    "MachinePagePool.last_scan_row_pages": {"dtype": "int64", "ndim": 1},
+}
 
 
 class PooledAgeHistogram(AgeHistogram):
@@ -419,6 +453,8 @@ class MachinePagePool:
             Total resident pages examined (the kstaled CPU-cost input).
         """
         memcg_list = list(memcgs)
+        if invariants_enabled():
+            verify_column_contracts(self, COLUMN_CONTRACTS, where="scan_all")
         u = self.used
         if u == 0:
             self.last_scan_row_pages = np.zeros(self._row_cap, dtype=np.int64)

@@ -24,6 +24,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.checks.contracts import verify_column_contracts
+from repro.checks.invariants import invariants_enabled
 from repro.common.errors import TraceError
 from repro.core.histograms import AgeBins, AgeHistogram
 
@@ -31,6 +33,20 @@ __all__ = ["TRACE_PERIOD_SECONDS", "TraceEntry", "JobTrace", "CompiledTrace"]
 
 #: Aggregation period of one trace entry (the paper uses 5 minutes).
 TRACE_PERIOD_SECONDS = 300
+
+#: The compiled-trace tensor layout promise.  Checked statically by the
+#: CON001/CON002 flow rules against every visible constructor call, and
+#: at runtime (under ``REPRO_CHECKS=1``) by ``__post_init__`` on every
+#: construction path — ``from_trace``, ``from_columns``, and direct
+#: instantiation alike.  Must stay a pure literal.
+COLUMN_CONTRACTS = {
+    "CompiledTrace.cold_suffix_sums": {"dtype": "int64", "ndim": 2},
+    "CompiledTrace.promotion_suffix_sums": {"dtype": "int64", "ndim": 2},
+    "CompiledTrace.working_set_pages": {"dtype": "int64", "ndim": 1},
+    "CompiledTrace.times": {"dtype": "int64", "ndim": 1},
+    "CompiledTrace.resident_pages": {"dtype": "int64", "ndim": 1},
+    "CompiledTrace.cpu_cores": {"dtype": "float64", "ndim": 1},
+}
 
 
 def _histogram_to_lists(histogram: AgeHistogram) -> Tuple[List[int], int]:
@@ -225,6 +241,10 @@ class CompiledTrace:
     resident_pages: np.ndarray
     cpu_cores: np.ndarray
     interval_seconds: int = TRACE_PERIOD_SECONDS
+
+    def __post_init__(self) -> None:
+        if invariants_enabled():
+            verify_column_contracts(self, COLUMN_CONTRACTS, where="construct")
 
     @property
     def intervals(self) -> int:

@@ -1,0 +1,12 @@
+"""Fork boundary with only picklable state: FLOW002 stays quiet."""
+
+
+class Shard:
+    def __init__(self, ticks: int) -> None:
+        self.ticks = ticks
+        self.done = False
+
+
+def worker_main(ticks: int) -> None:
+    shard = Shard(ticks)
+    shard.done = True

@@ -1,0 +1,21 @@
+"""Tick path whose helpers are deterministic and contracts hold."""
+
+import numpy as np
+
+from clean_pkg.util.helpers import draw, pure
+
+COLUMN_CONTRACTS = {
+    "Pool.ages": {"dtype": "int32", "ndim": 1},
+    "Pool.counts": {"dtype": "int64", "ndim": 2},
+}
+
+
+class Pool:
+    def __init__(self, n: int, nbins: int) -> None:
+        self.ages = np.zeros(n, dtype=np.int32)
+        self.counts = np.zeros((n, nbins), dtype=np.int64)
+        self._scratch = np.zeros(n, dtype=np.float64)  # private: exempt
+
+
+def tick(state: float, seed: int) -> float:
+    return state + draw(seed) + pure(1)

@@ -1,0 +1,13 @@
+"""Deterministic helpers: nothing here originates taint."""
+
+import numpy as np
+
+
+def draw(seed: int) -> float:
+    # Seeded construction is the sanctioned pattern (not a source).
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def pure(x: int) -> int:
+    return x * 2

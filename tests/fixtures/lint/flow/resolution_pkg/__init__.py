@@ -1,0 +1,7 @@
+"""Call-graph resolution fixture (no sinks — graph-shape tests only).
+
+Re-exports ``helper`` so ``facade.through_reexport`` exercises the
+re-export chase in :meth:`CallGraph.resolve`.
+"""
+
+from resolution_pkg.impl import helper  # noqa: F401

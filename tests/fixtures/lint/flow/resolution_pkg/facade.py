@@ -1,0 +1,7 @@
+"""Calls through the package re-export (resolution_pkg.helper)."""
+
+from resolution_pkg import helper
+
+
+def through_reexport() -> int:
+    return helper()

@@ -1,0 +1,62 @@
+"""Resolution shapes: methods, inheritance, decorators, cycles, unknowns."""
+
+import functools
+import time
+
+import mystery  # an out-of-package module: its calls stay unknown
+
+
+class Base:
+    def shared(self) -> int:
+        return 1
+
+    def template(self) -> int:
+        # self-call resolved against the *runtime* subclass is out of
+        # scope; the class scan resolves it on Base here.
+        return self.shared()
+
+
+class Child(Base):
+    def run(self) -> int:
+        # Inherited method: resolves to Base.shared via the base scan.
+        return self.shared() + self.own()
+
+    def own(self) -> int:
+        return 2
+
+
+def helper() -> int:
+    return Child().run()
+
+
+def use_local_type() -> int:
+    child = Child()
+    # Locally-typed receiver: resolves to Child.run.
+    return child.run()
+
+
+@functools.lru_cache(maxsize=None)
+def decorated_clock() -> float:
+    # Decorated functions are plain graph nodes; the source is recorded.
+    return time.time()
+
+
+def calls_decorated() -> float:
+    return decorated_clock()
+
+
+def calls_unknown() -> int:
+    # Unknown callee: even though mystery.fetch might read a clock, the
+    # lattice keeps this CLEAN — unknown never taints.
+    return mystery.fetch()
+
+
+def cycle_a(n: int) -> float:
+    if n <= 0:
+        return time.time()
+    return cycle_b(n - 1)
+
+
+def cycle_b(n: int) -> float:
+    # Mutual recursion: the taint fixpoint must terminate and taint both.
+    return cycle_a(n)

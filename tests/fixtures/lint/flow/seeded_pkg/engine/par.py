@@ -1,0 +1,38 @@
+"""Fork-boundary module: FLOW002's reachable unpicklable class."""
+
+
+class Job:
+    def __init__(self, path: str) -> None:
+        # FLOW002: an open file handle cannot cross the fork boundary,
+        # and worker_main constructs this class.
+        self.log = open(path, "a")
+
+
+class SafeJob:
+    """Same hazard, but with a pickle hook: FLOW002 must stay quiet."""
+
+    def __init__(self, path: str) -> None:
+        self.log = open(path, "a")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("log", None)
+        return state
+
+
+class UnreachedJob:
+    """Hazardous but never constructed from a worker: no finding."""
+
+    def __init__(self, path: str) -> None:
+        self.log = open(path, "a")
+
+
+def build_job(path: str) -> Job:
+    return Job(path)
+
+
+def worker_main(path: str) -> None:
+    # The fork worker entry point; Job is reachable through build_job.
+    job = build_job(path)
+    safe = SafeJob(path)
+    del job, safe

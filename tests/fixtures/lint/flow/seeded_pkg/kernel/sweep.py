@@ -1,0 +1,36 @@
+"""Tick-path module: FLOW001 sinks and the CON001/CON002 contract owner."""
+
+import numpy as np
+
+from seeded_pkg.util.helpers import jitter, pure
+
+COLUMN_CONTRACTS = {
+    "Pool.ages": {"dtype": "int32", "ndim": 1},
+    "Pool.counts": {"dtype": "int64", "ndim": 2},
+}
+
+
+class Pool:
+    def __init__(self, n: int) -> None:
+        # CON001: declared int32, assigned float64.
+        self.ages = np.zeros(n, dtype=np.float64)
+        # CON001: declared ndim=2, assigned a rank-1 constructor.
+        self.counts = np.zeros(n, dtype=np.int64)
+        # CON002: public array column with no declared contract.
+        self.extra = np.zeros(n, dtype=np.int64)
+
+
+def tick(state: float) -> float:
+    # FLOW001: jitter() -> wall_now() -> time.time() enters the tick path
+    # right here — the finding anchors on this line.
+    return state + jitter()
+
+
+def tick_suppressed(state: float) -> float:
+    # Same taint, but accepted: the sink-line noqa must swallow it.
+    return state + jitter()  # repro: noqa[FLOW001]
+
+
+def tick_clean(state: int) -> int:
+    # Calls only the clean helper: no finding.
+    return pure(state)

@@ -1,0 +1,18 @@
+"""Helpers far from the tick path: the taint *source* layer."""
+
+import time
+
+
+def wall_now() -> float:
+    # The nondeterminism source (DET001 locally; FLOW001's origin).
+    return time.time()
+
+
+def jitter() -> float:
+    # The intermediate hop: no source of its own, taint flows through.
+    return wall_now() % 1.0
+
+
+def pure(x: int) -> int:
+    # Clean helper: calling this taints nobody.
+    return x * 2
