@@ -146,6 +146,10 @@ class SloMonitor:
         )
         require(len(self.rules) > 0, "monitor needs at least one rule")
         self.alerts: List[Alert] = []
+        #: Total samples ever ingested (monotonic; the window itself
+        #: evicts).  Deployment's fail-closed coverage gate reads this:
+        #: "no alert" is only evidence of health if samples arrived at all.
+        self.samples_ingested = 0
 
     @staticmethod
     def default_rules(slo_limit: float) -> List[AlertRule]:
@@ -165,6 +169,8 @@ class SloMonitor:
 
     def observe(self, now: int, samples: Iterable[SliSample]) -> List[Alert]:
         """Ingest samples, evaluate every rule, record and return alerts."""
+        samples = list(samples)
+        self.samples_ingested += len(samples)
         self.window.extend(samples)
         fired: List[Alert] = []
         if len(self.window) == 0:

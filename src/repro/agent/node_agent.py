@@ -35,7 +35,9 @@ from repro.core.slo import (
 from repro.core.threshold_policy import (
     DISABLED,
     ColdAgeThresholdPolicy,
+    ColdMemoryPolicy,
     ThresholdPolicyConfig,
+    as_policy,
 )
 from repro.kernel.machine import FarMemoryMode, Machine
 from repro.obs import (
@@ -101,7 +103,10 @@ class NodeAgent:
 
     Args:
         machine: the machine to control.
-        policy_config: the tunable ``(K, S)`` parameters (autotuner output).
+        policy_config: what to run — a deployable
+            :class:`~repro.core.threshold_policy.ColdMemoryPolicy`, or a
+            bare ``(K, S)`` :class:`ThresholdPolicyConfig` meaning "the
+            paper policy with these tunables" (the pre-seam call shape).
         slo: the promotion-rate SLO.
         control_period: seconds between control rounds (one minute).
         compaction_watermark: arena external-fragmentation fraction above
@@ -117,7 +122,7 @@ class NodeAgent:
     def __init__(
         self,
         machine: Machine,
-        policy_config: Optional[ThresholdPolicyConfig] = None,
+        policy_config: Optional[object] = None,
         slo: Optional[PromotionRateSlo] = None,
         control_period: int = MINUTE,
         compaction_watermark: float = 0.2,
@@ -128,7 +133,7 @@ class NodeAgent:
         check_fraction(compaction_watermark, "compaction_watermark")
         self.machine = machine
         self.events = events
-        self.policy_config = (
+        self.policy: ColdMemoryPolicy = as_policy(
             policy_config if policy_config is not None else ThresholdPolicyConfig()
         )
         self.slo = slo if slo is not None else PromotionRateSlo()
@@ -186,27 +191,44 @@ class NodeAgent:
         self._tracer = tracer
         self._bind_metrics(registry)
 
-    def set_policy_config(self, config: ThresholdPolicyConfig) -> None:
-        """Deploy new tunables; per-job history carries over.
+    @property
+    def policy_config(self) -> Optional[ThresholdPolicyConfig]:
+        """The deployed policy's ``(K, S)`` tunables, when it has any.
+
+        Paper and fixed-threshold policies expose their underlying
+        :class:`ThresholdPolicyConfig`; algorithm swaps (e.g. Thermostat)
+        return None — there is no ``(K, S)`` interpretation to report.
+        """
+        config = getattr(self.policy, "config", None)
+        return config if isinstance(config, ThresholdPolicyConfig) else None
+
+    def set_policy(self, policy: object) -> None:
+        """Deploy a new cold-memory policy; per-job history carries over.
 
         The per-minute best thresholds come from kernel histograms and are
-        parameter-independent, so existing jobs keep their pools and their
-        warm-up clocks — only the K/S interpretation of that history
-        changes.
+        policy-independent, so existing jobs keep their histories and their
+        warm-up clocks — only the interpretation of that history changes.
+        This holds for parameter redeployments *and* whole-algorithm swaps
+        (``inherit_state`` is cross-policy by contract).
         """
-        self.policy_config = config
+        self.policy = as_policy(policy)
         for job_id, state in list(self._jobs.items()):
             memcg = self.machine.memcgs.get(job_id)
             if memcg is None:
                 continue
-            policy = ColdAgeThresholdPolicy(config, memcg.bins, self.slo)
-            policy.inherit_state(state.policy)
+            controller = self.policy.build(memcg.bins, self.slo)
+            controller.inherit_state(state.policy)
             self._jobs[job_id] = _JobState(
-                policy=policy,
+                policy=controller,
                 last_promotion_histogram=state.last_promotion_histogram,
                 last_promoted_total=state.last_promoted_total,
                 last_promo_events=state.last_promo_events,
             )
+
+    def set_policy_config(self, config: ThresholdPolicyConfig) -> None:
+        """Deploy new ``(K, S)`` tunables (pre-seam spelling of
+        :meth:`set_policy` with the paper policy)."""
+        self.set_policy(config)
 
     def maybe_control(self, now: int) -> bool:
         """Run a control round if the period boundary passed."""
@@ -231,9 +253,7 @@ class NodeAgent:
             state = self._jobs.get(job_id)
             if state is None:
                 state = _JobState(
-                    policy=ColdAgeThresholdPolicy(
-                        self.policy_config, memcg.bins, self.slo
-                    ),
+                    policy=self.policy.build(memcg.bins, self.slo),
                     last_promotion_histogram=memcg.promotion_histogram.copy(),
                     last_promoted_total=memcg.promoted_pages_total,
                     last_promo_events=memcg.promo_hist_events,

@@ -1,5 +1,11 @@
-"""ML-based autotuning: GP regression, GP-Bandit, pipeline, deployment."""
+"""ML-based autotuning: GP regression, GP-Bandit, pipeline, deployment,
+and the online canary controller."""
 
+from repro.autotuner.controller import (
+    CanaryDecision,
+    FleetController,
+    canary_smoke,
+)
 from repro.autotuner.deployment import (
     DEFAULT_STAGES,
     DeploymentStage,
@@ -21,9 +27,11 @@ from repro.autotuner.search_space import (
 
 __all__ = [
     "AutotuningPipeline",
+    "CanaryDecision",
     "ContinuousParameter",
     "DEFAULT_STAGES",
     "DeploymentStage",
+    "FleetController",
     "GaussianProcess",
     "GpBandit",
     "IntegerParameter",
@@ -37,6 +45,7 @@ __all__ = [
     "StagedDeployment",
     "Trial",
     "TuningResult",
+    "canary_smoke",
     "config_from_values",
     "far_memory_search_space",
 ]

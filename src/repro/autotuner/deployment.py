@@ -5,23 +5,42 @@ with rigorous monitoring at each stage in order to detect bad
 configurations and roll back if necessary before causing a large-scale
 impact."
 
-:class:`StagedDeployment` rolls a configuration to progressively larger
-slices of the fleet; after each stage it runs the fleet forward, measures
-the SLO on the slice, and either advances, or rolls every touched cluster
-back to the previous configuration.
+:class:`StagedDeployment` rolls a policy to progressively larger slices of
+the fleet; after each stage it runs the fleet forward, measures the SLO on
+the slice, and either advances, or rolls every touched cluster back to the
+configuration it was actually running before the rollout started.
+
+Three hard-won properties of a real canary pipeline are encoded here:
+
+* **Fail closed.**  "No alert fired" is only evidence of health when SLI
+  samples actually arrived; a telemetry outage must not look like a green
+  soak.  Each stage requires at least ``min_coverage`` slice samples or it
+  fails with reason ``"insufficient-coverage"``.
+* **Attribute every sample.**  Jobs churn during a soak, so job→cluster
+  ownership is resolved from scheduler placements over the whole window —
+  a sample from a job that exited mid-soak still counts toward the slice
+  that ran it.  Samples that cannot be attributed at all are counted in
+  the outcome rather than silently dropped.
+* **Restore what each cluster ran.**  Clusters may be on heterogeneous
+  configurations (a prior partial rollout, per-cluster experiments);
+  rollback restores each cluster's own recorded prior policy, never one
+  fleet-wide "previous config".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.agent.monitoring import SloMonitor
+from repro.common.events import EventKind
 from repro.common.validation import check_fraction, check_positive, require
-from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.core.threshold_policy import ColdMemoryPolicy, as_policy
 from repro.cluster.wsc import WSC
+from repro.obs import MetricName, MetricRegistry, get_registry
 
-__all__ = ["DeploymentStage", "StageOutcome", "StagedDeployment"]
+__all__ = ["DeploymentStage", "StageOutcome", "StagedDeployment",
+           "DEFAULT_STAGES"]
 
 
 @dataclass(frozen=True)
@@ -59,23 +78,40 @@ class StageOutcome:
     Attributes:
         stage: the stage that ran.
         p98_promotion_rate: measured SLI on the upgraded slice.
-        passed: whether the stage met the SLO.
+        passed: whether the stage met the SLO with enough evidence.
         alerts: names of monitoring rules that fired during the soak.
+        reason: ``"advanced"``, ``"slo-breach"``, or
+            ``"insufficient-coverage"`` (the fail-closed gate).
+        slice_samples: SLI samples attributed to the upgraded slice.
+        unattributed_samples: soak samples whose job could not be mapped
+            to any cluster (should be zero; nonzero means attribution
+            lost data).
     """
 
     stage: DeploymentStage
     p98_promotion_rate: float
     passed: bool
     alerts: tuple = ()
+    reason: str = ""
+    slice_samples: int = 0
+    unattributed_samples: int = 0
 
 
 class StagedDeployment:
-    """Rolls a new configuration through the fleet, stage by stage.
+    """Rolls a new policy through the fleet, stage by stage.
 
     Args:
         fleet: the WSC to deploy to.
         stages: the rollout ladder (cumulative fractions, increasing).
         slo_limit: maximum acceptable p98 normalized promotion rate.
+        min_coverage: minimum slice SLI samples a stage must produce to
+            count as evidence; below this the stage **fails closed**.
+            ``0`` disables the gate (the pre-fix vacuous-pass behavior).
+        registry: metrics registry for the ``repro_canary_*`` series
+            (defaults to the process-global one).
+        engine: optional :class:`repro.engine.FleetEngine` bound to
+            ``fleet``; soaks run through it when given (bit-identical to
+            serial by the engine's contract).
     """
 
     def __init__(
@@ -83,6 +119,9 @@ class StagedDeployment:
         fleet: WSC,
         stages: Sequence[DeploymentStage] = DEFAULT_STAGES,
         slo_limit: float = 0.2,
+        min_coverage: int = 10,
+        registry: Optional[MetricRegistry] = None,
+        engine=None,
     ):
         require(len(stages) > 0, "need at least one stage")
         fractions = [s.fleet_fraction for s in stages]
@@ -91,59 +130,150 @@ class StagedDeployment:
             "stage fractions must be non-decreasing",
         )
         check_positive(slo_limit, "slo_limit")
+        require(min_coverage >= 0, "min_coverage must be >= 0")
         self.fleet = fleet
         self.stages = list(stages)
         self.slo_limit = float(slo_limit)
+        self.min_coverage = int(min_coverage)
+        self.registry = registry if registry is not None else get_registry()
+        self.engine = engine
         self.outcomes: List[StageOutcome] = []
 
-    def deploy(
-        self,
-        new_config: ThresholdPolicyConfig,
-        previous_config: ThresholdPolicyConfig,
-    ) -> bool:
+        self._m_advanced = self.registry.counter(
+            MetricName.CANARY_STAGES_ADVANCED_TOTAL,
+            "Canary stages that passed and advanced the rollout.",
+            ("stage",),
+        )
+        self._m_rolled_back = self.registry.counter(
+            MetricName.CANARY_STAGES_ROLLED_BACK_TOTAL,
+            "Canary stages rolled back on an SLO breach.",
+            ("stage",),
+        )
+        self._m_failed_closed = self.registry.counter(
+            MetricName.CANARY_STAGES_FAILED_CLOSED_TOTAL,
+            "Canary stages failed closed on insufficient SLI coverage.",
+            ("stage",),
+        )
+        self._m_coverage = self.registry.gauge(
+            MetricName.CANARY_SLICE_COVERAGE,
+            "SLI samples attributed to the canary slice in the last soak.",
+            ("stage",),
+        )
+
+    def deploy(self, policy: object) -> bool:
         """Run the ladder; returns True if production was reached.
 
-        On a failed stage, every cluster that received ``new_config`` is
-        rolled back to ``previous_config`` and the ladder stops.
+        Args:
+            policy: what to roll out — a
+                :class:`~repro.core.threshold_policy.ColdMemoryPolicy` or
+                a bare :class:`ThresholdPolicyConfig` (coerced to the
+                paper policy).
+
+        On a failed stage every touched cluster is rolled back to the
+        policy it was running when this call started (recorded
+        per-cluster, so heterogeneous fleets are restored exactly) and
+        the ladder stops.
         """
-        clusters = self.fleet.clusters
+        new_policy = as_policy(policy)
+        prior: Dict[str, ColdMemoryPolicy] = {
+            c.name: c.policy for c in self.fleet.clusters
+        }
         upgraded = 0
         for stage in self.stages:
+            # Re-read the cluster list each stage: a parallel-engine soak
+            # swaps freshly unpickled cluster objects into the fleet, so
+            # references held across a soak go stale.
+            clusters = self.fleet.clusters
             target = max(1, round(stage.fleet_fraction * len(clusters)))
             for cluster in clusters[upgraded:target]:
-                cluster.deploy_policy(new_config)
+                cluster.deploy_policy(new_policy)
+                cluster.events.record(
+                    self.fleet.now, EventKind.CANARY_DEPLOY,
+                    stage=stage.name, policy=new_policy.describe(),
+                )
             upgraded = max(upgraded, target)
 
+            # Snapshot job ownership *before* the soak: jobs that exit
+            # mid-soak still produced samples under the new policy and
+            # must count toward their cluster's slice.
+            job_map: Dict[str, str] = {}
+            for cluster in clusters:
+                for job_id in cluster.running:
+                    job_map[job_id] = cluster.name
+
             before = len(self.fleet.sli_history)
-            self.fleet.run(stage.soak_seconds)
+            soak_start = self.fleet.now
+            self.fleet.run(stage.soak_seconds, engine=self.engine)
+            clusters = self.fleet.clusters
+
+            # Jobs admitted during the soak (churn replacements, crash
+            # respawns) appear in the scheduler-placement event stream;
+            # fold them in, then anything still running catches stragglers
+            # whose placement predates the retained event window.
+            for cluster in clusters:
+                for event in cluster.events.between(
+                    soak_start, self.fleet.now + 1
+                ):
+                    if event.kind != EventKind.SCHEDULER_PLACE:
+                        continue
+                    job_id = event.payload.get("job")
+                    if job_id is not None:
+                        job_map.setdefault(job_id, cluster.name)
+                for job_id in cluster.running:
+                    job_map.setdefault(job_id, cluster.name)
+
             slice_ids = {c.name for c in clusters[:upgraded]}
-            new_samples = [
-                s
-                for s in self.fleet.sli_history[before:]
-                if s.job_id and self._cluster_of(s.job_id) in slice_ids
-            ]
+            slice_samples = []
+            unattributed = 0
+            for sample in self.fleet.sli_history[before:]:
+                owner = job_map.get(sample.job_id) if sample.job_id else None
+                if owner is None:
+                    unattributed += 1
+                elif owner in slice_ids:
+                    slice_samples.append(sample)
+
             monitor = SloMonitor(
                 window_seconds=stage.soak_seconds, slo_limit=self.slo_limit
             )
-            alerts = monitor.observe(self.fleet.now, new_samples)
+            alerts = monitor.observe(self.fleet.now, slice_samples)
             p98 = monitor.window.percentile(98.0)
-            passed = monitor.healthy
+            self._m_coverage.labels(stage=stage.name).set(
+                monitor.samples_ingested
+            )
+
+            if monitor.samples_ingested < self.min_coverage:
+                passed, reason = False, "insufficient-coverage"
+                self._m_failed_closed.labels(stage=stage.name).inc()
+            elif not monitor.healthy:
+                passed, reason = False, "slo-breach"
+                self._m_rolled_back.labels(stage=stage.name).inc()
+            else:
+                passed, reason = True, "advanced"
+                self._m_advanced.labels(stage=stage.name).inc()
+
             self.outcomes.append(
                 StageOutcome(
                     stage, p98, passed,
                     alerts=tuple(a.rule for a in alerts),
+                    reason=reason,
+                    slice_samples=monitor.samples_ingested,
+                    unattributed_samples=unattributed,
                 )
             )
             if not passed:
-                for cluster in clusters[:upgraded]:
-                    cluster.deploy_policy(previous_config)
+                self._rollback(clusters[:upgraded], prior, stage.name,
+                               reason)
                 return False
         return True
 
-    def _cluster_of(self, job_id: str) -> Optional[str]:
-        for cluster in self.fleet.clusters:
-            if job_id in cluster.running:
-                return cluster.name
-        return None
-
-
+    def _rollback(self, touched, prior: Dict[str, ColdMemoryPolicy],
+                  stage_name: str, reason: str) -> None:
+        """Restore every touched cluster to its own recorded prior."""
+        for cluster in touched:
+            restored = prior[cluster.name]
+            cluster.deploy_policy(restored)
+            cluster.events.record(
+                self.fleet.now, EventKind.CANARY_ROLLBACK,
+                stage=stage_name, reason=reason,
+                policy=restored.describe(),
+            )

@@ -184,6 +184,39 @@ class AutotuningPipeline:
             result.best = max(feasible, key=lambda t: t.objective)
         return result
 
+    def propose(self):
+        """One bandit suggestion for *online* evaluation.
+
+        Where :meth:`run` scores suggestions with the fast offline model,
+        the online controller (:mod:`repro.autotuner.controller`) canaries
+        them on the live fleet and reports the measured outcome back via
+        :meth:`observe_measured`.
+
+        Returns:
+            ``(point, config)`` — the bandit's unit-cube point and the
+            decoded :class:`ThresholdPolicyConfig`.
+        """
+        point = self.bandit.suggest(1)[0]
+        return point, config_from_values(self.space.from_unit(point))
+
+    def observe_measured(self, point, objective: float,
+                         constraint: float) -> None:
+        """Feed a live-fleet measurement back into the bandit.
+
+        Args:
+            point: the unit-cube point :meth:`propose` returned.
+            objective: cold pages captured (higher is better).
+            constraint: measured p98 normalized promotion rate.
+        """
+        self.bandit.observe(point, objective=float(objective),
+                            constraint=float(constraint))
+        self._m_trials.inc()
+        if constraint <= self.model.slo.target_pct_per_min:
+            self._m_feasible.inc()
+        best = self.bandit.best()
+        if best is not None:
+            self._g_best.set(best.objective)
+
     def run_random_baseline(
         self, n_trials: int, seed: int = 1
     ) -> TuningResult:

@@ -1,5 +1,17 @@
 """Comparison baselines from the paper's related work (§7)."""
 
-from repro.baselines.thermostat import ThermostatConfig, ThermostatDetector
+from repro.baselines.thermostat import (
+    ThermostatConfig,
+    ThermostatDetector,
+    ThermostatPolicy,
+    ThermostatPolicyConfig,
+    ThermostatThresholdPolicy,
+)
 
-__all__ = ["ThermostatConfig", "ThermostatDetector"]
+__all__ = [
+    "ThermostatConfig",
+    "ThermostatDetector",
+    "ThermostatPolicy",
+    "ThermostatPolicyConfig",
+    "ThermostatThresholdPolicy",
+]

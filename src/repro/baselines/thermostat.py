@@ -17,15 +17,29 @@ overhead proxy (sampled faults vs pages scanned).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Set
 
 import numpy as np
 
-from repro.common.units import PAGE_SIZE
-from repro.common.validation import check_fraction, check_positive
+from repro.common.units import MINUTE, PAGE_SIZE
+from repro.common.validation import check_fraction, check_positive, require
+from repro.core.histograms import AgeBins, AgeHistogram
+from repro.core.slo import PromotionRateSlo
+from repro.core.threshold_policy import (
+    ColdAgeThresholdPolicy,
+    ColdMemoryPolicy,
+    ThresholdPolicyConfig,
+)
 
-__all__ = ["ThermostatConfig", "ThermostatDetector"]
+__all__ = [
+    "ThermostatConfig",
+    "ThermostatDetector",
+    "ThermostatPolicy",
+    "ThermostatPolicyConfig",
+    "ThermostatThresholdPolicy",
+]
 
 #: Pages per 2 MiB huge-page region.
 HUGE_PAGE_PAGES = (2 << 20) // PAGE_SIZE
@@ -173,3 +187,187 @@ class ThermostatDetector:
             start = int(region) * self.config.region_pages
             mask[start : start + self.config.region_pages] = True
         return mask
+
+
+# ----------------------------------------------------------------------
+# Thermostat as a deployable ColdMemoryPolicy
+# ----------------------------------------------------------------------
+#
+# The detector above operates on raw access streams, which the node agent
+# never sees — it only gets per-interval promotion histograms.  To canary
+# Thermostat through the same control plane as the paper's policy, the
+# adapter below transplants Thermostat's two defining ideas to the
+# histogram level:
+#
+# * **duty-cycled sampling** — only every ``sample_period_intervals``-th
+#   control interval is observed (Thermostat samples a fraction of memory
+#   per epoch; here a fraction of *time* is sampled instead, the same
+#   coverage/overhead trade at the telemetry level);
+# * **EWMA persistence** — sampled observations are folded into an
+#   exponentially-weighted estimate that persists across unsampled
+#   intervals, exactly as the detector's per-region rate estimates do.
+#
+# The adapter is deliberately deterministic (no RNG): the duty cycle is a
+# fixed stride, so a canary decision replays bit-for-bit serial vs
+# parallel — the property the fleet controller's chaos suite asserts.
+
+
+@dataclass(frozen=True)
+class ThermostatPolicyConfig:
+    """Tunables of the policy-level Thermostat adapter.
+
+    Attributes:
+        sample_period_intervals: observe the kernel histograms only every
+            N-th control interval (N=2 mirrors a 120 s epoch over the
+            one-minute agent cadence); unsampled intervals reuse the
+            persisted estimate.
+        ewma_alpha: smoothing of the threshold estimate across sampled
+            intervals (the detector's per-region EWMA, §7).
+        warmup_seconds: zswap stays disabled this long after job start.
+        history_length: sampled best thresholds retained for state
+            hand-off on redeployment.
+    """
+
+    sample_period_intervals: int = 2
+    ewma_alpha: float = 0.5
+    warmup_seconds: int = 600
+    history_length: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive(self.sample_period_intervals, "sample_period_intervals")
+        check_fraction(self.ewma_alpha, "ewma_alpha")
+        require(self.warmup_seconds >= 0, "warmup_seconds must be >= 0")
+        require(self.history_length >= 1, "history_length must be >= 1")
+
+
+class ThermostatThresholdPolicy(ColdAgeThresholdPolicy):
+    """Per-job Thermostat controller on the node-agent control surface.
+
+    Shares :class:`ColdAgeThresholdPolicy`'s surface (``observe``,
+    ``observe_zero``, ``threshold``, ``warmed_up``, ``reset``,
+    ``inherit_state``) so the node agent drives it without knowing the
+    algorithm changed.  Unsampled intervals skip the histogram read
+    entirely; sampled ones fold the interval's best threshold into the
+    EWMA estimate that :meth:`threshold` publishes.  Jobs whose estimate
+    does not exist yet (never sampled, like the detector's never-sampled
+    regions) are conservatively left uncompressed.
+    """
+
+    def __init__(
+        self,
+        config: ThermostatPolicyConfig,
+        bins: AgeBins,
+        slo: Optional[PromotionRateSlo] = None,
+    ):
+        base = ThresholdPolicyConfig(
+            warmup_seconds=config.warmup_seconds,
+            history_length=config.history_length,
+            spike_reaction=False,
+        )
+        super().__init__(base, bins, slo)
+        self.thermostat = config
+        self._intervals = 0
+        #: EWMA of sentinel-encoded sampled best thresholds (NaN = never
+        #: sampled; values beyond the grid decode to "compress nothing").
+        self._estimate = float("nan")
+
+    def _sampled(self) -> bool:
+        return self._intervals % self.thermostat.sample_period_intervals == 0
+
+    def _fold(self, best: float) -> None:
+        encoded = best if math.isfinite(best) else self._sentinel
+        if math.isnan(self._estimate):
+            self._estimate = encoded
+        else:
+            alpha = self.thermostat.ewma_alpha
+            self._estimate = alpha * encoded + (1 - alpha) * self._estimate
+
+    def observe(
+        self,
+        promotion_histogram: AgeHistogram,
+        working_set_size_pages: float,
+        interval_seconds: float = MINUTE,
+    ) -> float:
+        self._intervals += 1
+        if not self._sampled():
+            # Unsampled interval: Thermostat is not looking.  The warm-up
+            # clock still advances; history and estimate are untouched.
+            self._elapsed_seconds += int(interval_seconds)
+            return self._last_best
+        best = super().observe(
+            promotion_histogram, working_set_size_pages, interval_seconds
+        )
+        self._fold(best)
+        return best
+
+    def observe_zero(self, interval_seconds: float = MINUTE) -> float:
+        self._intervals += 1
+        if not self._sampled():
+            self._elapsed_seconds += int(interval_seconds)
+            return self._last_best
+        best = super().observe_zero(interval_seconds)
+        self._fold(best)
+        return best
+
+    def threshold(self) -> float:
+        from repro.core.threshold_policy import DISABLED
+
+        if not self.warmed_up or math.isnan(self._estimate):
+            return DISABLED
+        if self._estimate > self.bins.max_threshold:
+            return DISABLED
+        # Snap up to the candidate grid, as the kernel requires.
+        grid = self.bins.thresholds
+        for candidate in grid:
+            if candidate >= self._estimate:
+                return float(candidate)
+        return float(self.bins.max_threshold)
+
+    def reset(self) -> None:
+        super().reset()
+        self._intervals = 0
+        self._estimate = float("nan")
+
+    def inherit_state(self, other: ColdAgeThresholdPolicy) -> None:
+        """Adopt another controller's observations (cross-policy safe).
+
+        From another Thermostat controller the EWMA estimate and duty-cycle
+        phase carry over verbatim; from any other controller (e.g. the
+        paper policy during a policy swap) the estimate is rebuilt by
+        folding the inherited best-threshold history in arrival order —
+        deterministic, and faithful to what Thermostat would have estimated
+        had it sampled those intervals.
+        """
+        super().inherit_state(other)
+        inherited_estimate = getattr(other, "_estimate", None)
+        if inherited_estimate is not None:
+            self._estimate = float(inherited_estimate)
+            self._intervals = int(getattr(other, "_intervals", 0))
+            return
+        self._intervals = len(self._pool)
+        self._estimate = float("nan")
+        for best in self._pool:
+            self._fold(best)
+
+
+@dataclass(frozen=True)
+class ThermostatPolicy(ColdMemoryPolicy):
+    """Thermostat as a deployable policy (one-line swap at the seam).
+
+    Attributes:
+        config: the adapter tunables handed to every per-job controller.
+    """
+
+    config: ThermostatPolicyConfig = ThermostatPolicyConfig()
+    name = "thermostat"
+
+    def build(
+        self, bins: AgeBins, slo: Optional[PromotionRateSlo] = None
+    ) -> ThermostatThresholdPolicy:
+        return ThermostatThresholdPolicy(self.config, bins, slo)
+
+    def describe(self) -> str:
+        return (
+            f"thermostat(every {self.config.sample_period_intervals} "
+            f"intervals, alpha={self.config.ewma_alpha:g})"
+        )

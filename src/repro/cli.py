@@ -19,6 +19,8 @@ Commands:
   ``window``, ``export``/``import`` (jsonl <-> columnar), ``compact``.
 * ``chaos`` — run a named fault-injection scenario and report the SLO
   impact against a fault-free baseline of the same fleet and seed.
+* ``canary`` — canary a policy through the §5.3 rollout ladder on a live
+  fleet (optionally under chaos) and report the per-stage verdicts.
 * ``ci`` — the one-command gate: tier-1 tests with runtime invariants on
   (``REPRO_CHECKS=1``) plus the ``repro lint`` static-analysis suite.
 """
@@ -559,6 +561,91 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if within else 1
 
 
+def cmd_canary(args: argparse.Namespace) -> int:
+    """Canary a policy through the rollout ladder on a live fleet."""
+    from repro.autotuner import (
+        DEFAULT_STAGES,
+        DeploymentStage,
+        FleetController,
+    )
+    from repro.baselines import ThermostatPolicy
+    from repro.core import FixedThresholdPolicy, PaperPolicy
+    from repro.engine import FleetEngine
+    from repro.faults import attach_scenario
+
+    if args.smoke:
+        from repro.autotuner import canary_smoke
+
+        print("Running the canary controller smoke (breach rollback, "
+              "serial==parallel, fail-closed on silence)...")
+        report = canary_smoke()
+        print(render_table(
+            ["check", "result"],
+            [(k, str(v)) for k, v in report.items()],
+            title="Canary smoke",
+        ))
+        return 0
+
+    if args.policy == "fixed":
+        policy = FixedThresholdPolicy(
+            threshold_seconds=args.threshold,
+            warmup_seconds=args.warmup_seconds,
+        )
+    elif args.policy == "thermostat":
+        policy = ThermostatPolicy()
+    else:
+        policy = PaperPolicy(ThresholdPolicyConfig(
+            percentile_k=args.percentile_k,
+            warmup_seconds=args.warmup_seconds,
+        ))
+
+    registry, tracer = MetricRegistry(), Tracer()
+    fleet = _build_fleet(args, registry=registry, tracer=tracer)
+    soak = int(args.soak_minutes * MINUTE)
+    warmup = int(args.warmup_minutes * MINUTE)
+    if args.scenario:
+        attach_scenario(fleet, args.scenario, warmup + 3 * soak,
+                        seed=args.chaos_seed)
+    if warmup:
+        print(f"Warming up {args.warmup_minutes:g} minutes"
+              + (f" under scenario {args.scenario!r}" if args.scenario
+                 else "") + "...")
+        fleet.run(warmup)
+    engine = (
+        FleetEngine(fleet, workers=args.workers)
+        if args.workers is not None and args.workers > 1
+        else None
+    )
+    stages = tuple(
+        DeploymentStage(s.name, s.fleet_fraction, soak)
+        for s in DEFAULT_STAGES
+    )
+    controller = FleetController(
+        fleet, stages=stages, slo_limit=args.slo_limit,
+        min_coverage=args.min_coverage, registry=registry, tracer=tracer,
+        engine=engine,
+    )
+    print(f"Canarying {policy.describe()} through "
+          f"{len(stages)} stages ({args.soak_minutes:g} min soaks)...")
+    decision = controller.canary(policy)
+    print(render_table(
+        ["stage", "verdict", "p98 %/min", "slice samples", "unattributed"],
+        [
+            (o.stage.name, o.reason, f"{o.p98_promotion_rate:.3f}",
+             f"{o.slice_samples}", f"{o.unattributed_samples}")
+            for o in decision.outcomes
+        ],
+        title=f"Canary: {decision.reason}",
+    ))
+    if decision.promoted:
+        print(f"promoted to production ({decision.far_pages} far pages "
+              "fleet-wide)")
+    else:
+        print("rolled back: every touched cluster restored to its prior "
+              "policy")
+    return 0 if decision.promoted else 1
+
+
 def cmd_ci(args: argparse.Namespace) -> int:
     """Single gate: tier-1 tests with invariants on, then the lint suite."""
     import os
@@ -634,6 +721,22 @@ def cmd_ci(args: argparse.Namespace) -> int:
             print("ci: columnar equivalence smoke passed "
                   f"({report['sli_samples']} SLI samples identical "
                   "across scalar, machine-pooled, cluster-pooled)")
+    if exit_code == 0 and not args.skip_bench:
+        # The canary-controller smoke: a deliberately SLO-breaching
+        # policy must be rolled back (never promoted), the decision must
+        # be bit-identical serial vs parallel, and a zero-telemetry soak
+        # must fail closed.
+        from repro.autotuner import canary_smoke
+
+        print("ci: running canary controller smoke ...")
+        try:
+            canary_smoke()
+        except AssertionError as exc:
+            print(f"ci: canary smoke FAILED ({exc})", file=sys.stderr)
+            exit_code = 1
+        else:
+            print("ci: canary smoke passed (breach rolled back, "
+                  "serial==parallel, fail-closed on silence)")
     print("ci: " + ("clean" if exit_code == 0 else "FAILED"))
     return exit_code
 
@@ -812,6 +915,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under the parallel engine with this many "
                         "workers (default: serial)")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "canary",
+        help="canary a policy through the staged rollout ladder",
+        description="Deploy a cold-memory policy through the paper's "
+                    "qualification/canary/production ladder on a live "
+                    "fleet, watching the SLI windows each soak; roll "
+                    "back to each cluster's prior policy on an SLO "
+                    "breach or insufficient telemetry. "
+                    "See docs/autotuning.md.",
+    )
+    _add_fleet_arguments(p)
+    p.add_argument("--policy", choices=("paper", "fixed", "thermostat"),
+                   default="paper",
+                   help="what to canary (default: the paper policy)")
+    p.add_argument("--percentile-k", type=float, default=98.0,
+                   help="paper policy K (percentile of best thresholds)")
+    p.add_argument("--threshold", type=float, default=3600.0,
+                   help="fixed policy cold-age threshold in seconds")
+    p.add_argument("--warmup-seconds", type=int, default=600,
+                   help="policy warm-up S in seconds")
+    p.add_argument("--soak-minutes", type=float, default=10.0,
+                   help="soak length per stage")
+    p.add_argument("--warmup-minutes", type=float, default=30.0,
+                   help="fleet warm-up before the ladder starts")
+    p.add_argument("--slo-limit", type=float, default=0.2,
+                   help="max acceptable p98 normalized promotion rate")
+    p.add_argument("--min-coverage", type=int, default=10,
+                   help="fail a stage closed below this many slice "
+                        "SLI samples")
+    p.add_argument("--scenario", choices=SCENARIO_NAMES, default=None,
+                   help="optionally run the ladder under this chaos "
+                        "scenario")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="root seed for the fault schedule")
+    p.add_argument("--workers", type=int, default=None,
+                   help="soak through the parallel engine with this many "
+                        "workers (default: serial)")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the CI smoke instead (breach rollback, "
+                        "serial==parallel decisions, fail-closed gate)")
+    p.set_defaults(func=cmd_canary)
 
     p = sub.add_parser(
         "ci",

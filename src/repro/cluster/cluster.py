@@ -22,7 +22,11 @@ from repro.common.validation import check_positive
 from repro.core.coverage import CoverageSample
 from repro.core.histograms import AgeBins, default_age_bins
 from repro.core.slo import PromotionRateSlo
-from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.core.threshold_policy import (
+    ColdMemoryPolicy,
+    ThresholdPolicyConfig,
+    as_policy,
+)
 from repro.cluster.job import RunningJob
 from repro.cluster.scheduler import BorgScheduler
 from repro.cluster.trace_db import TraceDatabase
@@ -52,7 +56,10 @@ class Cluster:
         machine_config: per-machine static parameters.
         seeds: RNG factory for all cluster randomness.
         trace_db: shared trace database (fleet telemetry sink).
-        policy_config: initial node-agent tunables ``(K, S)``.
+        policy_config: what the node agents run — a deployable
+            :class:`~repro.core.threshold_policy.ColdMemoryPolicy` or a
+            bare :class:`ThresholdPolicyConfig` (coerced to the paper
+            policy).
         slo: the promotion-rate SLO.
         bins: candidate-threshold grid; defaults to the paper grid.
         overcommit: scheduler memory overcommit fraction.
@@ -84,7 +91,7 @@ class Cluster:
         machine_config: MachineConfig,
         seeds: SeedSequenceFactory,
         trace_db: Optional[TraceDatabase] = None,
-        policy_config: Optional[ThresholdPolicyConfig] = None,
+        policy_config: Optional[object] = None,
         slo: Optional[PromotionRateSlo] = None,
         bins: Optional[AgeBins] = None,
         overcommit: float = 0.0,
@@ -103,7 +110,7 @@ class Cluster:
         self.seeds = seeds
         self.bins = bins if bins is not None else default_age_bins()
         self.slo = slo if slo is not None else PromotionRateSlo()
-        self.policy_config = (
+        self.policy: ColdMemoryPolicy = as_policy(
             policy_config if policy_config is not None else ThresholdPolicyConfig()
         )
         self.trace_db = trace_db if trace_db is not None else TraceDatabase()
@@ -148,7 +155,7 @@ class Cluster:
         if control_period is not None:
             agent_kwargs["control_period"] = control_period
         self.agents: Dict[str, NodeAgent] = {
-            m.machine_id: NodeAgent(m, self.policy_config, self.slo,
+            m.machine_id: NodeAgent(m, self.policy, self.slo,
                                     events=self.events,
                                     registry=self.registry, tracer=self.tracer,
                                     **agent_kwargs)
@@ -167,6 +174,11 @@ class Cluster:
             for m in self.machines
         }
         self.running: Dict[str, RunningJob] = {}
+        #: Machines whose SLI telemetry is currently lost (e.g. the fault
+        #: injector's sink outage).  Their agents keep controlling; the
+        #: cluster just drops their samples on the floor at drain time, so
+        #: monitors see a telemetry gap rather than stale late batches.
+        self.sli_blocked_machines: set = set()
         self.coverage_samples: List[CoverageSample] = []
         self._next_coverage_sample = 0
         self._job_source = None
@@ -513,17 +525,40 @@ class Cluster:
     # Control-plane management
     # ------------------------------------------------------------------
 
-    def deploy_policy(self, config: ThresholdPolicyConfig) -> None:
-        """Roll a new (K, S) configuration to every node agent."""
-        self.policy_config = config
+    @property
+    def policy_config(self) -> object:
+        """The deployed policy's tunables (the policy itself if it has none).
+
+        Kept for the pre-seam spelling ``cluster.policy_config == config``:
+        paper/fixed policies expose their :class:`ThresholdPolicyConfig`
+        here, so config-level comparisons keep working unchanged.
+        """
+        return getattr(self.policy, "config", self.policy)
+
+    def deploy_policy(self, policy: object) -> None:
+        """Roll a new cold-memory policy to every node agent.
+
+        Accepts either a deployable :class:`ColdMemoryPolicy` or a bare
+        :class:`ThresholdPolicyConfig` (the paper policy with those
+        tunables).  Per-job controller history carries over.
+        """
+        self.policy = as_policy(policy)
         for agent in self.agents.values():
-            agent.set_policy_config(config)
+            agent.set_policy(self.policy)
 
     def drain_sli_samples(self) -> List[SliSample]:
-        """Collect and clear SLI samples from all agents."""
+        """Collect and clear SLI samples from all agents.
+
+        Samples from machines in :attr:`sli_blocked_machines` are drained
+        but discarded — a telemetry outage loses data, it does not queue
+        it for later delivery.
+        """
         samples: List[SliSample] = []
-        for agent in self.agents.values():
-            samples.extend(agent.drain_sli_samples())
+        for machine_id, agent in self.agents.items():
+            drained = agent.drain_sli_samples()
+            if machine_id in self.sli_blocked_machines:
+                continue
+            samples.extend(drained)
         return samples
 
     # ------------------------------------------------------------------

@@ -18,7 +18,6 @@ from repro.common.rng import SeedSequenceFactory
 from repro.common.units import GIB, HOUR, MIB, MIN_COLD_AGE_THRESHOLD, PAGE_SIZE
 from repro.common.validation import check_positive
 from repro.core.coverage import CoverageSample, fleet_coverage
-from repro.core.threshold_policy import ThresholdPolicyConfig
 from repro.cluster.cluster import Cluster
 from repro.cluster.trace_db import TraceDatabase
 from repro.kernel.machine import FarMemoryMode, MachineConfig
@@ -118,10 +117,14 @@ class WSC:
                 for cluster in self._clusters:
                     self.sli_history.extend(cluster.drain_sli_samples())
 
-    def deploy_policy(self, config: ThresholdPolicyConfig) -> None:
-        """Fleet-wide rollout of new (K, S) parameters."""
+    def deploy_policy(self, policy: object) -> None:
+        """Fleet-wide rollout of a cold-memory policy.
+
+        Accepts a :class:`~repro.core.threshold_policy.ColdMemoryPolicy`
+        or a bare :class:`ThresholdPolicyConfig` (the paper policy).
+        """
         for cluster in self.clusters:
-            cluster.deploy_policy(config)
+            cluster.deploy_policy(policy)
 
     # ------------------------------------------------------------------
     # Fleet metrics
@@ -246,7 +249,7 @@ def quickfleet(
     pool_scope: str = "machine",
     scan_period: Optional[int] = None,
     control_period: Optional[int] = None,
-    policy_config: Optional[ThresholdPolicyConfig] = None,
+    policy_config: Optional[object] = None,
     mean_cold_fraction: float = 0.32,
     warmup_hours: float = 0.0,
     placement: str = "spread",
@@ -277,7 +280,8 @@ def quickfleet(
             kernel default, 120 s).
         control_period: node-agent control round period override in
             seconds (defaults to the paper's one-minute cadence).
-        policy_config: initial (K, S); defaults to the paper defaults.
+        policy_config: initial policy — a ``ColdMemoryPolicy`` or a bare
+            ``ThresholdPolicyConfig``; defaults to the paper defaults.
         mean_cold_fraction: target fleet-mean cold share.
         warmup_hours: optionally run the fleet forward before returning,
             so ages and histograms are populated.

@@ -40,6 +40,8 @@ class EventKind:
     AGENT_HISTOGRAM_REWARM = "agent.histogram_rewarm"
     FAULT_INJECTED = "faults.injected"
     FAULT_CLEARED = "faults.cleared"
+    CANARY_DEPLOY = "canary.deploy"
+    CANARY_ROLLBACK = "canary.rollback"
 
 
 #: Every kind an event may be recorded under (frozen view of

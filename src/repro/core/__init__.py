@@ -23,7 +23,11 @@ from repro.core.slo import (
 from repro.core.threshold_policy import (
     DISABLED,
     ColdAgeThresholdPolicy,
+    ColdMemoryPolicy,
+    FixedThresholdPolicy,
+    PaperPolicy,
     ThresholdPolicyConfig,
+    as_policy,
     best_threshold,
 )
 from repro.core.tco import TcoModel, TcoReport
@@ -32,12 +36,16 @@ __all__ = [
     "AgeBins",
     "AgeHistogram",
     "ColdAgeThresholdPolicy",
+    "ColdMemoryPolicy",
     "CoverageSample",
     "DISABLED",
+    "FixedThresholdPolicy",
+    "PaperPolicy",
     "PromotionRateSlo",
     "TcoModel",
     "TcoReport",
     "ThresholdPolicyConfig",
+    "as_policy",
     "best_threshold",
     "cold_memory_coverage",
     "coverage_timeseries",

@@ -82,7 +82,7 @@ def working_set_pages(
     idx = bisect_left(cold_age_histogram.bins.thresholds, min_cold_age_seconds)
     return int(
         cold_age_histogram.young_count
-        + sum(cold_age_histogram.counts.tolist()[:idx])
+        + int(cold_age_histogram.counts[:idx].sum())
     )
 
 

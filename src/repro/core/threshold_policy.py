@@ -36,6 +36,10 @@ from repro.core.slo import PromotionRateSlo, promotions_per_minute
 __all__ = [
     "ThresholdPolicyConfig",
     "ColdAgeThresholdPolicy",
+    "ColdMemoryPolicy",
+    "FixedThresholdPolicy",
+    "PaperPolicy",
+    "as_policy",
     "best_threshold",
     "best_thresholds_vectorized",
     "replay_thresholds_vectorized",
@@ -268,6 +272,122 @@ class ColdAgeThresholdPolicy:
         )
         self._elapsed_seconds = other._elapsed_seconds
         self._last_best = other._last_best
+
+
+# ----------------------------------------------------------------------
+# The deployable-policy seam (policy/mechanism separation)
+# ----------------------------------------------------------------------
+#
+# The node agent, the cluster, and staged deployment never need to know
+# *which* cold-memory detection algorithm is running — only that each job
+# gets a controller it can drive once per control interval.  A
+# :class:`ColdMemoryPolicy` is the deployable unit: an immutable value
+# object (hashable, comparable, pickle-safe across the parallel engine's
+# fork boundary) that builds per-job controllers on demand.  Swapping the
+# paper's §4.3 algorithm for a baseline (Thermostat, fixed threshold) is a
+# one-line change at the deployment site and touches nothing below it.
+
+
+class ColdMemoryPolicy:
+    """A deployable cold-memory policy: builds per-job threshold controllers.
+
+    Implementations are frozen dataclasses so a policy can be compared,
+    hashed, logged, and shipped across process boundaries.  The controller
+    returned by :meth:`build` must implement the per-job control surface of
+    :class:`ColdAgeThresholdPolicy`: ``observe``, ``observe_zero``,
+    ``threshold``, ``warmed_up``, ``reset``, and ``inherit_state`` (which
+    must accept a controller built by a *different* policy — redeploying
+    parameters, or a whole new algorithm, never restarts a job's history
+    or warm-up clock).
+
+    Implementations carrying a :class:`ThresholdPolicyConfig` expose it as
+    ``config`` so existing ``(K, S)``-shaped call sites keep working.
+    """
+
+    #: Short algorithm label for logs, events, and CLI tables.
+    name: str = "abstract"
+
+    def build(
+        self, bins: AgeBins, slo: Optional[PromotionRateSlo] = None
+    ) -> ColdAgeThresholdPolicy:
+        """Create a fresh per-job controller on the given threshold grid."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human description (CLI/report label)."""
+        return self.name
+
+
+@dataclass(frozen=True)
+class PaperPolicy(ColdMemoryPolicy):
+    """The paper's §4.3 K-th-percentile policy, as a deployable unit.
+
+    Attributes:
+        config: the ``(K, S)`` tunables handed to every per-job controller.
+    """
+
+    config: ThresholdPolicyConfig = ThresholdPolicyConfig()
+    name = "paper"
+
+    def build(
+        self, bins: AgeBins, slo: Optional[PromotionRateSlo] = None
+    ) -> ColdAgeThresholdPolicy:
+        return ColdAgeThresholdPolicy(self.config, bins, slo)
+
+    def describe(self) -> str:
+        return (
+            f"paper(K={self.config.percentile_k:g}, "
+            f"S={self.config.warmup_seconds}s)"
+        )
+
+
+@dataclass(frozen=True)
+class FixedThresholdPolicy(ColdMemoryPolicy):
+    """The static-threshold baseline: always compress at one cold age.
+
+    Attributes:
+        threshold_seconds: the fixed cold-age threshold.
+        warmup_seconds: zswap stays disabled this long after job start
+            (the warm-up rule applies to every policy, §4.3).
+    """
+
+    threshold_seconds: float = 3600.0
+    warmup_seconds: int = 600
+    name = "fixed"
+
+    @property
+    def config(self) -> ThresholdPolicyConfig:
+        """The equivalent ``ThresholdPolicyConfig`` (bypass mode)."""
+        return ThresholdPolicyConfig(
+            warmup_seconds=self.warmup_seconds,
+            fixed_threshold_seconds=float(self.threshold_seconds),
+        )
+
+    def build(
+        self, bins: AgeBins, slo: Optional[PromotionRateSlo] = None
+    ) -> ColdAgeThresholdPolicy:
+        return ColdAgeThresholdPolicy(self.config, bins, slo)
+
+    def describe(self) -> str:
+        return f"fixed(T={self.threshold_seconds:g}s)"
+
+
+def as_policy(value: object) -> ColdMemoryPolicy:
+    """Coerce a raw ``ThresholdPolicyConfig`` into a deployable policy.
+
+    Deployment surfaces (``Cluster.deploy_policy``, ``WSC.deploy_policy``,
+    ``NodeAgent.set_policy``) accept either a :class:`ColdMemoryPolicy` or
+    a bare ``(K, S)`` config; the latter means "the paper policy with
+    these tunables", which keeps every pre-seam call site valid.
+    """
+    if isinstance(value, ColdMemoryPolicy):
+        return value
+    if isinstance(value, ThresholdPolicyConfig):
+        return PaperPolicy(value)
+    raise TypeError(
+        "expected a ColdMemoryPolicy or ThresholdPolicyConfig, "
+        f"got {type(value).__name__}"
+    )
 
 
 # ----------------------------------------------------------------------

@@ -183,6 +183,12 @@ class FaultInjector:
         """Re-assert an open episode's degraded state (idempotent)."""
         event = af.event
         if event.kind == FaultKind.SINK_OUTAGE:
+            # The same outage that blocks trace uploads also blocks the
+            # agents' SLI uploads: the cluster drops the affected
+            # machines' samples at drain time, so monitors see a
+            # telemetry gap (and deployment's coverage gate fails
+            # closed) instead of vacuously passing on silence.
+            cluster.sli_blocked_machines.update(af.machine_ids)
             for machine_id in af.machine_ids:
                 exporter = cluster.exporters.get(machine_id)
                 if exporter is not None and not isinstance(
@@ -207,6 +213,7 @@ class FaultInjector:
                     cluster.repair_machine(machine_id)
                     self._crashed.remove(machine_id)
         elif event.kind == FaultKind.SINK_OUTAGE:
+            cluster.sli_blocked_machines.difference_update(af.machine_ids)
             for machine_id in af.machine_ids:
                 exporter = cluster.exporters.get(machine_id)
                 if exporter is not None and isinstance(

@@ -129,6 +129,15 @@ class MetricName:
         "repro_autotuner_best_objective_cold_pages"
     )
 
+    # Canary controller (paper §5.3 staged rollout, run online)
+    CANARY_STAGES_ADVANCED_TOTAL = "repro_canary_stages_advanced_total"
+    CANARY_STAGES_ROLLED_BACK_TOTAL = "repro_canary_stages_rolled_back_total"
+    CANARY_STAGES_FAILED_CLOSED_TOTAL = (
+        "repro_canary_stages_failed_closed_total"
+    )
+    CANARY_SLICE_COVERAGE = "repro_canary_slice_coverage"
+    CANARY_ROUNDS_TOTAL = "repro_canary_rounds_total"
+
     # Cluster & fleet
     EVENTS_TOTAL = "repro_events_total"
     FLEET_COVERAGE = "repro_fleet_coverage"

@@ -115,3 +115,29 @@ class TestSloMonitor:
     def test_empty_rules_rejected(self):
         with pytest.raises(Exception):
             SloMonitor(rules=[])
+
+
+class TestIngestionAccounting:
+    """`samples_ingested` is the coverage evidence canaries gate on."""
+
+    def test_counts_every_observed_sample(self):
+        monitor = SloMonitor(window_seconds=600)
+        monitor.observe(600, [sample(t, 0.1) for t in range(0, 600, 60)])
+        monitor.observe(1200, [sample(t, 0.1) for t in range(600, 1200, 60)])
+        assert monitor.samples_ingested == 20
+
+    def test_counts_survive_window_eviction(self):
+        # Eviction trims the window, not the evidence that telemetry
+        # arrived — the fail-closed canary gate relies on that.
+        monitor = SloMonitor(window_seconds=60)
+        monitor.observe(3600, [sample(t, 0.1) for t in range(0, 3600, 60)])
+        assert len(monitor.window) < 60
+        assert monitor.samples_ingested == 60
+
+    def test_zero_ingestion_is_distinguishable_from_healthy(self):
+        # The empty window reports percentile 0.0 and `healthy` True —
+        # the vacuous pass.  The counter is what tells the two apart.
+        monitor = SloMonitor(window_seconds=600)
+        monitor.observe(600, [])
+        assert monitor.healthy
+        assert monitor.samples_ingested == 0

@@ -1,0 +1,219 @@
+"""The online canary controller (repro.autotuner.controller)."""
+
+import pytest
+
+from repro.autotuner import (
+    AutotuningPipeline,
+    DeploymentStage,
+    FleetController,
+)
+from repro.agent.monitoring import SloMonitor
+from repro.cluster import quickfleet
+from repro.core.threshold_policy import (
+    FixedThresholdPolicy,
+    PaperPolicy,
+    ThresholdPolicyConfig,
+)
+from repro.faults import attach_scenario
+from repro.model import FarMemoryModel
+from repro.obs import MetricName, MetricRegistry, Tracer
+
+
+STAGES = (
+    DeploymentStage("qualification", 0.5, 600),
+    DeploymentStage("production", 1.0, 600),
+)
+
+#: Demotes pages idle for only two minutes: aggressively over-promotes
+#: on any active working set, so it reliably breaches a real SLO limit.
+BREACHING = FixedThresholdPolicy(threshold_seconds=120.0, warmup_seconds=0)
+
+#: Demotes essentially nothing: promotion pressure decays toward zero.
+CONSERVATIVE = FixedThresholdPolicy(threshold_seconds=86400.0)
+
+
+def make_fleet(**overrides):
+    kwargs = dict(
+        clusters=2,
+        machines_per_cluster=2,
+        jobs_per_machine=2,
+        seed=31,
+        warmup_hours=0.25,
+        registry=MetricRegistry(),
+        tracer=Tracer(),
+    )
+    kwargs.update(overrides)
+    registry = kwargs["registry"]
+    tracer = kwargs["tracer"]
+    return quickfleet(**kwargs), registry, tracer
+
+
+class TestCanaryRound:
+    def test_safe_policy_promotes(self):
+        fleet, registry, tracer = make_fleet()
+        controller = FleetController(
+            fleet, stages=STAGES, slo_limit=1e9,
+            registry=registry, tracer=tracer,
+        )
+        decision = controller.canary(PaperPolicy())
+        assert decision.promoted
+        assert decision.reason == "promoted"
+        assert len(decision.outcomes) == len(STAGES)
+        for cluster in fleet.clusters:
+            assert cluster.policy == PaperPolicy()
+        rounds = registry.counter(
+            MetricName.CANARY_ROUNDS_TOTAL, "", ("verdict",)
+        )
+        assert rounds.labels(verdict="promoted").value == 1
+
+    def test_breaching_policy_never_reaches_production(self):
+        fleet, registry, tracer = make_fleet()
+        prior = fleet.clusters[0].policy
+        controller = FleetController(
+            fleet, stages=STAGES, slo_limit=1e-6,
+            registry=registry, tracer=tracer,
+        )
+        decision = controller.canary(BREACHING)
+        assert not decision.promoted
+        assert decision.reason == "slo-breach"
+        # The ladder stopped before the production stage.
+        failed = [o for o in decision.outcomes if not o.passed]
+        assert failed and failed[0].stage.name != "production"
+        # Every cluster is back on its prior policy; the breaching
+        # policy is nowhere in the fleet.
+        for cluster in fleet.clusters:
+            assert cluster.policy == prior
+            assert cluster.policy != BREACHING
+
+    def test_rollback_restores_slo_once_the_residual_drains(self):
+        # Rollback stops the demotions immediately, but pages the
+        # breaching policy already pushed to far memory keep promoting
+        # until the jobs holding them churn out. The recovery contract
+        # is therefore two-phase: one soak window after rollback the
+        # residual has collapsed by an order of magnitude, and one
+        # window after that the fleet is healthy again under the very
+        # monitor deployment uses.
+        fleet, registry, tracer = make_fleet(
+            policy_config=CONSERVATIVE,
+            warmup_hours=0.5,
+            churn_duration_range=(600, 900),
+        )
+        controller = FleetController(
+            fleet, stages=STAGES, slo_limit=0.2,
+            registry=registry, tracer=tracer,
+        )
+        decision = controller.canary(BREACHING)
+        assert not decision.promoted
+        breach_p98 = decision.p98
+        assert breach_p98 > 0.2
+
+        def window_p98():
+            before = len(fleet.sli_history)
+            fleet.run(STAGES[0].soak_seconds)
+            monitor = SloMonitor(
+                window_seconds=STAGES[0].soak_seconds, slo_limit=0.2
+            )
+            monitor.observe(fleet.now, fleet.sli_history[before:])
+            assert monitor.samples_ingested > 0
+            return monitor.window.percentile(98.0), monitor.healthy
+
+        draining_p98, _ = window_p98()
+        assert draining_p98 < breach_p98 / 10.0
+        settled_p98, healthy = window_p98()
+        assert healthy
+        assert settled_p98 <= draining_p98
+
+    def test_sink_outage_fails_the_canary_closed(self):
+        # sink_outage blankets every machine over the middle third of
+        # the scenario: with warmup 600 s and duration 1800 s, the
+        # outage covers the first soak (600..1200 s) exactly — zero
+        # slice samples arrive, and the stage must fail closed rather
+        # than pass on silence.
+        fleet, registry, tracer = make_fleet(warmup_hours=0.0)
+        attach_scenario(fleet, "sink_outage", 1800, seed=3)
+        fleet.run(600)
+        controller = FleetController(
+            fleet, stages=STAGES, slo_limit=1e9,
+            registry=registry, tracer=tracer,
+        )
+        decision = controller.canary(PaperPolicy())
+        assert not decision.promoted
+        assert decision.reason == "insufficient-coverage"
+        assert decision.outcomes[-1].slice_samples < 10
+        failed_closed = registry.counter(
+            MetricName.CANARY_STAGES_FAILED_CLOSED_TOTAL, "", ("stage",)
+        )
+        assert failed_closed.labels(stage="qualification").value == 1
+
+
+class TestRunOnline:
+    def test_measured_outcomes_feed_the_bandit(self):
+        fleet, registry, tracer = make_fleet()
+        model = FarMemoryModel(fleet.trace_db.traces())
+        pipeline = AutotuningPipeline(
+            model, seed=5, registry=registry, tracer=tracer
+        )
+        controller = FleetController(
+            fleet, stages=STAGES, slo_limit=1e9,
+            registry=registry, tracer=tracer,
+        )
+        decisions = controller.run_online(pipeline, rounds=2)
+        assert len(decisions) == 2
+        assert all(d.promoted for d in decisions)
+        assert all(isinstance(d.policy, PaperPolicy) for d in decisions)
+        # Every promoted round reported its live measurement back.
+        assert len(pipeline.bandit.observations) == 2
+
+    def test_fail_closed_rounds_are_not_reported(self):
+        fleet, registry, tracer = make_fleet(
+            control_period=7200, warmup_hours=0.25
+        )
+        model = FarMemoryModel(fleet.trace_db.traces())
+        pipeline = AutotuningPipeline(
+            model, seed=5, registry=registry, tracer=tracer
+        )
+        controller = FleetController(
+            fleet, stages=STAGES, slo_limit=1e9,
+            registry=registry, tracer=tracer,
+        )
+        decisions = controller.run_online(pipeline, rounds=1)
+        assert decisions[0].reason == "insufficient-coverage"
+        # Zero telemetry is not a measurement of the configuration.
+        assert len(pipeline.bandit.observations) == 0
+
+
+class TestPolicySwapNeedsNoPlumbing:
+    def test_thermostat_deploys_through_the_same_ladder(self):
+        from repro.baselines import ThermostatPolicy
+
+        fleet, registry, tracer = make_fleet()
+        controller = FleetController(
+            fleet, stages=STAGES, slo_limit=1e9,
+            registry=registry, tracer=tracer,
+        )
+        decision = controller.canary(ThermostatPolicy())
+        assert decision.promoted
+        for cluster in fleet.clusters:
+            assert cluster.policy == ThermostatPolicy()
+            for agent in cluster.agents.values():
+                assert agent.policy == ThermostatPolicy()
+
+
+class TestConfigCoercion:
+    def test_bare_config_is_the_paper_policy(self):
+        fleet, registry, tracer = make_fleet()
+        controller = FleetController(
+            fleet, stages=STAGES[:1], slo_limit=1e9,
+            registry=registry, tracer=tracer,
+        )
+        config = ThresholdPolicyConfig(percentile_k=95.0)
+        decision = controller.canary(config)
+        assert decision.policy == PaperPolicy(config)
+
+    def test_rejects_non_policies(self):
+        fleet, registry, tracer = make_fleet()
+        controller = FleetController(
+            fleet, registry=registry, tracer=tracer
+        )
+        with pytest.raises(TypeError):
+            controller.canary("not a policy")

@@ -4,21 +4,27 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.cluster import quickfleet
-from repro.core.threshold_policy import ThresholdPolicyConfig
+from repro.core.threshold_policy import (
+    FixedThresholdPolicy,
+    PaperPolicy,
+    ThresholdPolicyConfig,
+)
 from repro.autotuner.deployment import (
     DeploymentStage,
     StagedDeployment,
 )
 
 
-def make_fleet():
-    return quickfleet(
+def make_fleet(**overrides):
+    kwargs = dict(
         clusters=3,
         machines_per_cluster=1,
         jobs_per_machine=2,
         seed=77,
         warmup_hours=0.5,
     )
+    kwargs.update(overrides)
+    return quickfleet(**kwargs)
 
 
 SAFE = ThresholdPolicyConfig(percentile_k=99.0, warmup_seconds=1800)
@@ -50,14 +56,16 @@ class TestRollout:
             DeploymentStage("prod", 1.0, 600),
         ]
         deployment = StagedDeployment(fleet, stages, slo_limit=1e9)
-        assert deployment.deploy(SAFE, PREVIOUS)
+        assert deployment.deploy(SAFE)
         assert len(deployment.outcomes) == 2
         assert all(o.passed for o in deployment.outcomes)
+        assert all(o.reason == "advanced" for o in deployment.outcomes)
         for cluster in fleet.clusters:
             assert cluster.policy_config == SAFE
 
     def test_bad_config_rolls_back(self):
         fleet = make_fleet()
+        fleet.deploy_policy(PREVIOUS)
         stages = [
             DeploymentStage("qual", 0.34, 600),
             DeploymentStage("prod", 1.0, 600),
@@ -65,8 +73,9 @@ class TestRollout:
         # An impossible SLO limit guarantees stage failure.
         deployment = StagedDeployment(fleet, stages, slo_limit=1e-12)
         aggressive = ThresholdPolicyConfig(percentile_k=50.0, warmup_seconds=60)
-        assert not deployment.deploy(aggressive, PREVIOUS)
+        assert not deployment.deploy(aggressive)
         assert not deployment.outcomes[-1].passed
+        assert deployment.outcomes[-1].reason == "slo-breach"
         # Every touched cluster is back on the previous config.
         for cluster in fleet.clusters[:1]:
             assert cluster.policy_config == PREVIOUS
@@ -78,7 +87,106 @@ class TestRollout:
         deployment = StagedDeployment(
             fleet, [DeploymentStage("tiny", 0.01, 600)], slo_limit=1e9
         )
-        deployment.deploy(SAFE, PREVIOUS)
+        deployment.deploy(SAFE)
         # At least one cluster always upgrades.
         assert fleet.clusters[0].policy_config == SAFE
         assert fleet.clusters[1].policy_config != SAFE
+
+    def test_policy_objects_deploy_through_the_ladder(self):
+        fleet = make_fleet()
+        deployment = StagedDeployment(
+            fleet, [DeploymentStage("prod", 1.0, 600)], slo_limit=1e9
+        )
+        assert deployment.deploy(PaperPolicy(SAFE))
+        for cluster in fleet.clusters:
+            assert cluster.policy == PaperPolicy(SAFE)
+            assert cluster.policy_config == SAFE
+
+
+class TestFailClosed:
+    """Regression: a soak with zero SLI evidence must not pass.
+
+    `SliWindow.percentile` returns 0.0 on an empty window and every
+    `AlertRule` suppresses itself below `min_samples`, so before the
+    `min_coverage` gate a silent canary sailed through every stage.
+    """
+
+    def make_silent_fleet(self):
+        # Control period longer than the soak => after the t=0 round
+        # (absorbed by the warmup), agents never publish a single SLI
+        # sample during the stage.
+        return make_fleet(control_period=7200, warmup_hours=0.25)
+
+    def test_zero_sample_stage_fails_closed(self):
+        fleet = self.make_silent_fleet()
+        deployment = StagedDeployment(
+            fleet, [DeploymentStage("qual", 0.34, 600)]
+        )
+        assert not deployment.deploy(SAFE)
+        outcome = deployment.outcomes[0]
+        assert not outcome.passed
+        assert outcome.reason == "insufficient-coverage"
+        assert outcome.slice_samples == 0
+        assert outcome.alerts == ()  # no rule fired — that was the trap
+        # The touched cluster was rolled back to what it ran before.
+        assert fleet.clusters[0].policy_config != SAFE
+
+    def test_min_coverage_zero_reproduces_the_vacuous_pass(self):
+        # The pre-fix behavior, kept reachable for comparison: with the
+        # gate disabled, the same silent soak "passes" on no evidence.
+        fleet = self.make_silent_fleet()
+        deployment = StagedDeployment(
+            fleet, [DeploymentStage("qual", 0.34, 600)], min_coverage=0
+        )
+        assert deployment.deploy(SAFE)
+        assert deployment.outcomes[0].slice_samples == 0
+
+
+class TestSampleAttribution:
+    """Regression: samples from jobs that exited mid-soak must count."""
+
+    def test_churning_fleet_attributes_every_sample(self):
+        fleet = make_fleet(
+            clusters=2,
+            jobs_per_machine=3,
+            warmup_hours=0.25,
+            churn_duration_range=(300, 900),
+        )
+        deployment = StagedDeployment(
+            fleet, [DeploymentStage("prod", 1.0, 1800)], slo_limit=1e9
+        )
+        assert deployment.deploy(SAFE)
+        outcome = deployment.outcomes[0]
+        # Short-lived jobs churned during the soak; with the one-shot
+        # job->cluster map (built from placements, departed jobs
+        # included) nothing is dropped on the floor.
+        assert outcome.unattributed_samples == 0
+        assert outcome.slice_samples > 0
+
+
+class TestHeterogeneousRollback:
+    """Regression: rollback restores each cluster's own prior config."""
+
+    def test_rollback_restores_per_cluster_priors(self):
+        fleet = make_fleet(clusters=2)
+        prior_a = ThresholdPolicyConfig(percentile_k=95.0,
+                                        warmup_seconds=1200)
+        prior_b = FixedThresholdPolicy(threshold_seconds=7200.0)
+        fleet.clusters[0].deploy_policy(prior_a)
+        fleet.clusters[1].deploy_policy(prior_b)
+
+        deployment = StagedDeployment(
+            fleet,
+            [
+                DeploymentStage("qual", 0.5, 600),
+                DeploymentStage("prod", 1.0, 600),
+            ],
+            slo_limit=1e-12,  # guarantees the first stage fails
+        )
+        aggressive = ThresholdPolicyConfig(percentile_k=50.0,
+                                           warmup_seconds=60)
+        assert not deployment.deploy(aggressive)
+        # Each touched cluster is back on ITS prior, not a single
+        # fleet-wide "previous config".
+        assert fleet.clusters[0].policy_config == prior_a
+        assert fleet.clusters[1].policy == prior_b

@@ -97,3 +97,120 @@ class TestClassification:
         detector.end_epoch()
         # Only the single sampled region can be classified.
         assert detector.cold_regions().size <= 1
+
+
+class TestThermostatThresholdPolicy:
+    """The policy-level adapter on the node-agent control surface."""
+
+    def make(self, bins, period=2, alpha=0.5, warmup=0):
+        from repro.baselines import (
+            ThermostatPolicyConfig,
+            ThermostatThresholdPolicy,
+        )
+
+        config = ThermostatPolicyConfig(
+            sample_period_intervals=period,
+            ewma_alpha=alpha,
+            warmup_seconds=warmup,
+        )
+        return ThermostatThresholdPolicy(config, bins)
+
+    def hist(self, bins, ages):
+        from repro.core.histograms import AgeHistogram
+
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array(ages, dtype=float))
+        return hist
+
+    def test_no_estimate_means_no_compression(self, bins):
+        from repro.core.threshold_policy import DISABLED
+
+        policy = self.make(bins)
+        assert policy.threshold() == DISABLED
+
+    def test_duty_cycle_skips_unsampled_intervals(self, bins):
+        policy = self.make(bins, period=2)
+        quiet = self.hist(bins, [])
+        # Interval 1 is off-phase: the histogram is not even read and
+        # the estimate stays unset; interval 2 samples and locks in the
+        # most aggressive threshold for a quiet job.
+        policy.observe(quiet, working_set_size_pages=10_000)
+        assert np.isnan(policy._estimate)
+        policy.observe(quiet, working_set_size_pages=10_000)
+        assert policy.threshold() == bins.min_threshold
+
+    def test_warmup_clock_advances_on_unsampled_intervals(self, bins):
+        from repro.core.threshold_policy import DISABLED
+
+        policy = self.make(bins, period=2, warmup=60)
+        assert not policy.warmed_up
+        policy.observe_zero(interval_seconds=60)  # unsampled, but counts
+        assert policy.warmed_up
+        policy.observe_zero(interval_seconds=60)
+        assert policy.threshold() != DISABLED
+
+    def test_estimate_is_an_ewma_snapped_up_to_the_grid(self, bins):
+        policy = self.make(bins, period=1, alpha=0.5)
+        slo_budget_wss = 10_000
+        # First sample: quiet -> best 120.  Second: pressure at ~130 s
+        # pushes the best to 240.  EWMA(0.5) = 180 -> snaps up to 240.
+        policy.observe(self.hist(bins, []), slo_budget_wss)
+        policy.observe(self.hist(bins, [130] * 500), slo_budget_wss)
+        assert policy._estimate == pytest.approx(180.0)
+        assert policy.threshold() == 240.0
+
+    def test_inherit_from_paper_controller_rebuilds_estimate(self, bins):
+        from repro.core.threshold_policy import (
+            ColdAgeThresholdPolicy,
+            ThresholdPolicyConfig,
+        )
+
+        paper = ColdAgeThresholdPolicy(
+            ThresholdPolicyConfig(warmup_seconds=0), bins
+        )
+        for _ in range(4):
+            paper.observe(self.hist(bins, []), 10_000)
+        swapped = self.make(bins, period=2)
+        swapped.inherit_state(paper)
+        # History, warm-up clock, and duty-cycle phase all carry over;
+        # the estimate is rebuilt by folding the inherited history.
+        assert swapped._intervals == 4
+        assert swapped._estimate == pytest.approx(120.0)
+        assert swapped.threshold() == bins.min_threshold
+
+    def test_inherit_between_thermostats_is_verbatim(self, bins):
+        old = self.make(bins, period=2)
+        old.observe(self.hist(bins, []), 10_000)
+        old.observe(self.hist(bins, []), 10_000)
+        new = self.make(bins, period=2)
+        new.inherit_state(old)
+        assert new._estimate == old._estimate
+        assert new._intervals == old._intervals
+
+    def test_reset_clears_the_estimate(self, bins):
+        from repro.core.threshold_policy import DISABLED
+
+        policy = self.make(bins, period=1)
+        policy.observe(self.hist(bins, []), 10_000)
+        policy.reset()
+        assert policy.threshold() == DISABLED
+        assert policy._intervals == 0
+
+
+class TestThermostatPolicySeam:
+    def test_builds_thermostat_controllers(self, bins):
+        from repro.baselines import (
+            ThermostatPolicy,
+            ThermostatThresholdPolicy,
+        )
+
+        policy = ThermostatPolicy()
+        controller = policy.build(bins)
+        assert isinstance(controller, ThermostatThresholdPolicy)
+        assert controller.thermostat is policy.config
+
+    def test_is_a_comparable_value_object(self):
+        from repro.baselines import ThermostatPolicy
+
+        assert ThermostatPolicy() == ThermostatPolicy()
+        assert "thermostat" in ThermostatPolicy().describe()

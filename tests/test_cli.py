@@ -392,3 +392,43 @@ class TestTraceCommand:
         assert report["ingest"]["rows"] > 0
         assert report["columnar_path"]["peak_bytes"] > 0
         assert "peak-mem ratio" in capsys.readouterr().out
+
+
+class TestCanaryCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["canary"])
+        assert args.policy == "paper"
+        assert args.soak_minutes == 10.0
+        assert args.slo_limit == 0.2
+        assert args.min_coverage == 10
+        assert args.scenario is None
+        assert not args.smoke
+        assert args.func.__name__ == "cmd_canary"
+
+    def test_parser_policy_scenario_workers(self):
+        args = build_parser().parse_args(
+            ["canary", "--policy", "fixed", "--threshold", "120",
+             "--warmup-seconds", "0", "--scenario", "storm",
+             "--workers", "2", "--soak-minutes", "5"]
+        )
+        assert args.policy == "fixed"
+        assert args.threshold == 120.0
+        assert args.warmup_seconds == 0
+        assert args.scenario == "storm"
+        assert args.workers == 2
+
+    def test_parser_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["canary", "--policy", "lru"])
+
+    def test_smoke_prints_report_and_succeeds(self, capsys):
+        assert main(["canary", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Canary smoke" in out
+        assert "rolled_back" in out
+
+    def test_ci_skip_bench_skips_the_canary_smoke(self, capsys):
+        code = main(["ci", "--skip-tests", "--skip-bench"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canary controller smoke" not in out

@@ -54,6 +54,27 @@ class TestWorkingSet:
         hist.add_ages(np.array([0, 150, 150, 500]))
         assert working_set_pages(hist, min_cold_age_seconds=240) == 3
 
+    def test_prefix_sum_matches_bin_by_bin_count(self, bins):
+        # The hot-path prefix sum must agree with the definitional
+        # per-bin accumulation for every candidate window.
+        rng = np.random.default_rng(5)
+        hist = AgeHistogram(bins)
+        hist.add_ages(rng.uniform(0, 40_000, size=2_000))
+        for window in bins.thresholds:
+            below = hist.young_count + sum(
+                int(count)
+                for threshold, count in zip(bins.thresholds, hist.counts)
+                if threshold < window
+            )
+            assert working_set_pages(hist, min_cold_age_seconds=window) \
+                == below
+
+    def test_returns_a_python_int(self, bins):
+        hist = AgeHistogram(bins)
+        hist.add_ages(np.array([0.0, 150.0]))
+        result = working_set_pages(hist)
+        assert type(result) is int
+
 
 class TestNormalizedRate:
     def test_basic(self):

@@ -11,7 +11,10 @@ from repro.core.slo import PromotionRateSlo
 from repro.core.threshold_policy import (
     DISABLED,
     ColdAgeThresholdPolicy,
+    FixedThresholdPolicy,
+    PaperPolicy,
     ThresholdPolicyConfig,
+    as_policy,
     best_threshold,
 )
 
@@ -183,3 +186,49 @@ def test_quiet_history_always_most_aggressive(n_quiet, wss):
     for _ in range(n_quiet):
         policy.observe(AgeHistogram(bins), wss)
     assert policy.threshold() == bins.min_threshold
+
+
+class TestPolicySeam:
+    """`ColdMemoryPolicy`: the deployable unit behind `deploy_policy`."""
+
+    def test_as_policy_coerces_bare_configs_to_the_paper_policy(self):
+        config = ThresholdPolicyConfig(percentile_k=95.0)
+        policy = as_policy(config)
+        assert policy == PaperPolicy(config)
+        assert policy.config is config
+
+    def test_as_policy_passes_policies_through(self):
+        policy = FixedThresholdPolicy(threshold_seconds=7200.0)
+        assert as_policy(policy) is policy
+
+    def test_as_policy_rejects_everything_else(self):
+        with pytest.raises(TypeError):
+            as_policy(98.0)
+
+    def test_policies_are_hashable_value_objects(self):
+        assert PaperPolicy() == PaperPolicy()
+        assert len({PaperPolicy(), PaperPolicy(),
+                    FixedThresholdPolicy()}) == 2
+
+    def test_paper_policy_builds_the_reference_controller(self, bins):
+        config = ThresholdPolicyConfig(percentile_k=90.0)
+        controller = PaperPolicy(config).build(bins)
+        assert isinstance(controller, ColdAgeThresholdPolicy)
+        assert controller.config is config
+
+    def test_fixed_policy_pins_the_threshold(self, bins):
+        policy = FixedThresholdPolicy(
+            threshold_seconds=7200.0, warmup_seconds=0
+        )
+        controller = policy.build(bins)
+        # Whatever the promotion history says, the published threshold
+        # never moves.
+        hist = _promotion_hist(bins, [130] * 500)
+        controller.observe(hist, working_set_size_pages=1000)
+        assert controller.threshold() == 7200.0
+
+    def test_describe_names_the_tunables(self):
+        assert "95" in PaperPolicy(
+            ThresholdPolicyConfig(percentile_k=95.0)
+        ).describe()
+        assert "7200" in FixedThresholdPolicy(7200.0).describe()
