@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Protocol
 
+import numpy as np
+
 from repro.common.events import EventKind, EventLog
 from repro.common.simtime import PeriodicSchedule
 from repro.core.histograms import AgeHistogram
 from repro.core.slo import PromotionRateSlo, working_set_pages
 from repro.kernel.machine import Machine
-from repro.model.trace import TRACE_PERIOD_SECONDS, TraceEntry
+from repro.model.trace import TRACE_PERIOD_SECONDS, TelemetryBlock, TraceEntry
 from repro.obs import (
     MetricName,
     MetricRegistry,
@@ -69,6 +71,14 @@ class TelemetryExporter:
         registry: metrics registry (defaults to the process-global one).
         tracer: span tracer (defaults to the process-global one).
     """
+
+    #: When True (the default) and both ends are columnar — the machine
+    #: runs a :class:`~repro.kernel.columnar.MachinePagePool` and the sink
+    #: implements ``add_block`` — each export window ships as one
+    #: :class:`~repro.model.trace.TelemetryBlock` gathered straight from
+    #: pool columns, with no per-job ``TraceEntry`` objects.  Tests flip
+    #: this off to force the entry path as the bit-equivalence oracle.
+    prefer_blocks: bool = True
 
     def __init__(
         self,
@@ -262,6 +272,99 @@ class TelemetryExporter:
         self.entries_exported += len(entries)
         self._m_entries.inc(len(entries))
 
+    def _deliver_block(self, now: int, block: TelemetryBlock) -> None:
+        """Ship one export window as a single zero-copy block.
+
+        ``add_block`` is all-or-nothing (the store validates the whole
+        block before touching any buffer), so on failure the window
+        degrades to per-entry objects and spills to the retry buffer in
+        original row order — from there recovery is identical to the
+        entry path, and no delivered row is ever re-counted.
+        """
+        n = block.n_rows
+        if n == 0:
+            return
+        if self._spill:
+            # Never overtake queued entries: per-job order must hold.
+            for entry in block.entries():
+                self._spill_entry(now, entry)
+            return
+        try:
+            self.sink.add_block(block)
+        except Exception:
+            self._begin_outage(now)
+            for entry in block.entries():
+                self._spill_entry(now, entry)
+            return
+        self.entries_exported += n
+        self._m_entries.inc(n)
+
+    def _export_block(self, now: int, entry_time: int) -> None:
+        """Columnar export window: one pool gather, one block delivery.
+
+        Bit-equivalent to the per-entry loop in :meth:`export`: the pool
+        gather reads exactly the columns the scalar path reads per memcg,
+        and the period promotion histogram is the same cumulative-minus-
+        previous subtraction (restarting from the cumulative counts on a
+        bin-threshold change, with the same reset event and counter).
+        Only the container differs — dense arrays instead of per-job
+        ``TraceEntry`` objects.
+        """
+        machine = self.machine
+        items = list(machine.memcgs.items())
+        n = len(items)
+        if n == 0:
+            return
+        rows = np.fromiter(
+            (memcg._pool_row for _job_id, memcg in items), np.int64, n
+        )
+        cols = machine.pool.export_columns(
+            rows, self.slo.min_cold_age_seconds
+        )
+        promo_now = cols["promotion_counts"]
+        promo_young_now = cols["promotion_young"]
+        prev_counts = np.zeros_like(promo_now)
+        prev_young = np.zeros(n, dtype=np.int64)
+        for i, (job_id, memcg) in enumerate(items):
+            last = self._last_promotion.get(job_id)
+            if last is None or last.bins.thresholds != memcg.bins.thresholds:
+                if last is not None:
+                    self._m_resets.inc()
+                    if self.events is not None:
+                        self.events.record(
+                            now, EventKind.TELEMETRY_HISTOGRAM_RESET,
+                            job=job_id,
+                            machine=machine.machine_id,
+                        )
+            else:
+                prev_counts[i] = last.counts
+                prev_young[i] = last.young_count
+            # The gather already detached these rows from pool storage,
+            # so the snapshot can wrap them without another copy.
+            snapshot = AgeHistogram(memcg.bins)
+            snapshot.counts = promo_now[i]
+            snapshot.young_count = int(promo_young_now[i])
+            self._last_promotion[job_id] = snapshot
+        block = TelemetryBlock(
+            bins=machine.pool.bins,
+            job_table=[job_id for job_id, _memcg in items],
+            machine_table=[machine.machine_id],
+            job=np.arange(n, dtype=np.int64),
+            machine=np.zeros(n, dtype=np.int64),
+            time=np.full(n, entry_time, dtype=np.int64),
+            working_set_pages=cols["working_set_pages"],
+            resident_pages=cols["resident_pages"],
+            cpu_cores=np.fromiter(
+                (self.cpu_lookup(job_id) for job_id, _memcg in items),
+                np.float64, n,
+            ),
+            promotion_counts=promo_now - prev_counts,
+            promotion_young=promo_young_now - prev_young,
+            cold_counts=cols["cold_counts"],
+            cold_young=cols["cold_young"],
+        )
+        self._deliver_block(now, block)
+
     def export(self, now: int) -> None:
         """Emit one trace entry per job on the machine.
 
@@ -279,54 +382,72 @@ class TelemetryExporter:
         # boundary (t=0) observed no full period, so clamp at 0 rather
         # than stamping a negative time into the trace database.
         entry_time = max(0, now - self.period)
-        # With the columnar kernel and a batch-capable sink, the whole
-        # window ships as arrays in one add_batch call; otherwise entries
-        # deliver one by one exactly as before.  (A sink wrapper that
-        # only implements ``add`` — e.g. the fault injector's outage
-        # shim — keeps the per-entry path automatically.)
+        # Delivery ladder, fastest rung both ends support: with the
+        # columnar kernel and a block-capable sink the window ships as
+        # one TelemetryBlock gathered straight from pool columns; with a
+        # merely batch-capable sink it ships as one add_batch call of
+        # entry objects; otherwise entries deliver one by one exactly as
+        # before.  (A sink wrapper that only implements ``add`` — e.g.
+        # the fault injector's outage shim — keeps the per-entry path
+        # automatically.)
+        use_block = (
+            self.prefer_blocks
+            and self.machine.pool is not None
+            and hasattr(self.sink, "add_block")
+        )
         batch: Optional[List[TraceEntry]] = (
-            [] if (self.machine.pool is not None
+            [] if (not use_block
+                   and self.machine.pool is not None
                    and hasattr(self.sink, "add_batch"))
             else None
         )
         with self._tracer.span("telemetry.export", sim_time=now):
             self._retry_spill(now)
-            for job_id, memcg in self.machine.memcgs.items():
-                last = self._last_promotion.get(job_id)
-                if last is None or last.bins.thresholds != memcg.bins.thresholds:
-                    if last is not None:
-                        self._m_resets.inc()
-                        if self.events is not None:
-                            self.events.record(
-                                now, EventKind.TELEMETRY_HISTOGRAM_RESET,
-                                job=job_id,
-                                machine=self.machine.machine_id,
-                            )
-                    period_hist = memcg.promotion_histogram.copy()
-                else:
-                    period_hist = memcg.promotion_histogram.diff(last)
-                self._last_promotion[job_id] = memcg.promotion_histogram.copy()
-
-                entry = TraceEntry(
-                    job_id=job_id,
-                    machine_id=self.machine.machine_id,
-                    time=entry_time,
-                    working_set_pages=working_set_pages(
-                        memcg.cold_age_histogram, self.slo.min_cold_age_seconds
-                    ),
-                    promotion_histogram=period_hist,
-                    cold_age_histogram=memcg.cold_age_histogram.copy(),
-                    resident_pages=memcg.resident_pages,
-                    cpu_cores=self.cpu_lookup(job_id),
-                )
-                if batch is not None:
-                    batch.append(entry)
-                else:
-                    self._deliver(now, entry)
-            if batch is not None:
-                self._deliver_batch(now, batch)
-
+            if use_block:
+                self._export_block(now, entry_time)
+            else:
+                self._export_entries(now, entry_time, batch)
             gone = set(self._last_promotion) - set(self.machine.memcgs)
             for job_id in gone:
                 del self._last_promotion[job_id]
         self._m_exports.inc()
+
+    def _export_entries(
+        self, now: int, entry_time: int,
+        batch: Optional[List[TraceEntry]],
+    ) -> None:
+        """Object-path export window (the zero-copy path's oracle)."""
+        for job_id, memcg in self.machine.memcgs.items():
+            last = self._last_promotion.get(job_id)
+            if last is None or last.bins.thresholds != memcg.bins.thresholds:
+                if last is not None:
+                    self._m_resets.inc()
+                    if self.events is not None:
+                        self.events.record(
+                            now, EventKind.TELEMETRY_HISTOGRAM_RESET,
+                            job=job_id,
+                            machine=self.machine.machine_id,
+                        )
+                period_hist = memcg.promotion_histogram.copy()
+            else:
+                period_hist = memcg.promotion_histogram.diff(last)
+            self._last_promotion[job_id] = memcg.promotion_histogram.copy()
+
+            entry = TraceEntry(
+                job_id=job_id,
+                machine_id=self.machine.machine_id,
+                time=entry_time,
+                working_set_pages=working_set_pages(
+                    memcg.cold_age_histogram, self.slo.min_cold_age_seconds
+                ),
+                promotion_histogram=period_hist,
+                cold_age_histogram=memcg.cold_age_histogram.copy(),
+                resident_pages=memcg.resident_pages,
+                cpu_cores=self.cpu_lookup(job_id),
+            )
+            if batch is not None:
+                batch.append(entry)
+            else:
+                self._deliver(now, entry)
+        if batch is not None:
+            self._deliver_batch(now, batch)

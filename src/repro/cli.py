@@ -722,6 +722,24 @@ def cmd_ci(args: argparse.Namespace) -> int:
                   f"({report['sli_samples']} SLI samples identical "
                   "across scalar, machine-pooled, cluster-pooled)")
     if exit_code == 0 and not args.skip_bench:
+        # Zero-copy telemetry: blocks gathered from pool columns must
+        # leave byte-identical stores to the per-entry object oracle,
+        # serial and parallel.  Equivalence only — never timing.
+        from repro.engine.bench import zero_copy_equivalence
+
+        print("ci: running zero-copy telemetry equivalence smoke ...")
+        report = zero_copy_equivalence(clusters=1, machines=2, jobs=4,
+                                       hours=0.25)
+        if not report["equivalent"]:
+            print("ci: zero-copy telemetry smoke FAILED "
+                  "(block ingest diverged from the per-entry oracle)",
+                  file=sys.stderr)
+            exit_code = 1
+        else:
+            print("ci: zero-copy telemetry smoke passed "
+                  f"({report['rows']} rows byte-identical across "
+                  "block and entry paths, serial and parallel)")
+    if exit_code == 0 and not args.skip_bench:
         # The canary-controller smoke: a deliberately SLO-breaching
         # policy must be rolled back (never promoted), the decision must
         # be bit-identical serial vs parallel, and a zero-telemetry soak

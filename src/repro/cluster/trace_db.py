@@ -48,10 +48,32 @@ class TraceDatabase:
     def add_batch(self, entries: List[TraceEntry]) -> None:
         """Store a whole export window (the batched sink protocol).
 
+        All-or-nothing, like the columnar store's batch path: the whole
+        batch is validated against the per-job time watermarks before any
+        entry lands.  The exporter depends on this — a batch that fails
+        mid-way would spill *every* entry to its retry buffer, and any
+        half-appended prefix would then be delivered twice on replay.
+
         The in-memory database has no columnar representation to
-        exploit, so this is a plain loop — it exists so exporters can
-        use one code path against either database.
+        exploit, so past validation this is a plain loop — it exists so
+        exporters can use one code path against either database.
+
+        Raises:
+            TraceError: on an out-of-order entry; nothing is appended.
         """
+        watermark: Dict[str, int] = {}
+        for entry in entries:
+            prev = watermark.get(entry.job_id)
+            if prev is None:
+                trace = self._by_job.get(entry.job_id)
+                if trace is not None and trace.entries:
+                    prev = trace.entries[-1].time
+            if prev is not None and entry.time < prev:
+                raise TraceError(
+                    f"out-of-order trace entry for job {entry.job_id} at "
+                    f"t={entry.time} after t={prev}"
+                )
+            watermark[entry.job_id] = entry.time
         for entry in entries:
             self.add(entry)
 

@@ -27,9 +27,12 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, Optional, Union
+
+import numpy as np
 
 from repro.cluster.wsc import quickfleet
 from repro.common.units import HOUR, MIB, PAGE_SIZE
@@ -42,6 +45,7 @@ __all__ = [
     "run_bench",
     "thousand_machine_hour",
     "tick_path_bench",
+    "zero_copy_equivalence",
 ]
 
 #: Fleet shape of the original serial-vs-parallel bench; its scalar wall
@@ -218,6 +222,127 @@ def columnar_equivalence(clusters: int = 2, machines: int = 4,
         "wall_seconds": walls,
         "sli_samples": len(snapshots[0][1]),
         "equivalent": all(s == snapshots[0] for s in snapshots[1:]),
+    }
+
+
+def _store_bytes(root: Path) -> Dict[str, bytes]:
+    """Every file in a trace-store directory, name -> content."""
+    return {
+        path.name: path.read_bytes() for path in sorted(root.iterdir())
+    }
+
+
+def _compiled_equal(left, right) -> bool:
+    """Tensor-level equality of two compiled-trace sets.
+
+    Keyed by job: serial and parallel runs intern jobs in different
+    first-seen orders (per-machine export order vs canonical barrier
+    order), which is fine — the replay unit is the per-job trace.
+    """
+    if len(left) != len(right):
+        return False
+    left = sorted(left, key=lambda c: c.job_id)
+    right = sorted(right, key=lambda c: c.job_id)
+    for a, b in zip(left, right):
+        if a.job_id != b.job_id or a.bins != b.bins:
+            return False
+        for attr in ("cold_suffix_sums", "promotion_suffix_sums",
+                     "working_set_pages", "times", "resident_pages",
+                     "cpu_cores"):
+            if not np.array_equal(getattr(a, attr), getattr(b, attr)):
+                return False
+    return True
+
+
+def zero_copy_equivalence(clusters: int = 2, machines: int = 3,
+                          jobs: int = 6, hours: float = 0.5,
+                          seed: int = 99, workers: int = 2) -> Dict:
+    """Zero-copy telemetry ≡ object telemetry, serial and parallel.
+
+    Runs the same seeded columnar fleet four times against an on-disk
+    :class:`~repro.tracestore.database.ColumnarTraceDatabase`: serial
+    and parallel, each once over the block fast path (pool columns →
+    ``add_block`` → segments; blocks shipped across barriers) and once
+    over the per-entry object oracle (``prefer_blocks`` off on every
+    exporter, entry shipping pinned in the engine).  Within each mode
+    the two stores must come out **byte-identical** — same segment
+    files, same manifest (hence same window aggregates) — and the
+    compiled replay tensors must match across all four runs.
+    """
+    check_positive(hours, "hours")
+    from repro.tracestore.database import ColumnarTraceDatabase
+
+    seconds = int(hours * HOUR)
+    results: Dict[str, Dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-zerocopy-") as tmp:
+        for mode in ("serial", "parallel"):
+            for path in ("block", "entry"):
+                root = Path(tmp) / f"{mode}-{path}"
+                registry = MetricRegistry()
+                db = ColumnarTraceDatabase(
+                    root, buffer_rows=256, registry=registry
+                )
+                fleet = quickfleet(
+                    clusters=clusters,
+                    machines_per_cluster=machines,
+                    jobs_per_machine=jobs,
+                    seed=seed,
+                    machine_dram_gib=1.0,
+                    job_pages_range=((1 * MIB) // PAGE_SIZE,
+                                     (4 * MIB) // PAGE_SIZE),
+                    kernel="columnar",
+                    pool_scope="cluster",
+                    scan_period=60,
+                    churn_duration_range=(1800, 7200),
+                    registry=registry,
+                    tracer=Tracer(),
+                    trace_db=db,
+                )
+                if path == "entry":
+                    for cluster in fleet.clusters:
+                        for exporter in cluster.exporters.values():
+                            exporter.prefer_blocks = False
+                start = time.perf_counter()
+                if mode == "serial":
+                    fleet.run(seconds)
+                else:
+                    FleetEngine(
+                        fleet, workers=workers,
+                        ship_blocks=(path == "block"),
+                    ).run(seconds)
+                wall = time.perf_counter() - start
+                db.flush()
+                results[f"{mode}/{path}"] = {
+                    "wall_seconds": round(wall, 3),
+                    "rows": db.store.rows_total,
+                    "segments": len(db.store.segments),
+                    "files": _store_bytes(root),
+                    "compiled": db.compiled_traces(),
+                }
+
+    byte_identical = all(
+        results[f"{mode}/block"]["files"] == results[f"{mode}/entry"]["files"]
+        for mode in ("serial", "parallel")
+    )
+    compiled = [results[key]["compiled"] for key in sorted(results)]
+    tensors_identical = all(
+        _compiled_equal(compiled[0], other) for other in compiled[1:]
+    )
+    return {
+        "clusters": clusters,
+        "machines_per_cluster": machines,
+        "jobs_per_machine": jobs,
+        "simulated_hours": hours,
+        "seed": seed,
+        "workers": workers,
+        "rows": results["serial/block"]["rows"],
+        "segments": results["serial/block"]["segments"],
+        "wall_seconds": {
+            key: value["wall_seconds"] for key, value in results.items()
+        },
+        "stores_byte_identical": byte_identical,
+        "compiled_tensors_identical": tensors_identical,
+        "equivalent": byte_identical and tensors_identical,
     }
 
 

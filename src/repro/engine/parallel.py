@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.checks.invariants import check_merge_delta, invariants_enabled
-from repro.common.errors import ReproError
+from repro.common.errors import ReproError, TraceError
 from repro.common.validation import check_positive, require
 from repro.engine.sharding import ShardPlan, plan_shards
 from repro.obs import MetricName
@@ -130,8 +130,16 @@ class _LocalShard:
     reason: str = ""
 
 
-def _worker_main(conn, fleet, cluster_indices: Tuple[int, ...]) -> None:
-    """Worker loop: tick owned clusters between barriers, ship deltas."""
+def _worker_main(conn, fleet, cluster_indices: Tuple[int, ...],
+                 ship_blocks: bool = False) -> None:
+    """Worker loop: tick owned clusters between barriers, ship deltas.
+
+    With ``ship_blocks`` (a fleet whose trace database speaks the
+    zero-copy block protocol), each barrier's trace delta travels as one
+    :class:`TelemetryBlock` of pending column rows instead of a list of
+    re-materialized entries — the columns the forked store buffered are
+    exactly the delta, because a worker never seals segments.
+    """
     clusters = fleet.clusters
     registry = fleet.registry
     trace_db = fleet.trace_db
@@ -145,7 +153,10 @@ def _worker_main(conn, fleet, cluster_indices: Tuple[int, ...]) -> None:
             cmd = msg[0]
             if cmd == "advance":
                 _, ticks, collect_sli = msg
-                trace_mark = trace_db.mark()
+                trace_mark = (
+                    trace_db.block_marker() if ship_blocks
+                    else trace_db.mark()
+                )
                 metric_base = registry.baseline()
                 sli_batches: List[Tuple[int, int, list]] = []
                 for tick_seq in range(ticks):
@@ -159,7 +170,8 @@ def _worker_main(conn, fleet, cluster_indices: Tuple[int, ...]) -> None:
                 conn.send((
                     "ok",
                     sli_batches,
-                    trace_db.entries_since(trace_mark),
+                    (trace_db.block_since(trace_mark) if ship_blocks
+                     else trace_db.entries_since(trace_mark)),
                     registry.delta(metric_base),
                 ))
             elif cmd == "finalize":
@@ -207,11 +219,19 @@ class FleetEngine:
             barrier reply before declaring it hung and re-executing its
             shard serially in the parent; ``None`` waits forever (the
             pre-timeout behavior).
+        ship_blocks: ship each barrier's trace delta as one zero-copy
+            :class:`TelemetryBlock` instead of a list of entries.
+            Defaults to auto-detection: on when the fleet's trace
+            database speaks the block protocol (``block_since`` +
+            ``add_block``, i.e. :class:`ColumnarTraceDatabase`).  Results
+            are bit-identical either way; tests pin it False to run the
+            entry-shipping oracle.
     """
 
     def __init__(self, fleet, workers: Optional[int] = None,
                  barrier_seconds: int = 60,
-                 recv_timeout_seconds: Optional[float] = 300.0):
+                 recv_timeout_seconds: Optional[float] = 300.0,
+                 ship_blocks: Optional[bool] = None):
         check_positive(barrier_seconds, "barrier_seconds")
         self.fleet = fleet
         if workers is None:
@@ -222,6 +242,11 @@ class FleetEngine:
         self.workers = min(int(workers), len(fleet.clusters))
         self.barrier_seconds = int(barrier_seconds)
         self.recv_timeout_seconds = recv_timeout_seconds
+        if ship_blocks is None:
+            ship_blocks = hasattr(fleet.trace_db, "block_since") and hasattr(
+                fleet.trace_db, "add_block"
+            )
+        self.ship_blocks = bool(ship_blocks)
         self.last_stats: Optional[EngineStats] = None
 
     # ------------------------------------------------------------------
@@ -312,7 +337,8 @@ class FleetEngine:
                 parent_conn, child_conn = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child_conn, fleet, shard.cluster_indices),
+                    args=(child_conn, fleet, shard.cluster_indices,
+                          self.ship_blocks),
                     daemon=True,
                 )
                 proc.start()
@@ -503,9 +529,14 @@ class FleetEngine:
         caught up to ``ticks_done`` and the current chunk is re-executed
         in-parent, joining this barrier's merge.
         """
+        # Imported here, not at module top: repro.model's package init
+        # pulls in the model bench, which imports this module back.
+        from repro.model.trace import TelemetryBlock
+
         fleet = self.fleet
         sli_batches: List[Tuple[int, int, list]] = []
         trace_entries = []
+        trace_blocks: List[TelemetryBlock] = []
         metric_deltas = []
         for si, conn in enumerate(conns):
             if si in local_shards:
@@ -522,11 +553,17 @@ class FleetEngine:
                 ))
                 continue
             sli_batches.extend(batches)
-            trace_entries.extend(entries)
+            if isinstance(entries, TelemetryBlock):
+                trace_blocks.append(entries)
+            elif entries:
+                trace_entries.extend(entries)
             metric_deltas.append(metric_delta)
         for batches, entries in local_results:
             sli_batches.extend(batches)
-            trace_entries.extend(entries)
+            if isinstance(entries, TelemetryBlock):
+                trace_blocks.append(entries)
+            elif entries:
+                trace_entries.extend(entries)
         for metric_delta in metric_deltas:
             if invariants_enabled():
                 check_merge_delta(metric_delta)
@@ -537,10 +574,40 @@ class FleetEngine:
             for _, _, samples in sli_batches:
                 fleet.sli_history.extend(samples)
         # Canonical cross-job order; per-job order is already serial-exact
-        # because every job lives on exactly one shard.
+        # because every job lives on exactly one shard.  When every shard
+        # shipped a block and the parent database speaks blocks, the whole
+        # barrier folds in as one concatenated, lexsorted block — no entry
+        # objects anywhere.  A mixed barrier (e.g. a fallback shard staging
+        # into an in-memory database, or a fault scenario downgrading a
+        # worker's sink) degrades to the entry path for exactly that
+        # barrier; both folds commit one chunk per barrier, so the sealed
+        # segments come out identical either way.
+        if trace_blocks and not trace_entries and hasattr(
+            fleet.trace_db, "add_block"
+        ):
+            try:
+                merged = TelemetryBlock.concat(
+                    trace_blocks
+                ).sorted_by_time_job()
+            except TraceError:
+                # Mixed threshold grids across shards: legal for the
+                # per-entry store path, so fall through to it.
+                for block in trace_blocks:
+                    trace_entries.extend(block.entries())
+            else:
+                fleet.trace_db.add_block(merged)
+                return
+        else:
+            for block in trace_blocks:
+                trace_entries.extend(block.entries())
         trace_entries.sort(key=lambda e: (e.time, e.job_id))
-        for entry in trace_entries:
-            fleet.trace_db.add(entry)
+        if not trace_entries:
+            return
+        if hasattr(fleet.trace_db, "add_batch"):
+            fleet.trace_db.add_batch(trace_entries)
+        else:
+            for entry in trace_entries:
+                fleet.trace_db.add(entry)
 
     def _finalize(self, shards: Sequence[ShardPlan], conns, procs,
                   local_shards: Dict[int, _LocalShard], total_ticks: int,

@@ -34,7 +34,8 @@ unaware of the layout.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -431,6 +432,84 @@ class MachinePagePool:
         return int(np.count_nonzero(
             self.resident[:u] & (self.age_scans[:u] >= threshold_scans)
         ))
+
+    # ------------------------------------------------------------------
+    # Zero-copy telemetry export
+    # ------------------------------------------------------------------
+
+    def export_columns(
+        self, rows: np.ndarray, min_cold_age_seconds: int
+    ) -> Dict[str, np.ndarray]:
+        """Materialize one export window's telemetry columns for ``rows``.
+
+        The zero-copy half of the telemetry fast path: one fancy-index
+        gather per histogram column (the gathers *are* the copies — the
+        returned arrays never alias live pool storage) plus a single
+        cumulative-sum sweep over the rows' covering page span for the
+        per-row resident counts.  No per-job Python loop runs here; the
+        exporter packs the result into a
+        :class:`~repro.model.trace.TelemetryBlock` as-is.
+
+        Args:
+            rows: pool row ordinals of the memcgs to export, in export
+                order (one output row each).
+            min_cold_age_seconds: the SLO's working-set window; the
+                working-set column replays
+                :func:`repro.core.slo.working_set_pages` per row.
+
+        Returns:
+            Columns keyed ``promotion_counts``/``promotion_young``
+            (cumulative, since pool start), ``cold_counts``/``cold_young``
+            (current snapshot), ``working_set_pages``, and
+            ``resident_pages`` — int64 throughout, bit-identical to the
+            per-memcg scalar reads.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        n = rows.size
+        nbins = self._nbins
+        if n == 0:
+            return {
+                "promotion_counts": np.zeros((0, nbins), dtype=np.int64),
+                "promotion_young": np.zeros(0, dtype=np.int64),
+                "cold_counts": np.zeros((0, nbins), dtype=np.int64),
+                "cold_young": np.zeros(0, dtype=np.int64),
+                "working_set_pages": np.zeros(0, dtype=np.int64),
+                "resident_pages": np.zeros(0, dtype=np.int64),
+            }
+        cold_counts = self.cold_counts[rows]
+        cold_young = self.cold_young[rows]
+        # Per-row resident counts: gather exactly the rows' page slots
+        # (segments are contiguous; np.repeat builds the concatenated
+        # ranges) and reduce each segment with one prefix sum — the cost
+        # is O(pages owned by ``rows``), matching the scalar per-memcg
+        # ``count_nonzero`` walk even when other machines' segments share
+        # a cluster-scoped pool.
+        bases = self.row_base[rows]
+        sizes = self.row_size[rows]
+        ends = np.cumsum(sizes)
+        starts = ends - sizes
+        total = int(ends[-1]) if n else 0
+        slots = (
+            np.repeat(bases - starts, sizes)
+            + np.arange(total, dtype=np.int64)
+        )
+        prefix = np.concatenate([
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(self.resident[slots], dtype=np.int64),
+        ])
+        resident = prefix[ends] - prefix[starts]
+        # Working set: young pages plus every bin strictly below the
+        # window (the vectorized twin of ``slo.working_set_pages``).
+        idx = bisect_left(self.bins.thresholds, min_cold_age_seconds)
+        working_set = cold_young + cold_counts[:, :idx].sum(axis=1)
+        return {
+            "promotion_counts": self.promo_counts[rows],
+            "promotion_young": self.promo_young[rows],
+            "cold_counts": cold_counts,
+            "cold_young": cold_young,
+            "working_set_pages": working_set,
+            "resident_pages": resident,
+        }
 
     # ------------------------------------------------------------------
     # Pooled kstaled scan

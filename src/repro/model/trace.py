@@ -29,16 +29,22 @@ from repro.checks.invariants import invariants_enabled
 from repro.common.errors import TraceError
 from repro.core.histograms import AgeBins, AgeHistogram
 
-__all__ = ["TRACE_PERIOD_SECONDS", "TraceEntry", "JobTrace", "CompiledTrace"]
+__all__ = [
+    "TRACE_PERIOD_SECONDS",
+    "TelemetryBlock",
+    "TraceEntry",
+    "JobTrace",
+    "CompiledTrace",
+]
 
 #: Aggregation period of one trace entry (the paper uses 5 minutes).
 TRACE_PERIOD_SECONDS = 300
 
-#: The compiled-trace tensor layout promise.  Checked statically by the
+#: The trace tensor layout promises.  Checked statically by the
 #: CON001/CON002 flow rules against every visible constructor call, and
 #: at runtime (under ``REPRO_CHECKS=1``) by ``__post_init__`` on every
-#: construction path — ``from_trace``, ``from_columns``, and direct
-#: instantiation alike.  Must stay a pure literal.
+#: construction path — ``from_trace``, ``from_columns``, ``from_entries``,
+#: and direct instantiation alike.  Must stay a pure literal.
 COLUMN_CONTRACTS = {
     "CompiledTrace.cold_suffix_sums": {"dtype": "int64", "ndim": 2},
     "CompiledTrace.promotion_suffix_sums": {"dtype": "int64", "ndim": 2},
@@ -46,6 +52,40 @@ COLUMN_CONTRACTS = {
     "CompiledTrace.times": {"dtype": "int64", "ndim": 1},
     "CompiledTrace.resident_pages": {"dtype": "int64", "ndim": 1},
     "CompiledTrace.cpu_cores": {"dtype": "float64", "ndim": 1},
+    # The zero-copy telemetry block: one export window as dense columns.
+    "TelemetryBlock.job": {"dtype": "int64", "ndim": 1},
+    "TelemetryBlock.machine": {"dtype": "int64", "ndim": 1},
+    "TelemetryBlock.time": {"dtype": "int64", "ndim": 1},
+    "TelemetryBlock.working_set_pages": {"dtype": "int64", "ndim": 1},
+    "TelemetryBlock.resident_pages": {"dtype": "int64", "ndim": 1},
+    "TelemetryBlock.cpu_cores": {"dtype": "float64", "ndim": 1},
+    "TelemetryBlock.promotion_counts": {"dtype": "int64", "ndim": 2},
+    "TelemetryBlock.promotion_young": {"dtype": "int64", "ndim": 1},
+    "TelemetryBlock.cold_counts": {"dtype": "int64", "ndim": 2},
+    "TelemetryBlock.cold_young": {"dtype": "int64", "ndim": 1},
+}
+
+#: TelemetryBlock per-row columns by family — the validation tables the
+#: block and the trace store share.
+BLOCK_INT_COLUMNS = (
+    "time",
+    "job",
+    "machine",
+    "working_set_pages",
+    "resident_pages",
+    "promotion_young",
+    "cold_young",
+)
+BLOCK_FLOAT_COLUMNS = ("cpu_cores",)
+BLOCK_MATRIX_COLUMNS = ("promotion_counts", "cold_counts")
+
+#: Precomputed (dtype, ndim) per block column.  ``validate`` runs on the
+#: hot ingest path for every block, so dtype checks compare against
+#: these dtype objects instead of building name strings each call.
+_BLOCK_SCHEMA: Dict[str, Tuple[np.dtype, int]] = {
+    **{name: (np.dtype(np.int64), 1) for name in BLOCK_INT_COLUMNS},
+    **{name: (np.dtype(np.float64), 1) for name in BLOCK_FLOAT_COLUMNS},
+    **{name: (np.dtype(np.int64), 2) for name in BLOCK_MATRIX_COLUMNS},
 }
 
 
@@ -145,6 +185,324 @@ class TraceEntry:
             )
         except KeyError as missing:
             raise TraceError(f"trace entry missing field {missing}") from None
+
+
+@dataclass
+class TelemetryBlock:
+    """One telemetry export window as dense numpy columns (zero-copy unit).
+
+    The columnar kernel materializes a block per export window straight
+    from :class:`~repro.kernel.columnar.MachinePagePool` columns (one
+    fancy-index gather per column), and the on-disk trace store ingests
+    it via ``append_columns`` without ever constructing a
+    :class:`TraceEntry`.  Job and machine ids are carried once each in
+    small string tables; the per-row ``job``/``machine`` columns hold
+    ordinals into those tables.
+
+    Rows are one-per-(job, window); the histogram matrices are
+    ``(rows, len(bins))`` over the shared candidate threshold grid,
+    exactly the layout :mod:`repro.tracestore` segments persist.
+
+    Attributes:
+        bins: the candidate-threshold grid every row shares.
+        job_table: distinct job ids, first-seen order.
+        machine_table: distinct machine ids, first-seen order.
+        job: per-row ordinals into ``job_table`` (int64).
+        machine: per-row ordinals into ``machine_table`` (int64).
+        time: period start times (int64).
+        working_set_pages: working-set sizes (int64).
+        resident_pages: resident page counts (int64).
+        cpu_cores: average CPU cores (float64).
+        promotion_counts: per-period promotion histogram counts.
+        promotion_young: per-period promotion young counts (int64).
+        cold_counts: cold-age snapshot counts.
+        cold_young: cold-age young counts (int64).
+    """
+
+    bins: AgeBins
+    job_table: List[str]
+    machine_table: List[str]
+    job: np.ndarray
+    machine: np.ndarray
+    time: np.ndarray
+    working_set_pages: np.ndarray
+    resident_pages: np.ndarray
+    cpu_cores: np.ndarray
+    promotion_counts: np.ndarray
+    promotion_young: np.ndarray
+    cold_counts: np.ndarray
+    cold_young: np.ndarray
+
+    def __post_init__(self) -> None:
+        if invariants_enabled():
+            verify_column_contracts(self, COLUMN_CONTRACTS, where="construct")
+            self.validate()
+
+    @property
+    def n_rows(self) -> int:
+        """Rows in the block."""
+        return int(self.time.size)
+
+    def validate(self) -> None:
+        """Check dtypes, shapes, and ordinal ranges; raise a located error.
+
+        The trace store calls this unconditionally before ingesting a
+        block, so a dtype drift is rejected whole with the offending
+        column named — never half-appended.
+
+        Raises:
+            TraceError: naming the first offending column.
+        """
+        n = int(np.asarray(self.time).size)
+        for name, (dtype, ndim) in _BLOCK_SCHEMA.items():
+            column = getattr(self, name)
+            if not isinstance(column, np.ndarray):
+                raise TraceError(
+                    f"TelemetryBlock.{name}: expected ndarray, got "
+                    f"{type(column).__name__}"
+                )
+            # Pointer comparison first: numpy interns builtin dtypes, so
+            # the well-formed case never pays a dtype __eq__.
+            if column.dtype is not dtype and column.dtype != dtype:
+                raise TraceError(
+                    f"TelemetryBlock.{name}: dtype {column.dtype}, "
+                    f"expected {dtype}"
+                )
+            if column.ndim != ndim:
+                raise TraceError(
+                    f"TelemetryBlock.{name}: ndim {column.ndim}, "
+                    f"expected {ndim}"
+                )
+            if column.shape[0] != n:
+                raise TraceError(
+                    f"TelemetryBlock.{name}: {column.shape[0]} rows, "
+                    f"block has {n}"
+                )
+            if ndim == 2 and column.shape[1] != len(self.bins):
+                raise TraceError(
+                    f"TelemetryBlock.{name}: {column.shape[1]} bins, "
+                    f"grid has {len(self.bins)}"
+                )
+        if n:
+            for name, table in (
+                ("job", self.job_table),
+                ("machine", self.machine_table),
+            ):
+                column = getattr(self, name)
+                if int(column.min()) < 0 or int(column.max()) >= len(table):
+                    raise TraceError(
+                        f"TelemetryBlock.{name}: ordinal out of range for "
+                        f"a {len(table)}-entry table"
+                    )
+            if int(self.working_set_pages.min()) < 0 or int(
+                self.resident_pages.min()
+            ) < 0:
+                raise TraceError(
+                    "TelemetryBlock: page counts must be non-negative"
+                )
+
+    @classmethod
+    def from_entries(cls, entries: Sequence[TraceEntry]) -> "TelemetryBlock":
+        """Pack trace entries into a block (the object-path bridge).
+
+        Used by the equivalence oracle and by mixed merges (e.g. a
+        degraded engine shard that staged entries).  Row order is the
+        entry order.
+
+        Raises:
+            TraceError: on an empty sequence or mixed threshold grids.
+        """
+        if not entries:
+            raise TraceError("cannot build a TelemetryBlock from no entries")
+        bins = entries[0].bins
+        job_table: List[str] = []
+        job_index: Dict[str, int] = {}
+        machine_table: List[str] = []
+        machine_index: Dict[str, int] = {}
+        n = len(entries)
+        jobs = np.empty(n, dtype=np.int64)
+        machines = np.empty(n, dtype=np.int64)
+        for i, entry in enumerate(entries):
+            if entry.bins.thresholds != bins.thresholds:
+                raise TraceError(
+                    f"entry for job {entry.job_id} uses a different "
+                    f"threshold grid; a block carries exactly one"
+                )
+            ordinal = job_index.get(entry.job_id)
+            if ordinal is None:
+                ordinal = len(job_table)
+                job_index[entry.job_id] = ordinal
+                job_table.append(entry.job_id)
+            jobs[i] = ordinal
+            ordinal = machine_index.get(entry.machine_id)
+            if ordinal is None:
+                ordinal = len(machine_table)
+                machine_index[entry.machine_id] = ordinal
+                machine_table.append(entry.machine_id)
+            machines[i] = ordinal
+        return cls(
+            bins=bins,
+            job_table=job_table,
+            machine_table=machine_table,
+            job=jobs,
+            machine=machines,
+            time=np.fromiter(
+                (e.time for e in entries), dtype=np.int64, count=n),
+            working_set_pages=np.fromiter(
+                (e.working_set_pages for e in entries),
+                dtype=np.int64, count=n),
+            resident_pages=np.fromiter(
+                (e.resident_pages for e in entries),
+                dtype=np.int64, count=n),
+            cpu_cores=np.fromiter(
+                (e.cpu_cores for e in entries), dtype=np.float64, count=n),
+            promotion_counts=np.stack(
+                [e.promotion_histogram.counts for e in entries]
+            ).astype(np.int64),
+            promotion_young=np.fromiter(
+                (e.promotion_histogram.young_count for e in entries),
+                dtype=np.int64, count=n),
+            cold_counts=np.stack(
+                [e.cold_age_histogram.counts for e in entries]
+            ).astype(np.int64),
+            cold_young=np.fromiter(
+                (e.cold_age_histogram.young_count for e in entries),
+                dtype=np.int64, count=n),
+        )
+
+    def entries(self) -> List[TraceEntry]:
+        """Materialize the rows as :class:`TraceEntry` objects, in order.
+
+        The degraded path: the telemetry exporter spills a block this way
+        when the sink rejects it, so the per-entry retry buffer replays
+        exactly the rows the block carried.  Histogram rows are copied —
+        the entries outlive the block.
+        """
+        out: List[TraceEntry] = []
+        for i in range(self.n_rows):
+            promo = AgeHistogram(self.bins)
+            promo.counts = np.array(self.promotion_counts[i], dtype=np.int64)
+            promo.young_count = int(self.promotion_young[i])
+            cold = AgeHistogram(self.bins)
+            cold.counts = np.array(self.cold_counts[i], dtype=np.int64)
+            cold.young_count = int(self.cold_young[i])
+            out.append(TraceEntry(
+                job_id=self.job_table[int(self.job[i])],
+                machine_id=self.machine_table[int(self.machine[i])],
+                time=int(self.time[i]),
+                working_set_pages=int(self.working_set_pages[i]),
+                promotion_histogram=promo,
+                cold_age_histogram=cold,
+                resident_pages=int(self.resident_pages[i]),
+                cpu_cores=float(self.cpu_cores[i]),
+            ))
+        return out
+
+    @classmethod
+    def concat(cls, blocks: Sequence["TelemetryBlock"]) -> "TelemetryBlock":
+        """Concatenate blocks row-wise, merging the string tables.
+
+        The parallel engine's barrier merge concatenates per-shard block
+        deltas in deterministic shard order; string tables merge
+        first-seen, and ordinal columns are remapped through a lookup
+        vector (no per-row Python work).
+
+        Raises:
+            TraceError: on an empty sequence or mixed threshold grids.
+        """
+        if not blocks:
+            raise TraceError("cannot concatenate zero TelemetryBlocks")
+        if len(blocks) == 1:
+            return blocks[0]
+        bins = blocks[0].bins
+        job_table: List[str] = []
+        job_index: Dict[str, int] = {}
+        machine_table: List[str] = []
+        machine_index: Dict[str, int] = {}
+        job_cols: List[np.ndarray] = []
+        machine_cols: List[np.ndarray] = []
+        for block in blocks:
+            if block.bins.thresholds != bins.thresholds:
+                raise TraceError(
+                    "cannot concatenate TelemetryBlocks with different "
+                    "threshold grids"
+                )
+            for table, merged, index, col, out in (
+                (block.job_table, job_table, job_index, block.job, job_cols),
+                (block.machine_table, machine_table, machine_index,
+                 block.machine, machine_cols),
+            ):
+                lut = np.empty(len(table), dtype=np.int64)
+                for i, name in enumerate(table):
+                    ordinal = index.get(name)
+                    if ordinal is None:
+                        ordinal = len(merged)
+                        index[name] = ordinal
+                        merged.append(name)
+                    lut[i] = ordinal
+                out.append(lut[col])
+        merged_columns = {
+            name: np.concatenate([getattr(b, name) for b in blocks])
+            for name in (
+                "time", "working_set_pages", "resident_pages", "cpu_cores",
+                "promotion_counts", "promotion_young", "cold_counts",
+                "cold_young",
+            )
+        }
+        return cls(
+            bins=bins,
+            job_table=job_table,
+            machine_table=machine_table,
+            job=np.concatenate(job_cols),
+            machine=np.concatenate(machine_cols),
+            **merged_columns,
+        )
+
+    def sorted_by_time_job(self) -> "TelemetryBlock":
+        """Rows stably re-ordered by ``(time, job_id)``, tables canonical.
+
+        The same canonical cross-job order the parallel engine's entry
+        merge uses (ties keep their current relative order, so per-shard
+        per-job sequences survive intact).  The string tables are rebuilt
+        in first-appearance order of the sorted rows — so a consumer that
+        interns ids row by row (the trace store) assigns exactly the
+        ordinals it would have assigned to the equivalent entry stream,
+        regardless of how this block was assembled.
+        """
+        if self.n_rows == 0:
+            return self
+        names = np.asarray(self.job_table, dtype=np.str_)[self.job]
+        order = np.lexsort((names, self.time))
+        job_col = self.job[order]
+        machine_col = self.machine[order]
+        tables = {}
+        for key, col, table in (
+            ("job", job_col, self.job_table),
+            ("machine", machine_col, self.machine_table),
+        ):
+            uniq, first_at = np.unique(col, return_index=True)
+            seen_order = np.argsort(first_at, kind="stable")
+            lut = np.empty(len(table), dtype=np.int64)
+            lut[uniq[seen_order]] = np.arange(seen_order.size)
+            tables[key] = (
+                [table[int(uniq[i])] for i in seen_order],
+                lut[col],
+            )
+        return TelemetryBlock(
+            bins=self.bins,
+            job_table=tables["job"][0],
+            machine_table=tables["machine"][0],
+            job=tables["job"][1],
+            machine=tables["machine"][1],
+            time=self.time[order],
+            working_set_pages=self.working_set_pages[order],
+            resident_pages=self.resident_pages[order],
+            cpu_cores=self.cpu_cores[order],
+            promotion_counts=self.promotion_counts[order],
+            promotion_young=self.promotion_young[order],
+            cold_counts=self.cold_counts[order],
+            cold_young=self.cold_young[order],
+        )
 
 
 @dataclass

@@ -25,8 +25,15 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.common.errors import TraceError
-from repro.model.trace import CompiledTrace, JobTrace, TraceEntry
+from repro.model.trace import (
+    CompiledTrace,
+    JobTrace,
+    TelemetryBlock,
+    TraceEntry,
+)
 from repro.obs import MetricRegistry
 from repro.tracestore.store import (
     DEFAULT_BUFFER_ROWS,
@@ -94,6 +101,17 @@ class ColumnarTraceDatabase:
         """
         self.store.append_batch(entries)
 
+    def add_block(self, block: TelemetryBlock) -> None:
+        """Store a whole export window as one zero-copy column block.
+
+        The fastest rung of the sink protocol: the columnar kernel's
+        telemetry exporter gathers the window straight from pool columns
+        and the arrays land in the segment buffer with only the ordinal
+        columns rewritten — no :class:`TraceEntry` is ever constructed.
+        Equivalent to calling :meth:`add` per row of ``block.entries()``.
+        """
+        self.store.append_columns(block)
+
     def flush(self) -> int:
         """Seal buffered rows into a segment; returns rows sealed."""
         return self.store.flush()
@@ -122,6 +140,48 @@ class ColumnarTraceDatabase:
         for job_id in self.store.jobs:
             out.extend(self.store.entries_for(job_id, start=mark.get(job_id, 0)))
         return out
+
+    def block_marker(self) -> int:
+        """An opaque position marker for :meth:`block_since`."""
+        return int(self.store.rows_total)
+
+    def block_since(self, marker: int) -> Optional[TelemetryBlock]:
+        """Rows appended after ``marker``, as one zero-copy block.
+
+        The columnar twin of :meth:`mark`/:meth:`entries_since` for the
+        parallel engine: a forked worker never seals segments (see
+        :meth:`TraceStore.flush`), so every row appended since the fork
+        is still pending and :meth:`TraceStore.pending_tail_columns`
+        hands back exactly the delta — in append order, without
+        materializing a single entry.  Returns None when nothing was
+        appended.  String tables are compacted to the jobs/machines the
+        delta actually references.
+        """
+        delta = self.store.rows_total - int(marker)
+        if delta <= 0:
+            return None
+        cols = self.store.pending_tail_columns(delta)
+        jobs = self.store.jobs
+        machines = self.store.machines
+        job_uniq, job_local = np.unique(cols["job"], return_inverse=True)
+        machine_uniq, machine_local = np.unique(
+            cols["machine"], return_inverse=True
+        )
+        return TelemetryBlock(
+            bins=self.store.bins,
+            job_table=[jobs[int(o)] for o in job_uniq],
+            machine_table=[machines[int(o)] for o in machine_uniq],
+            job=job_local.astype(np.int64),
+            machine=machine_local.astype(np.int64),
+            time=cols["time"],
+            working_set_pages=cols["working_set_pages"],
+            resident_pages=cols["resident_pages"],
+            cpu_cores=cols["cpu_cores"],
+            promotion_counts=cols["promotion_counts"],
+            promotion_young=cols["promotion_young"],
+            cold_counts=cols["cold_counts"],
+            cold_young=cols["cold_young"],
+        )
 
     # ------------------------------------------------------------------
     # Trace reads

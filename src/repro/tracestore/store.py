@@ -42,7 +42,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Set, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,7 @@ from repro.core.histograms import AgeBins, AgeHistogram
 from repro.model.trace import (
     TRACE_PERIOD_SECONDS,
     CompiledTrace,
+    TelemetryBlock,
     TraceEntry,
 )
 from repro.obs import MetricName, MetricRegistry, Stopwatch, get_registry
@@ -97,6 +98,17 @@ _MATRIX_COLUMNS = ("promotion_counts", "cold_counts")
 
 #: Every column a segment must carry.
 COLUMNS = _INT_COLUMNS + _FLOAT_COLUMNS + _MATRIX_COLUMNS
+
+#: Grow-on-demand ``arange`` shared by the block ingest fast path, so
+#: detecting the canonical ``job == arange(n)`` layout allocates nothing.
+_IDENTITY = np.arange(1024, dtype=np.int64)
+
+
+def _identity_ordinals(n: int) -> np.ndarray:
+    global _IDENTITY
+    if n > _IDENTITY.size:
+        _IDENTITY = np.arange(max(n, 2 * _IDENTITY.size), dtype=np.int64)
+    return _IDENTITY[:n]
 
 
 @dataclass
@@ -262,6 +274,12 @@ class TraceStore:
         #: awaiting the next segment seal alongside the row buffer.
         self._chunks: List[Dict[str, np.ndarray]] = []
         self._chunk_rows = 0
+        #: Interning results keyed by (kind, table tuple).  Exporters
+        #: rebuild the same small string tables every window, so on the
+        #: block fast path a cache hit replaces the per-id interning
+        #: loop with one dict lookup.  Ordinals never change once
+        #: assigned, which makes cached LUTs valid forever.
+        self._lut_cache: Dict[Tuple[str, Tuple[str, ...]], np.ndarray] = {}
         #: Entries currently stored (sealed + buffered).
         self.rows_total = 0
 
@@ -316,6 +334,15 @@ class TraceStore:
         self._m_downsampled = registry.counter(
             MetricName.TRACESTORE_ROWS_DOWNSAMPLED_TOTAL,
             "Raw rows merged away by downsampling.", ("store",)
+        ).labels(store=store)
+        self._m_blocks = registry.counter(
+            MetricName.TRACESTORE_BLOCKS_TOTAL,
+            "Telemetry blocks ingested via the zero-copy column path.",
+            ("store",)
+        ).labels(store=store)
+        self._m_block_rows = registry.counter(
+            MetricName.TRACESTORE_BLOCK_ROWS_TOTAL,
+            "Rows ingested via the zero-copy column path.", ("store",)
         ).labels(store=store)
 
     @property
@@ -443,6 +470,16 @@ class TraceStore:
             self._machine_index[machine_id] = ordinal
         return ordinal
 
+    #: Bound on distinct interning LUTs kept; a churny fleet cycles many
+    #: table shapes, and dropping the cache only costs a re-intern pass.
+    _LUT_CACHE_MAX = 1024
+
+    def _cache_lut(self, key: Tuple[str, Tuple[str, ...]],
+                   lut: np.ndarray) -> None:
+        if len(self._lut_cache) >= self._LUT_CACHE_MAX:
+            self._lut_cache.clear()
+        self._lut_cache[key] = lut
+
     def append(self, entry: TraceEntry) -> None:
         """Buffer one entry; seals a segment at the row threshold.
 
@@ -532,15 +569,6 @@ class TraceStore:
                 )
             watermark[entry.job_id] = entry.time
 
-        # Keep append order intact across mixed append/append_batch use:
-        # everything buffered so far becomes a chunk ahead of this one.
-        if self._buffer["time"]:
-            sealed = self._buffer_arrays()
-            self._chunks.append(sealed)
-            self._chunk_rows += int(sealed["time"].size)
-            for column in self._buffer.values():
-                column.clear()
-
         n = len(entries)
         jobs = np.empty(n, dtype=np.int64)
         machines = np.empty(n, dtype=np.int64)
@@ -577,20 +605,212 @@ class TraceStore:
                 [e.cold_age_histogram.counts for e in entries]
             ).astype(np.int64),
         }
+        self._commit_chunk(chunk)
 
-        starts = (chunk["time"] // self.window_seconds) * self.window_seconds
-        for start in np.unique(starts):
-            window = self._windows.get(int(start))
+    def append_columns(self, block: TelemetryBlock) -> None:
+        """Zero-copy ingest of one :class:`TelemetryBlock`.
+
+        The fast half of the sink protocol: the block's arrays become the
+        pending chunk directly — only the job/machine ordinal columns are
+        rewritten through the store's interning tables; the scalar and
+        histogram columns travel to the sealed segment untouched, and no
+        :class:`~repro.model.trace.TraceEntry` is ever constructed.
+        Store contents are identical to calling :meth:`append` once per
+        row of ``block.entries()``, in row order.
+
+        Raises:
+            TraceError: same contracts as :meth:`append` — schema/dtype
+                validity (always enforced, not only under
+                ``REPRO_CHECKS``), threshold-grid match, and per-job
+                monotonic time.  The block is rejected whole: on error
+                nothing is appended and no metric moves.
+        """
+        n = block.n_rows
+        if n == 0:
+            return
+        # Hard schema gate: a malformed column must never reach a
+        # segment, so validation is unconditional on this path (the
+        # per-entry path gets the same guarantee from TraceEntry's
+        # constructor normalizing field by field).
+        block.validate()
+        if self.bins is None:
+            self.bins = block.bins
+        elif block.bins.thresholds != self.bins.thresholds:
+            raise TraceError(
+                f"block for jobs {block.job_table[:3]} uses threshold "
+                f"grid {list(block.bins.thresholds)}, store is fixed to "
+                f"{list(self.bins.thresholds)}"
+            )
+        # Interning LUTs: exporters rebuild the same job/machine tables
+        # window after window, so look the tuples up in the cache before
+        # falling back to the per-id interning loop.  A cache hit means
+        # every id is already interned, so watermark lookups need no
+        # unknown-job sentinel.
+        job_key = ("job", tuple(block.job_table))
+        job_lut = self._lut_cache.get(job_key)
+        last_times = self._job_last_time
+        if (
+            job_lut is not None
+            and n == job_lut.size
+            and np.array_equal(block.job, _identity_ordinals(n))
+        ):
+            # Identity fast path: the canonical exporter block carries
+            # each job exactly once with ``job == arange(n)``, so
+            # within-block order is trivially monotonic and the only
+            # check left is the stored per-job watermark — two short
+            # loops over the tiny table instead of the argsort below.
+            times = block.time.tolist()
+            ordinals = job_lut.tolist()
+            for i, ordinal in enumerate(ordinals):
+                if times[i] < last_times[ordinal]:
+                    raise TraceError(
+                        f"out-of-order trace entry for job "
+                        f"{block.job_table[i]} at t={times[i]} after "
+                        f"t={last_times[ordinal]}"
+                    )
+            for i, ordinal in enumerate(ordinals):
+                last_times[ordinal] = times[i]
+            job_col = job_lut.copy()
+            time_range = (min(times), max(times))
+        else:
+            time_range = None
+            # Validate per-job monotonic time before touching store
+            # state, so a bad block cannot leave rows half-appended.  A
+            # stable sort by job keeps row order within each job,
+            # turning the per-job check into one vectorized diff.
+            order = np.argsort(block.job, kind="stable")
+            j_sorted = block.job[order]
+            t_sorted = block.time[order]
+            same = j_sorted[1:] == j_sorted[:-1]
+            bad = same & (np.diff(t_sorted) < 0)
+            if np.any(bad):
+                at = int(np.flatnonzero(bad)[0])
+                raise TraceError(
+                    f"out-of-order trace entry for job "
+                    f"{block.job_table[int(j_sorted[at + 1])]} at "
+                    f"t={int(t_sorted[at + 1])} after t={int(t_sorted[at])}"
+                )
+            group_start = np.flatnonzero(
+                np.concatenate([np.ones(1, dtype=bool), ~same])
+            )
+            if job_lut is not None:
+                stored_last = np.fromiter(
+                    (last_times[o] for o in job_lut.tolist()),
+                    np.int64, job_lut.size,
+                )
+            else:
+                floor = np.iinfo(np.int64).min
+                stored_last = np.fromiter(
+                    (
+                        last_times[self._job_index[job_id]]
+                        if job_id in self._job_index else floor
+                        for job_id in block.job_table
+                    ),
+                    np.int64, len(block.job_table),
+                )
+            first_time = t_sorted[group_start]
+            first_job = j_sorted[group_start]
+            late = first_time < stored_last[first_job]
+            if np.any(late):
+                at = int(np.flatnonzero(late)[0])
+                local = int(first_job[at])
+                raise TraceError(
+                    f"out-of-order trace entry for job "
+                    f"{block.job_table[local]} at t={int(first_time[at])} "
+                    f"after t={int(stored_last[local])}"
+                )
+
+            # All checks passed — intern tables, advance watermarks (the
+            # last row of each stable-sorted group is the job's last row
+            # in append order).  Interning happens only after validation
+            # so a rejected block cannot grow the manifest tables.
+            if job_lut is None:
+                job_lut = np.fromiter(
+                    (self._intern_job(job_id) for job_id in block.job_table),
+                    np.int64, len(block.job_table),
+                )
+                self._cache_lut(job_key, job_lut)
+            group_end = np.concatenate([group_start[1:], [n]]) - 1
+            for local, last_time in zip(
+                j_sorted[group_end], t_sorted[group_end]
+            ):
+                last_times[int(job_lut[int(local)])] = int(last_time)
+            job_col = job_lut[block.job]
+        machine_key = ("machine", tuple(block.machine_table))
+        machine_lut = self._lut_cache.get(machine_key)
+        if machine_lut is None:
+            machine_lut = np.fromiter(
+                (self._intern_machine(m) for m in block.machine_table),
+                np.int64, len(block.machine_table),
+            )
+            self._cache_lut(machine_key, machine_lut)
+        self._commit_chunk({
+            "time": block.time,
+            "job": job_col,
+            "machine": machine_lut[block.machine],
+            "working_set_pages": block.working_set_pages,
+            "resident_pages": block.resident_pages,
+            "promotion_young": block.promotion_young,
+            "cold_young": block.cold_young,
+            "cpu_cores": block.cpu_cores,
+            "promotion_counts": block.promotion_counts,
+            "cold_counts": block.cold_counts,
+        }, time_range)
+        if self._is_owner:
+            self._m_blocks.inc()
+            self._m_block_rows.inc(n)
+
+    def _commit_chunk(
+        self,
+        chunk: Dict[str, np.ndarray],
+        time_range: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Stage one validated column chunk: fold the row buffer ahead of
+        it (append order must hold across mixed per-entry/batch/block
+        use), update window aggregates, count rows, maybe seal.  Callers
+        that already know the chunk's (min, max) time pass it as
+        ``time_range`` to skip two reductions."""
+        if self._buffer["time"]:
+            sealed = self._buffer_arrays()
+            self._chunks.append(sealed)
+            self._chunk_rows += int(sealed["time"].size)
+            for column in self._buffer.values():
+                column.clear()
+
+        n = int(chunk["time"].size)
+        jobs = chunk["job"]
+        if time_range is None:
+            time_range = (int(chunk["time"].min()), int(chunk["time"].max()))
+        first = time_range[0] // self.window_seconds * self.window_seconds
+        if time_range[1] < first + self.window_seconds:
+            # Fast path: an export window's rows share one summary
+            # window, so skip the per-window selection masks entirely.
+            window = self._windows.get(first)
             if window is None:
-                window = WindowSummary(start=int(start))
-                self._windows[int(start)] = window
-            sel = starts == start
-            window.rows += int(np.count_nonzero(sel))
-            window.job_ordinals.update(int(j) for j in jobs[sel])
-            window.working_set_pages += int(
-                chunk["working_set_pages"][sel].sum())
-            window.cold_pages += int(chunk["cold_counts"][sel].sum())
-            window.promoted_pages += int(chunk["promotion_counts"][sel].sum())
+                window = WindowSummary(start=first)
+                self._windows[first] = window
+            window.rows += n
+            window.job_ordinals.update(jobs.tolist())
+            window.working_set_pages += int(chunk["working_set_pages"].sum())
+            window.cold_pages += int(chunk["cold_counts"].sum())
+            window.promoted_pages += int(chunk["promotion_counts"].sum())
+        else:
+            starts = (
+                chunk["time"] // self.window_seconds
+            ) * self.window_seconds
+            for start in np.unique(starts):
+                window = self._windows.get(int(start))
+                if window is None:
+                    window = WindowSummary(start=int(start))
+                    self._windows[int(start)] = window
+                sel = starts == start
+                window.rows += int(np.count_nonzero(sel))
+                window.job_ordinals.update(jobs[sel].tolist())
+                window.working_set_pages += int(
+                    chunk["working_set_pages"][sel].sum())
+                window.cold_pages += int(chunk["cold_counts"][sel].sum())
+                window.promoted_pages += int(
+                    chunk["promotion_counts"][sel].sum())
 
         self._chunks.append(chunk)
         self._chunk_rows += n
@@ -705,6 +925,51 @@ class TraceStore:
             else:
                 arrays[name] = np.zeros((0, bins), dtype=np.int64)
         return arrays
+
+    def pending_tail_columns(self, count: int) -> Dict[str, np.ndarray]:
+        """The last ``count`` unsealed rows as one column dict, in append
+        order.
+
+        Walks the pending chunks from the end, so the cost is
+        O(``count`` + chunks touched), not O(everything pending) — this
+        is how a forked worker (which never seals, see :meth:`flush`)
+        hands the barrier merge exactly the rows appended since the fork
+        without re-materializing entry objects.
+
+        Raises:
+            TraceStoreError: when fewer than ``count`` rows are pending —
+                the caller's bookkeeping disagrees with the store's.
+        """
+        count = int(count)
+        if count <= 0 or count > self._pending_rows:
+            raise TraceStoreError(
+                f"pending_tail_columns: {count} rows requested, "
+                f"{self._pending_rows} pending"
+            )
+        sources: List[Dict[str, np.ndarray]] = list(self._chunks)
+        if self._buffer["time"]:
+            sources.append(self._buffer_arrays())
+        taken: List[Dict[str, np.ndarray]] = []
+        need = count
+        for arrays in reversed(sources):
+            size = int(arrays["time"].size)
+            if size <= need:
+                taken.append(arrays)
+                need -= size
+            else:
+                taken.append(
+                    {name: arrays[name][size - need:] for name in COLUMNS}
+                )
+                need = 0
+            if need == 0:
+                break
+        taken.reverse()
+        if len(taken) == 1:
+            return dict(taken[0])
+        return {
+            name: np.concatenate([part[name] for part in taken])
+            for name in COLUMNS
+        }
 
     # ------------------------------------------------------------------
     # Read path

@@ -281,10 +281,10 @@ class TestWorkerFailureFallback:
 
         real = par._worker_main
 
-        def hang_shard_zero(conn, fleet, cluster_indices):
+        def hang_shard_zero(conn, fleet, cluster_indices, *args):
             if 0 in cluster_indices:
                 time.sleep(600)  # never replies; parent terminates us
-            real(conn, fleet, cluster_indices)
+            real(conn, fleet, cluster_indices, *args)
 
         serial, degraded, stats = self.run_degraded(
             monkeypatch, hang_shard_zero
@@ -307,11 +307,11 @@ class TestWorkerFailureFallback:
 
         real = par._worker_main
 
-        def die_on_shard_zero(conn, fleet, cluster_indices):
+        def die_on_shard_zero(conn, fleet, cluster_indices, *args):
             if 0 in cluster_indices:
                 conn.close()  # silent death: EOF at the parent
                 return
-            real(conn, fleet, cluster_indices)
+            real(conn, fleet, cluster_indices, *args)
 
         serial, degraded, stats = self.run_degraded(
             monkeypatch, die_on_shard_zero
@@ -326,7 +326,7 @@ class TestWorkerFailureFallback:
 
         import repro.engine.parallel as par
 
-        def report_error(conn, fleet, cluster_indices):
+        def report_error(conn, fleet, cluster_indices, *args):
             # Follow the protocol (wait for a command) before replying,
             # otherwise the parent's send may hit a broken pipe and be
             # treated as a recoverable worker loss instead.
